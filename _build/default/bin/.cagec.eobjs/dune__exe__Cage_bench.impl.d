@@ -1,0 +1,1 @@
+bin/cage_bench.ml: Arch Arg Cage Cmd Cmdliner Format Harness Hashtbl Libc List Printf String Term Wasm Workloads

@@ -1,0 +1,1 @@
+bin/cage_bench.mli:

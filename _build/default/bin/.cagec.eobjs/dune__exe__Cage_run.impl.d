@@ -1,0 +1,1 @@
+bin/cage_run.ml: Arg Cage Cmd Cmdliner Filename Format In_channel Int32 Int64 Libc List Minic Printf String Term Wasm

@@ -1,0 +1,1 @@
+bin/cagec.ml: Arg Cage Cmd Cmdliner Filename Format In_channel Libc List Minic Printf String Term Wasm

@@ -1,0 +1,63 @@
+(* cage_bench: run a single PolyBench kernel under every Table 3
+   configuration and print per-core simulated times — a focused view of
+   one Fig. 14 column.
+
+     cage_bench gemm
+     cage_bench --list *)
+
+open Cmdliner
+
+let kernel_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"KERNEL"
+         ~doc:"PolyBench kernel name (see --list).")
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List available kernels.")
+
+let run kernel list_flag =
+  if list_flag then begin
+    List.iter print_endline Workloads.Polybench.names;
+    0
+  end
+  else
+    match kernel with
+    | None ->
+        prerr_endline "cage_bench: a kernel name (or --list) is required";
+        1
+    | Some name -> (
+        match Workloads.Polybench.find name with
+        | None ->
+            Printf.eprintf "unknown kernel %S (try --list)\n" name;
+            1
+        | Some kernel ->
+            Format.printf "%s: simulated runtime per configuration@."
+              kernel.k_name;
+            let base = Hashtbl.create 4 in
+            List.iter
+              (fun cfg ->
+                let meter = Wasm.Meter.create () in
+                let r = Libc.Run.run ~cfg ~meter kernel.k_source in
+                Format.printf "  %-18s checksum=%ld@." cfg.Cage.Config.name
+                  (Libc.Run.ret_i32 r);
+                List.iter
+                  (fun core ->
+                    let t = Cage.Lowering.seconds core cfg meter in
+                    if String.equal cfg.Cage.Config.name "baseline wasm64"
+                    then Hashtbl.replace base core.Arch.Cpu_model.name t;
+                    let rel =
+                      match Hashtbl.find_opt base core.Arch.Cpu_model.name with
+                      | Some b -> Printf.sprintf " (%+.1f%% vs wasm64)"
+                                    (100.0 *. ((t /. b) -. 1.0))
+                      | None -> ""
+                    in
+                    Format.printf "      %-12s %s%s@." core.Arch.Cpu_model.name
+                      (Harness.Report.seconds t) rel)
+                  Arch.Cpu_model.tensor_g3)
+              Cage.Config.table3;
+            0)
+
+let cmd =
+  let doc = "benchmark one PolyBench kernel across Cage configurations" in
+  Cmd.v (Cmd.info "cage_bench" ~doc) Term.(const run $ kernel_arg $ list_flag)
+
+let () = exit (Cmd.eval' cmd)

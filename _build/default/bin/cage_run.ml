@@ -1,0 +1,105 @@
+(* cage_run: execute a .wasm file (or compile-and-run a .c file) under a
+   chosen Cage runtime configuration — the analogue of the paper's
+   modified wasmtime.
+
+     cage_run module.wasm                   run exported "main"
+     cage_run module.wat                    text-format module
+     cage_run program.c --config CAGE       compile + run
+     cage_run module.wasm --invoke f 1 2    call f(1, 2) *)
+
+open Cmdliner
+
+let config_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun c -> String.equal c.Cage.Config.name s)
+        Cage.Config.table3
+    with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown config %S" s))
+  in
+  let print ppf c = Format.pp_print_string ppf c.Cage.Config.name in
+  Arg.conv (parse, print)
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODULE"
+         ~doc:"A .wasm binary or a MiniC .c source file.")
+
+let config =
+  Arg.(value & opt config_conv Cage.Config.full
+         & info [ "config" ] ~docv:"CONFIG"
+             ~doc:"Runtime configuration (Table 3 variant name).")
+
+let entry =
+  Arg.(value & opt string "main" & info [ "invoke" ] ~docv:"FUNC"
+         ~doc:"Exported function to call.")
+
+let args =
+  Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS"
+         ~doc:"Integer arguments for the entry point.")
+
+let show_meter =
+  Arg.(value & flag & info [ "meter" ]
+         ~doc:"Print the execution-event counts after the run.")
+
+let run input config entry args show_meter =
+  let meter = Wasm.Meter.create () in
+  let wasi = Libc.Wasi.create () in
+  let result =
+    try
+      let values =
+        if Filename.check_suffix input ".wasm"
+           || Filename.check_suffix input ".wat" then begin
+          let m =
+            if Filename.check_suffix input ".wat" then
+              Wasm.Text.parse
+                (In_channel.with_open_text input In_channel.input_all)
+            else Wasm.Binary.read_file input
+          in
+          (match Wasm.Validate.validate m with
+          | Ok () -> ()
+          | Error e -> failwith ("invalid module: " ^ e));
+          let iconfig = Cage.Config.instance_config ~meter config in
+          let inst =
+            Wasm.Exec.instantiate ~config:iconfig
+              ~imports:(Libc.Wasi.imports wasi) m
+          in
+          let vargs =
+            List.map (fun a -> Wasm.Values.I64 (Int64.of_string a)) args
+          in
+          Wasm.Exec.invoke inst entry vargs
+        end
+        else begin
+          let source = In_channel.with_open_text input In_channel.input_all in
+          let r = Libc.Run.run ~cfg:config ~meter ~entry source in
+          r.Libc.Run.values
+        end
+      in
+      Ok values
+    with
+    | Wasm.Instance.Trap msg -> Error ("trap: " ^ msg)
+    | Libc.Wasi.Proc_exit code -> Ok [ Wasm.Values.I32 (Int32.of_int code) ]
+    | Minic.Driver.Compile_error msg -> Error msg
+    | Wasm.Text.Parse_error msg -> Error ("wat parse error: " ^ msg)
+    | Wasm.Binary.Decode_error msg -> Error ("decode error: " ^ msg)
+    | Failure msg -> Error msg
+  in
+  print_string (Libc.Wasi.output wasi);
+  (match result with
+  | Ok values ->
+      List.iter
+        (fun v -> Format.printf "%s() -> %a@." entry Wasm.Values.pp v)
+        values
+  | Error msg ->
+      Format.printf "%s@." msg);
+  if show_meter then Format.eprintf "%a@." Wasm.Meter.pp meter;
+  match result with Ok _ -> 0 | Error _ -> 1
+
+let cmd =
+  let doc = "run WebAssembly under a Cage runtime configuration" in
+  Cmd.v
+    (Cmd.info "cage_run" ~doc)
+    Term.(const run $ input $ config $ entry $ args $ show_meter)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,95 @@
+(* cagec: the MiniC -> (hardened) wasm compiler CLI — the analogue of
+   the paper's wasi-sdk clang driver.
+
+     cagec input.c -o out.wasm                     baseline wasm64
+     cagec input.c --config CAGE -o out.wasm       full hardening
+     cagec input.c --emit-wat                      print text form
+     cagec input.c --no-libc ...                   freestanding *)
+
+open Cmdliner
+
+let config_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun c -> String.equal c.Cage.Config.name s)
+        Cage.Config.table3
+    with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown config %S; one of: %s" s
+                (String.concat ", "
+                   (List.map (fun c -> c.Cage.Config.name) Cage.Config.table3))))
+  in
+  let print ppf c = Format.pp_print_string ppf c.Cage.Config.name in
+  Arg.conv (parse, print)
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.c"
+         ~doc:"MiniC source file.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ]
+         ~docv:"OUT.wasm" ~doc:"Output wasm binary path.")
+
+let config =
+  Arg.(value & opt config_conv Cage.Config.baseline_wasm64
+         & info [ "config" ] ~docv:"CONFIG"
+             ~doc:"Runtime configuration (Table 3 variant name).")
+
+let emit_wat =
+  Arg.(value & flag & info [ "emit-wat" ]
+         ~doc:"Print the module in text form instead of writing a binary.")
+
+let no_libc =
+  Arg.(value & flag & info [ "no-libc" ]
+         ~doc:"Do not prepend the libc prelude (freestanding program).")
+
+let instrument_all =
+  Arg.(value & flag & info [ "instrument-all" ]
+         ~doc:"Ablation: instrument every stack slot, skipping Algorithm 1.")
+
+let stats =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print stack-sanitizer statistics.")
+
+let run input output config emit_wat no_libc instrument_all stats =
+  let source = In_channel.with_open_text input In_channel.input_all in
+  let opts =
+    { (Minic.Driver.options_of_config config) with
+      Minic.Driver.instrument_all }
+  in
+  let prelude =
+    if no_libc then "" else Libc.Source.prelude_of_config config
+  in
+  match Minic.Driver.compile ~opts ~prelude source with
+  | exception Minic.Driver.Compile_error msg ->
+      Printf.eprintf "cagec: %s\n" msg;
+      exit 1
+  | compiled ->
+      if stats then
+        Format.eprintf "sanitizer: %a@." Minic.Stack_sanitizer.pp_stats
+          compiled.co_sanitizer;
+      if emit_wat then
+        print_string (Wasm.Text.to_string compiled.co_module)
+      else begin
+        let out =
+          match output with
+          | Some o -> o
+          | None -> Filename.remove_extension input ^ ".wasm"
+        in
+        Wasm.Binary.write_file out compiled.co_module;
+        Printf.printf "wrote %s (%s)\n" out config.Cage.Config.name
+      end
+
+let cmd =
+  let doc = "compile MiniC to (Cage-hardened) WebAssembly" in
+  Cmd.v
+    (Cmd.info "cagec" ~doc)
+    Term.(
+      const run $ input $ output $ config $ emit_wat $ no_libc
+      $ instrument_all $ stats)
+
+let () = exit (Cmd.eval cmd)

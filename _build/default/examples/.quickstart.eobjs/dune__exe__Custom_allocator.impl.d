@@ -1,0 +1,1 @@
+examples/custom_allocator.ml: Cage Libc Minic Printf Wasm

@@ -1,0 +1,1 @@
+examples/cve_gallery.ml: List Printf Workloads

@@ -1,0 +1,1 @@
+examples/heap_uaf.ml: Arch Cage Format Int64 Libc Printf Wasm

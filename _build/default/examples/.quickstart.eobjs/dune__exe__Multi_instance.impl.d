@@ -1,0 +1,1 @@
+examples/multi_instance.ml: Arch Cage Format Libc Minic Printf Wasm

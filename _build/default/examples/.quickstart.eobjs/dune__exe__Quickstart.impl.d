@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cage Format Libc Minic Printf Wasm

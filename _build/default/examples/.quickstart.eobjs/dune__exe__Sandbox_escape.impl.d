@@ -1,0 +1,1 @@
+examples/sandbox_escape.ml: Arch Cage Format Int64 List Printf

@@ -1,0 +1,107 @@
+(* The §4.1 programming model: "For applications using their own
+   allocator, we expose Cage's memory safety primitives to C, enabling
+   programmers to implement the same security guarantees."
+
+   This example builds a bump/arena allocator in MiniC directly on the
+   __builtin_segment_* intrinsics — no libc malloc involved — and shows
+   it gets the same spatial and temporal protection as the hardened
+   dlmalloc.
+
+     dune exec examples/custom_allocator.exe *)
+
+let arena_source = {|
+  /* A tiny arena allocator on top of the Cage primitives.
+
+     Layout: [16-byte header: bump offset][objects...]
+     Every object is 16-aligned, claimed with segment.new (random tag,
+     zeroed), and released with segment.free on arena reset. The header
+     stays untagged, so adjacent objects never collide with it. */
+
+  long arena_base;     /* untagged base address */
+  long arena_cap;
+
+  void arena_init(long base, long cap) {
+    arena_base = base;
+    arena_cap = cap;
+    long *hdr = (long *)base;
+    hdr[0] = 16;       /* first free offset, after the header */
+  }
+
+  void *arena_alloc(long n) {
+    long *hdr = (long *)arena_base;
+    long need = (n + 15) & ~15;
+    if (hdr[0] + need > arena_cap) { return (void *)0; }
+    long payload = arena_base + hdr[0];
+    hdr[0] += need;
+    /* the Cage primitive: tag + zero + return the tagged pointer */
+    return (void *)__builtin_segment_new(payload, need);
+  }
+
+  void arena_reset_object(void *p, long n) {
+    /* temporal safety for individual objects: retag so stale pointers
+       trap, exactly like free() in the hardened libc */
+    __builtin_segment_free((long)p, (n + 15) & ~15);
+  }
+
+  /* --- a small workload on the arena --- */
+
+  int use_after_reset() {
+    long *obj = (long *)arena_alloc(32);
+    obj[0] = 1234;
+    arena_reset_object(obj, 32);
+    return (int)obj[0];             /* stale pointer */
+  }
+
+  int overflow_into_neighbour() {
+    char *a = (char *)arena_alloc(16);
+    char *b = (char *)arena_alloc(16);
+    b[0] = 55;
+    a[16] = 99;                     /* one past the end of a */
+    return b[0];
+  }
+
+  int well_behaved() {
+    long *v = (long *)arena_alloc(64);
+    for (int i = 0; i < 8; i++) { v[i] = (long)(i * i); }
+    long s = 0;
+    for (int i = 0; i < 8; i++) { s += v[i]; }
+    return (int)s;                  /* 0+1+4+...+49 = 140 */
+  }
+
+  int main() { return 0; }
+|}
+
+let () =
+  print_endline
+    "A custom arena allocator built directly on the Cage C intrinsics\n\
+     (__builtin_segment_new / __builtin_segment_free), paper Sec 4.1.\n";
+  let cfg = Cage.Config.mem_safety in
+  let opts = Minic.Driver.options_of_config cfg in
+  let prelude = Libc.Source.prelude_of_config cfg in
+  let compiled = Minic.Driver.compile ~opts ~prelude arena_source in
+  let run entry =
+    (* fresh instance per scenario; carve the arena out of the heap *)
+    let wasi = Libc.Wasi.create () in
+    let inst =
+      Wasm.Exec.instantiate
+        ~config:(Cage.Config.instance_config cfg)
+        ~imports:(Libc.Wasi.imports wasi) compiled.co_module
+    in
+    let heap_base, _ = Minic.Codegen.heap_layout compiled.co_ir in
+    ignore
+      (Wasm.Exec.invoke inst "arena_init"
+         [ Wasm.Values.I64 heap_base; Wasm.Values.I64 65536L ]);
+    match Wasm.Exec.invoke inst entry [] with
+    | [ Wasm.Values.I32 v ] -> Printf.sprintf "returned %ld" v
+    | _ -> "returned nothing"
+    | exception Wasm.Instance.Trap msg -> "TRAPPED - " ^ msg
+  in
+  Printf.printf "well-behaved code      : %s (expected 140)\n"
+    (run "well_behaved");
+  Printf.printf "use after reset        : %s\n" (run "use_after_reset");
+  Printf.printf "overflow into neighbour: %s\n"
+    (run "overflow_into_neighbour");
+  print_endline
+    "\nThe same guarantees as the hardened libc allocator, from ~20 lines\n\
+     of allocator code: segment.new gives each object its own tag, and\n\
+     segment.free retags on release."

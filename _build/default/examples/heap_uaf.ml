@@ -1,0 +1,86 @@
+(* Temporal heap safety: use-after-free and double-free, caught by the
+   hardened allocator's segment.free retagging (paper §4.2, Fig. 2).
+
+     dune exec examples/heap_uaf.exe *)
+
+let uaf_program = {|
+  struct Message { long id; long body[7]; };
+
+  int main() {
+    /* a "connection" holding a message buffer */
+    struct Message *msg = (struct Message *)malloc(sizeof(struct Message));
+    msg->id = 4242;
+    msg->body[0] = 111;
+
+    /* the connection closes: buffer released */
+    free(msg);
+
+    /* the allocator hands the same memory to another user... */
+    long *fresh = (long *)malloc(sizeof(struct Message));
+    fresh[0] = 999999;   /* attacker-controlled content */
+
+    /* ...and stale code touches the dangling pointer */
+    return (int)msg->id;
+  }
+|}
+
+let double_free_program = {|
+  int main() {
+    char *frame = (char *)malloc(64);
+    free(frame);
+    /* error path frees again: classic allocator corruption primitive */
+    free(frame);
+    return 0;
+  }
+|}
+
+let show title program =
+  Printf.printf "=== %s ===\n" title;
+  (match Libc.Run.run ~cfg:Cage.Config.baseline_wasm64 program with
+  | r ->
+      Printf.printf "  baseline wasm64 : returned %ld (bug invisible)\n"
+        (Libc.Run.ret_i32 r)
+  | exception Wasm.Instance.Trap msg ->
+      Printf.printf "  baseline wasm64 : trapped?! %s\n" msg);
+  (match Libc.Run.run ~cfg:Cage.Config.mem_safety program with
+  | r ->
+      Printf.printf "  Cage-mem-safety : returned %ld (MISSED)\n"
+        (Libc.Run.ret_i32 r)
+  | exception Wasm.Instance.Trap msg ->
+      Printf.printf "  Cage-mem-safety : TRAPPED - %s\n" msg);
+  print_newline ()
+
+let () =
+  print_endline
+    "Temporal heap safety: segment.free retags released memory, so\n\
+     dangling pointers carry a stale tag and the hardware refuses them.\n";
+  show "use-after-free (dangling read sees attacker data)" uaf_program;
+  show "double-free (allocator free-list corruption)" double_free_program;
+  (* peek under the hood: watch the tags move *)
+  let source = {|
+    long probe() {
+      long *p = (long *)malloc(16);
+      p[0] = 1;
+      return (long)p;
+    }
+    int main() { return 0; }
+  |} in
+  let r = Libc.Run.run ~cfg:Cage.Config.mem_safety ~entry:"probe" source in
+  match r.Libc.Run.values with
+  | [ Wasm.Values.I64 tagged ] ->
+      Format.printf
+        "Under the hood: malloc returned %a - note the non-zero tag in \
+         bits 56-59.@."
+        Arch.Ptr.pp tagged;
+      let inst = r.Libc.Run.instance in
+      let addr = Arch.Ptr.address tagged in
+      Format.printf
+        "The allocation's granules carry the matching allocation tag %a;@."
+        Arch.Tag.pp
+        (Wasm.Instance.tag_of_addr inst addr);
+      Format.printf
+        "the metadata header before it stays untagged (%a) - the Fig. 8a \
+         guard.@."
+        Arch.Tag.pp
+        (Wasm.Instance.tag_of_addr inst (Int64.sub addr 16L))
+  | _ -> print_endline "unexpected probe result"

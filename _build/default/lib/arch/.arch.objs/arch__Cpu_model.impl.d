@@ -1,0 +1,1 @@
+lib/arch/cpu_model.ml: Format Insn List String

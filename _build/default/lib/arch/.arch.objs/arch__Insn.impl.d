@@ -1,0 +1,1 @@
+lib/arch/insn.ml: Format List

@@ -1,0 +1,1 @@
+lib/arch/mte.ml: Format Int64 Ptr Tag Tag_memory

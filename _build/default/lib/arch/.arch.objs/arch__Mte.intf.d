@@ -1,0 +1,1 @@
+lib/arch/mte.mli: Format Ptr Tag Tag_memory

@@ -1,0 +1,1 @@
+lib/arch/pac.ml: Int64 Ptr

@@ -1,0 +1,1 @@
+lib/arch/ptr.ml: Format Int64 List Tag

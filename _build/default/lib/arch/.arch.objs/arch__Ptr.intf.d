@@ -1,0 +1,1 @@
+lib/arch/ptr.mli: Format Tag

@@ -1,0 +1,1 @@
+lib/arch/tag.ml: Format Fun Int List

@@ -1,0 +1,1 @@
+lib/arch/tag_memory.ml: Bytes Char Int64 Tag

@@ -1,0 +1,1 @@
+lib/arch/tag_memory.mli: Tag

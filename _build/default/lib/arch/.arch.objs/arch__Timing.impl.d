@@ -1,0 +1,1 @@
+lib/arch/timing.ml: Array Cpu_model Float Fun Hashtbl Insn List Mte Option

@@ -1,0 +1,1 @@
+lib/arch/timing.mli: Cpu_model Insn Mte

@@ -1,0 +1,87 @@
+type mode = Disabled | Sync | Async | Asymmetric
+
+let mode_to_string = function
+  | Disabled -> "disabled"
+  | Sync -> "sync"
+  | Async -> "async"
+  | Asymmetric -> "asymm"
+
+let pp_mode ppf m = Format.pp_print_string ppf (mode_to_string m)
+
+type access = Load | Store
+
+type fault = {
+  fault_addr : int64;
+  fault_len : int64;
+  ptr_tag : Tag.t;
+  mem_tag : Tag.t option;
+  fault_access : access;
+}
+
+let pp_fault ppf f =
+  Format.fprintf ppf "tag fault: %s of %Ld byte(s) at 0x%Lx with %a, memory %a"
+    (match f.fault_access with Load -> "load" | Store -> "store")
+    f.fault_len f.fault_addr Tag.pp f.ptr_tag
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "<mixed/unmapped>")
+       Tag.pp)
+    f.mem_tag
+
+type t = {
+  mutable mode : mode;
+  mutable tags : Tag_memory.t;
+  mutable pending : fault option;
+  mutable checks : int;
+}
+
+let create ?(mode = Sync) tags = { mode; tags; pending = None; checks = 0 }
+let mode t = t.mode
+let set_mode t m = t.mode <- m
+let tag_memory t = t.tags
+let set_tag_memory t tags = t.tags <- tags
+
+type verdict = Allowed | Faulted of fault | Deferred of fault
+
+let check t access ~ptr ~len =
+  match t.mode with
+  | Disabled -> Allowed
+  | _ ->
+      t.checks <- t.checks + 1;
+      let addr = Ptr.address ptr in
+      let ptag = Ptr.tag ptr in
+      if Tag_memory.matches t.tags ~addr ~len ptag then Allowed
+      else begin
+        let mem_tag =
+          let len = Int64.max len 1L in
+          if Tag_memory.in_bounds t.tags ~addr ~len then
+            Tag_memory.region_tag t.tags ~addr ~len
+          else None
+        in
+        let fault =
+          { fault_addr = addr; fault_len = len; ptr_tag = ptag; mem_tag;
+            fault_access = access }
+        in
+        let synchronous =
+          match (t.mode, access) with
+          | Sync, _ -> true
+          | Asymmetric, Store -> true
+          | Asymmetric, Load -> false
+          | Async, _ -> false
+          | Disabled, _ -> assert false
+        in
+        if synchronous then Faulted fault
+        else begin
+          (* TFSR is sticky: keep the first fault. *)
+          if t.pending = None then t.pending <- Some fault;
+          Deferred fault
+        end
+      end
+
+let pending_fault t = t.pending
+
+let context_switch t =
+  let f = t.pending in
+  t.pending <- None;
+  f
+
+let checks_performed t = t.checks

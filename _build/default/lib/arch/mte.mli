@@ -1,0 +1,64 @@
+(** The MTE checking engine.
+
+    Models the architected tag-check behaviour of loads and stores under
+    the four MTE modes (paper §2.3): disabled, synchronous, asynchronous
+    and asymmetric. Synchronous checks fault before the access takes
+    effect; asynchronous checks merely accumulate into a TFSR-like fault
+    flag that the kernel inspects at the next context switch, so the
+    faulting access {e does} take effect. *)
+
+type mode =
+  | Disabled      (** No tag checks. *)
+  | Sync          (** Both reads and writes trap immediately. *)
+  | Async         (** Mismatches set a cumulative flag, access proceeds. *)
+  | Asymmetric    (** Reads async, writes sync. *)
+
+val mode_to_string : mode -> string
+val pp_mode : Format.formatter -> mode -> unit
+
+type access = Load | Store
+
+type fault = {
+  fault_addr : int64;      (** Faulting (untagged) address. *)
+  fault_len : int64;
+  ptr_tag : Tag.t;         (** Logical tag carried by the pointer. *)
+  mem_tag : Tag.t option;  (** Allocation tag found (None if region spans
+                               differing tags or is out of range). *)
+  fault_access : access;
+}
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type t
+(** An MTE checker bound to one tag space, holding the mode and the
+    pending-asynchronous-fault state. *)
+
+val create : ?mode:mode -> Tag_memory.t -> t
+(** Checker over the given tag space; [mode] defaults to [Sync]. *)
+
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+val tag_memory : t -> Tag_memory.t
+val set_tag_memory : t -> Tag_memory.t -> unit
+(** Rebind after a [Tag_memory.grow]. *)
+
+type verdict =
+  | Allowed                  (** Access proceeds; no fault recorded. *)
+  | Faulted of fault         (** Synchronous fault: access suppressed. *)
+  | Deferred of fault        (** Asynchronous fault recorded: access
+                                 proceeds, flag set. *)
+
+val check : t -> access -> ptr:Ptr.t -> len:int64 -> verdict
+(** Check one access made through [ptr] (whose bits 56-59 carry the
+    logical tag) covering [len] bytes at [Ptr.address ptr]. Out-of-range
+    accesses are mismatches (the granule has no matching tag). *)
+
+val pending_fault : t -> fault option
+(** The recorded asynchronous fault, if any (TFSR set). *)
+
+val context_switch : t -> fault option
+(** What the kernel does on context switch: returns and clears the
+    pending asynchronous fault. *)
+
+val checks_performed : t -> int
+(** Number of tag checks performed so far (for cost accounting). *)

@@ -1,0 +1,88 @@
+let granule_bytes = 16
+
+type t = {
+  mutable tags : Bytes.t;  (* one byte per granule; low nibble is the tag *)
+  mutable size : int;
+}
+
+let granules_for size = (size + granule_bytes - 1) / granule_bytes
+
+let create ~size_bytes =
+  if size_bytes < 0 then invalid_arg "Tag_memory.create: negative size";
+  { tags = Bytes.make (granules_for size_bytes) '\000'; size = size_bytes }
+
+let size_bytes t = t.size
+let tag_storage_bytes t = (granules_for t.size + 1) / 2
+let is_aligned addr = Int64.rem addr 16L = 0L
+
+let in_bounds t ~addr ~len =
+  addr >= 0L && len >= 0L
+  && Int64.add addr len >= addr (* no overflow *)
+  && Int64.add addr len <= Int64.of_int t.size
+
+let granule_of_addr addr = Int64.to_int (Int64.div addr 16L)
+
+let get t addr =
+  if not (in_bounds t ~addr ~len:1L) then
+    invalid_arg "Tag_memory.get: address out of bounds";
+  Tag.of_int (Char.code (Bytes.get t.tags (granule_of_addr addr)))
+
+let granule_range ~addr ~len =
+  (* Granules overlapping [addr, addr+len), with len=0 meaning the single
+     granule at addr. *)
+  let first = granule_of_addr addr in
+  let last =
+    if len <= 0L then first
+    else granule_of_addr (Int64.sub (Int64.add addr len) 1L)
+  in
+  (first, last)
+
+let region_tag t ~addr ~len =
+  if not (in_bounds t ~addr ~len:(Int64.max len 1L)) then
+    invalid_arg "Tag_memory.region_tag: region out of bounds";
+  let first, last = granule_range ~addr ~len in
+  let tag0 = Char.code (Bytes.get t.tags first) in
+  let rec all_same g =
+    if g > last then Some (Tag.of_int tag0)
+    else if Char.code (Bytes.get t.tags g) <> tag0 then None
+    else all_same (g + 1)
+  in
+  all_same first
+
+let set_region t ~addr ~len tag =
+  if not (is_aligned addr) then Error "segment address not 16-byte aligned"
+  else if len < 0L then Error "negative segment length"
+  else if Int64.rem len 16L <> 0L then
+    Error "segment length not a multiple of 16"
+  else if not (in_bounds t ~addr ~len) then
+    Error "segment out of linear memory bounds"
+  else begin
+    let first = granule_of_addr addr in
+    let count = Int64.to_int (Int64.div len 16L) in
+    Bytes.fill t.tags first count (Char.chr (Tag.to_int tag));
+    Ok ()
+  end
+
+let matches t ~addr ~len tag =
+  let len = Int64.max len 1L in
+  if not (in_bounds t ~addr ~len) then false
+  else begin
+    let first, last = granule_range ~addr ~len in
+    let want = Tag.to_int tag in
+    let rec go g =
+      if g > last then true
+      else if Char.code (Bytes.get t.tags g) <> want then false
+      else go (g + 1)
+    in
+    go first
+  end
+
+let grow t ~new_size_bytes =
+  if new_size_bytes < t.size then
+    invalid_arg "Tag_memory.grow: cannot shrink";
+  let tags = Bytes.make (granules_for new_size_bytes) '\000' in
+  Bytes.blit t.tags 0 tags 0 (Bytes.length t.tags);
+  { tags; size = new_size_bytes }
+
+let iteri t ~f =
+  Bytes.iteri (fun i c -> f i (Tag.of_int (Char.code c))) t.tags

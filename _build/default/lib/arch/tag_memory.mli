@@ -1,0 +1,58 @@
+(** The tag physical-address space.
+
+    MTE stores one 4-bit allocation tag per 16-byte granule of physical
+    memory, in a dedicated address space invisible to the OS (and hence
+    excluded from rss accounting — see paper §7.3). This module models
+    that space for a contiguous region of simulated memory. *)
+
+type t
+
+val granule_bytes : int
+(** 16: the MTE tagging granularity. *)
+
+val create : size_bytes:int -> t
+(** A tag space covering [size_bytes] of memory (rounded up to a whole
+    number of granules), with every granule initially tagged
+    {!Tag.zero}. *)
+
+val size_bytes : t -> int
+(** The covered memory size in bytes. *)
+
+val tag_storage_bytes : t -> int
+(** Bytes of tag storage backing this space: 4 bits per 16 bytes, i.e.
+    [size_bytes / 32] — the 3.125 % overhead of §7.3. *)
+
+val is_aligned : int64 -> bool
+(** Whether an address is 16-byte aligned, as required of all segment
+    operations (paper §5.2). *)
+
+val in_bounds : t -> addr:int64 -> len:int64 -> bool
+(** Whether [\[addr, addr+len)] lies inside the covered region. *)
+
+val get : t -> int64 -> Tag.t
+(** Tag of the granule containing the given address.
+    @raise Invalid_argument if out of bounds. *)
+
+val region_tag : t -> addr:int64 -> len:int64 -> Tag.t option
+(** [region_tag t ~addr ~len] is [Some tag] if every byte of the region
+    has allocation tag [tag] (the paper's [s_tag(i, addr, len)] partial
+    function), [None] if tags differ. [len = 0] checks the granule at
+    [addr]. @raise Invalid_argument if out of bounds. *)
+
+val set_region : t -> addr:int64 -> len:int64 -> Tag.t -> (unit, string) result
+(** Retag the region ([s with tag(i, addr, len) = t]). Fails if [addr]
+    is not 16-byte aligned, [len] is negative or not a multiple of 16,
+    or the region is out of bounds. *)
+
+val matches : t -> addr:int64 -> len:int64 -> Tag.t -> bool
+(** Whether every granule overlapping [\[addr, addr+len)] carries the
+    given tag — the access-check predicate. Out-of-bounds regions never
+    match. [len <= 0] is treated as a 1-byte access. *)
+
+val grow : t -> new_size_bytes:int -> t
+(** A tag space for an enlarged memory, preserving existing tags and
+    zero-tagging the fresh granules (used on [memory.grow]). *)
+
+val iteri : t -> f:(int -> Tag.t -> unit) -> unit
+(** Iterate over granules in address order; the [int] is the granule
+    index. *)

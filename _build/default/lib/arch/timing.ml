@@ -1,0 +1,110 @@
+type stats = { cycles : float; instructions : int }
+
+let reg_count = 64
+
+let perf (cpu : Cpu_model.t) kind = cpu.Cpu_model.perf kind
+
+(* Sequential issue model for in-order cores: each instruction issues no
+   earlier than the previous one, when its operands are ready and its
+   execution resource is free. *)
+let run_inorder (cpu : Cpu_model.t) insns =
+  let regs = Array.make reg_count 0.0 in
+  let ports = Hashtbl.create 16 in
+  let issue_clock = ref 0.0 in
+  let n = ref 0 in
+  List.iter
+    (fun { Insn.kind; dst; srcs } ->
+      incr n;
+      let { Cpu_model.tp; lat } = perf cpu kind in
+      let deps =
+        List.fold_left (fun acc r -> Float.max acc regs.(r mod reg_count)) 0.0 srcs
+      in
+      let port = Option.value (Hashtbl.find_opt ports kind) ~default:0.0 in
+      let t = Float.max (Float.max deps port) !issue_clock in
+      Hashtbl.replace ports kind (t +. (1.0 /. tp));
+      issue_clock := t +. (1.0 /. cpu.issue_width);
+      Option.iter (fun d -> regs.(d mod reg_count) <- t +. lat) dst)
+    insns;
+  let finish =
+    Array.fold_left Float.max !issue_clock regs
+    |> Fun.flip Float.max
+         (Hashtbl.fold (fun _ v acc -> Float.max v acc) ports 0.0)
+  in
+  { cycles = finish; instructions = !n }
+
+(* Bound-based model for out-of-order cores: the stream takes the max of
+   the issue-width bound, each execution resource's throughput bound and
+   the dependency critical path. *)
+let run_ooo (cpu : Cpu_model.t) insns =
+  let regs = Array.make reg_count 0.0 in
+  let kind_counts = Hashtbl.create 16 in
+  let n = ref 0 in
+  let critical = ref 0.0 in
+  List.iter
+    (fun { Insn.kind; dst; srcs } ->
+      incr n;
+      let { Cpu_model.lat; _ } = perf cpu kind in
+      Hashtbl.replace kind_counts kind
+        (1 + Option.value (Hashtbl.find_opt kind_counts kind) ~default:0);
+      let deps =
+        List.fold_left (fun acc r -> Float.max acc regs.(r mod reg_count)) 0.0 srcs
+      in
+      let finish = deps +. lat in
+      critical := Float.max !critical finish;
+      Option.iter (fun d -> regs.(d mod reg_count) <- finish) dst)
+    insns;
+  let width_bound = float_of_int !n /. cpu.issue_width in
+  let tp_bound =
+    Hashtbl.fold
+      (fun kind count acc ->
+        Float.max acc (float_of_int count /. (perf cpu kind).tp))
+      kind_counts 0.0
+  in
+  { cycles = Float.max (Float.max width_bound tp_bound) !critical;
+    instructions = !n }
+
+let run cpu insns =
+  if cpu.Cpu_model.inorder then run_inorder cpu insns else run_ooo cpu insns
+
+let sample_size = 4096
+
+let measured_throughput cpu kind =
+  let { cycles; instructions } = run cpu (Insn.independent kind sample_size) in
+  float_of_int instructions /. cycles
+
+let measured_latency cpu kind =
+  let { cycles; instructions } = run cpu (Insn.dependent kind sample_size) in
+  cycles /. float_of_int instructions
+
+let seconds (cpu : Cpu_model.t) cycles = cycles /. (cpu.freq_ghz *. 1e9)
+
+let check_penalty (cpu : Cpu_model.t) = function
+  | Mte.Disabled -> 0.0
+  | Mte.Sync | Mte.Asymmetric -> cpu.mte_sync_store_penalty
+  | Mte.Async -> cpu.mte_async_store_penalty
+
+let stream_seconds cpu ~mode ?(checked_bytes = 0.0) ?(unchecked_bytes = 0.0)
+    ?(tag_granules = 0.0) ~insn_mix () =
+  let total_insns = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 insn_mix in
+  let pipeline =
+    List.fold_left
+      (fun acc (kind, count) -> Float.max acc (count /. (perf cpu kind).tp))
+      (total_insns /. cpu.Cpu_model.issue_width)
+      insn_mix
+  in
+  let traffic =
+    (checked_bytes *. (1.0 +. check_penalty cpu mode))
+    +. unchecked_bytes
+    +. (tag_granules *. 0.5)
+  in
+  let bandwidth = traffic /. cpu.stream_bw in
+  seconds cpu (Float.max pipeline bandwidth)
+
+let memset_seconds cpu ~mode ~bytes =
+  (* A memset loop issues one 16-byte store plus loop overhead per
+     iteration; the stores go through MTE checks. *)
+  let stores = bytes /. 16.0 in
+  stream_seconds cpu ~mode ~checked_bytes:bytes
+    ~insn_mix:[ (Insn.Store, stores); (Insn.Alu, stores /. 4.0);
+                (Insn.Branch, stores /. 4.0) ]
+    ()

@@ -1,0 +1,55 @@
+(** Cycle-accounting simulator.
+
+    Prices instruction streams on a {!Cpu_model.t}. Two regimes:
+
+    - {e short streams} ({!run}): a scoreboard model tracking register
+      dependencies, per-kind issue throughput and overall issue width —
+      enough to recover each instruction's throughput (independent
+      stream) and latency (dependent chain), reproducing the paper's
+      Table 1 microbenchmarks.
+    - {e long memory streams} ({!stream_seconds}): a steady-state model
+      combining pipeline bounds with a streaming-bandwidth bound and the
+      MTE tag-check penalty, reproducing the memset experiments of
+      Fig. 4 and Fig. 16. *)
+
+type stats = {
+  cycles : float;
+  instructions : int;
+}
+
+val run : Cpu_model.t -> Insn.t list -> stats
+(** Simulate a short instruction stream. In-order cores issue strictly
+    in program order; out-of-order cores are limited only by issue
+    width, per-kind throughput and the dependency critical path. *)
+
+val measured_throughput : Cpu_model.t -> Insn.kind -> float
+(** Instructions/cycle sustained by an independent stream of the kind —
+    the paper's Table 1 "Tp" methodology. *)
+
+val measured_latency : Cpu_model.t -> Insn.kind -> float
+(** Cycles/instruction of a dependent chain — Table 1 "Lat". *)
+
+val seconds : Cpu_model.t -> float -> float
+(** Convert cycles to seconds at the core's clock. *)
+
+(** {1 Long memory streams} *)
+
+val stream_seconds :
+  Cpu_model.t ->
+  mode:Mte.mode ->
+  ?checked_bytes:float ->
+  ?unchecked_bytes:float ->
+  ?tag_granules:float ->
+  insn_mix:(Insn.kind * float) list ->
+  unit ->
+  float
+(** Steady-state time of a long straight-line memory loop.
+    [checked_bytes] flow through MTE tag checks (and pay the mode's
+    penalty), [unchecked_bytes] are written by tag-setting stores that
+    skip the check, and [tag_granules] granules of allocation-tag
+    traffic hit the tag PA space (4 bits each). [insn_mix] lists
+    instruction kinds and counts for the pipeline bound. *)
+
+val memset_seconds : Cpu_model.t -> mode:Mte.mode -> bytes:float -> float
+(** Time to [memset] a cold region under the given MTE mode — the
+    paper's Fig. 4 experiment. *)

@@ -1,0 +1,1 @@
+lib/cage/config.ml: Arch Format List Wasm

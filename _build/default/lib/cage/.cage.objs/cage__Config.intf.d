@@ -1,0 +1,1 @@
+lib/cage/config.mli: Arch Format Wasm

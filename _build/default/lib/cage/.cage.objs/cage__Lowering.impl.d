@@ -1,0 +1,1 @@
+lib/cage/lowering.ml: Arch Config Cpu_model Float Insn List Timing Wasm

@@ -1,0 +1,1 @@
+lib/cage/lowering.mli: Arch Config Wasm

@@ -1,0 +1,1 @@
+lib/cage/process.ml: Arch Config Int64 List Random Sandbox Wasm

@@ -1,0 +1,1 @@
+lib/cage/process.mli: Config Wasm

@@ -1,0 +1,1 @@
+lib/cage/sandbox.ml: Arch Bytes Config Fun Int64 List Mte Ptr Tag Tag_memory

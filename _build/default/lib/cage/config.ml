@@ -1,0 +1,152 @@
+(** Runtime configurations — the benchmark variants of paper Table 3.
+
+    A configuration fixes the pointer width, how the sandbox (external
+    memory safety) is enforced, whether the internal memory-safety
+    extension is active, whether function pointers are signed, and how
+    the 4 MTE tag bits are split between the two uses (paper Fig. 13):
+
+    - internal only: all 4 bits for allocation tags, tag 0 reserved for
+      guard slots/untagged segments → 15 usable tags, collision
+      probability 1/15;
+    - internal + MTE sandboxing: bit 56 distinguishes runtime (0) from
+      guest (1) memory, bits 57-59 carry allocation tags → 7 usable
+      guest tags (the all-zero internal pattern is the guest's
+      "untagged"), collision probability 1/7. *)
+
+type sandbox =
+  | Guard_pages
+      (** virtual-memory trick; only sound for 32-bit pointers *)
+  | Software_bounds  (** explicit cmp+branch before every access *)
+  | Mte_sandbox      (** paper §6.4: per-instance tag on the heap base *)
+
+let sandbox_to_string = function
+  | Guard_pages -> "guard-pages"
+  | Software_bounds -> "software-bounds"
+  | Mte_sandbox -> "mte"
+
+type t = {
+  name : string;
+  ptr64 : bool;              (** memory64? *)
+  sandbox : sandbox;
+  internal_safety : bool;    (** segments + tag checks (Eqs. 1-10) *)
+  ptr_auth : bool;           (** sign/authenticate function pointers *)
+  mte_mode : Arch.Mte.mode;  (** how violations surface *)
+}
+
+(** The six Table 3 variants, in the paper's order. *)
+
+let baseline_wasm32 = {
+  name = "baseline wasm32";
+  ptr64 = false;
+  sandbox = Guard_pages;
+  internal_safety = false;
+  ptr_auth = false;
+  mte_mode = Arch.Mte.Disabled;
+}
+
+let baseline_wasm64 = {
+  name = "baseline wasm64";
+  ptr64 = true;
+  sandbox = Software_bounds;
+  internal_safety = false;
+  ptr_auth = false;
+  mte_mode = Arch.Mte.Disabled;
+}
+
+let mem_safety = {
+  name = "Cage-mem-safety";
+  ptr64 = true;
+  sandbox = Software_bounds;
+  internal_safety = true;
+  ptr_auth = false;
+  mte_mode = Arch.Mte.Sync;
+}
+
+let ptr_auth = {
+  name = "Cage-ptr-auth";
+  ptr64 = true;
+  sandbox = Software_bounds;
+  internal_safety = false;
+  ptr_auth = true;
+  mte_mode = Arch.Mte.Disabled;
+}
+
+let sandboxing = {
+  name = "Cage-sandboxing";
+  ptr64 = true;
+  sandbox = Mte_sandbox;
+  internal_safety = false;
+  ptr_auth = false;
+  mte_mode = Arch.Mte.Sync;
+}
+
+let full = {
+  name = "CAGE";
+  ptr64 = true;
+  sandbox = Mte_sandbox;
+  internal_safety = true;
+  ptr_auth = true;
+  mte_mode = Arch.Mte.Sync;
+}
+
+(** All Table 3 rows, in order. *)
+let table3 =
+  [ baseline_wasm32; baseline_wasm64; mem_safety; ptr_auth; sandboxing; full ]
+
+(** Whether internal safety and MTE sandboxing share the tag bits
+    (Fig. 13b). *)
+let combined t = t.internal_safety && t.sandbox = Mte_sandbox
+
+(** Number of distinct allocation tags the guest allocator can draw
+    from: 15 standalone, 7 when combined with sandboxing (§7.4). *)
+let usable_tags t = if combined t then 7 else 15
+
+(** The tag-exclusion set the runtime installs via prctl (§6.4): tag 0
+    is always reserved (guard slots, untagged segments, runtime memory);
+    in combined mode every tag with bit 56 clear is reserved too, plus
+    the guest's own "untagged" pattern 0b0001. *)
+let exclusion t =
+  if combined t then
+    Arch.Tag.Exclude.of_list
+      (List.filter
+         (fun tag ->
+           let v = Arch.Tag.to_int tag in
+           v land 1 = 0 (* runtime half: bit 56 clear *) || v = 1)
+         Arch.Tag.all)
+  else Arch.Tag.Exclude.of_list [ Arch.Tag.zero ]
+
+(** Pointer-index mask applied before effective-address computation
+    (Fig. 13): full tag field when sandbox-only, bit 56 when combined.
+    [None] when MTE sandboxing is off (no mask needed). *)
+let index_mask t =
+  match t.sandbox with
+  | Mte_sandbox ->
+      Some (if combined t then Arch.Ptr.mask_combined
+            else Arch.Ptr.mask_external_only)
+  | _ -> None
+
+(** Maximum number of concurrently isolated instances per process under
+    MTE sandboxing: 15 guest tags (tag 0 is the runtime's); a single
+    guest bit in combined mode isolates one instance (§6.4). *)
+let max_sandboxes t =
+  match t.sandbox with
+  | Mte_sandbox -> if combined t then 1 else 15
+  | _ -> max_int
+
+(** Interpreter configuration implementing this variant. *)
+let instance_config ?meter ?(seed = 0) t =
+  {
+    Wasm.Instance.default_config with
+    enforce_tags = t.internal_safety;
+    mte_mode = t.mte_mode;
+    exclude = exclusion t;
+    seed;
+    meter;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s (ptr%d, sandbox=%s%s%s)" t.name
+    (if t.ptr64 then 64 else 32)
+    (sandbox_to_string t.sandbox)
+    (if t.internal_safety then ", mem-safety" else "")
+    (if t.ptr_auth then ", ptr-auth" else "")

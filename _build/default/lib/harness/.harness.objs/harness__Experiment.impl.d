@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Arch Cage Format Int64 Libc List Minic Option Polybench Printf Random Report Stackbench String Wasm Workloads

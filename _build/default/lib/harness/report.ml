@@ -1,0 +1,53 @@
+(** Formatting helpers for the experiment reports: aligned tables and
+    paper-vs-measured comparison lines. *)
+
+let hr ppf = Format.fprintf ppf "%s@." (String.make 78 '-')
+
+let title ppf fmt =
+  Format.kfprintf
+    (fun ppf ->
+      Format.fprintf ppf "@.";
+      hr ppf)
+    ppf fmt
+
+(** One "paper said X, we measured Y" line. *)
+let compare_line ppf ~label ~paper ~measured ~unit_ =
+  Format.fprintf ppf "  %-38s paper: %8s   measured: %8s %s@." label paper
+    measured unit_
+
+let pct v = Printf.sprintf "%+.1f%%" v
+
+let seconds v =
+  if v < 1e-3 then Printf.sprintf "%.1fus" (v *. 1e6)
+  else if v < 1.0 then Printf.sprintf "%.2fms" (v *. 1e3)
+  else Printf.sprintf "%.3fs" v
+
+(** Render a table: header cells then rows, auto-aligned. *)
+let table ppf ~header rows =
+  let widths =
+    List.fold_left
+      (fun ws row ->
+        List.map2 (fun w cell -> max w (String.length cell)) ws row)
+      (List.map String.length header)
+      rows
+  in
+  let render_row row =
+    String.concat "  "
+      (List.map2 (fun w cell -> Printf.sprintf "%-*s" w cell) widths row)
+  in
+  Format.fprintf ppf "  %s@." (render_row header);
+  Format.fprintf ppf "  %s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Format.fprintf ppf "  %s@." (render_row row)) rows
+
+(** Mean and sample standard deviation. *)
+let mean_std = function
+  | [] -> (0.0, 0.0)
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+        /. Float.max 1.0 (n -. 1.0)
+      in
+      (mean, sqrt var)

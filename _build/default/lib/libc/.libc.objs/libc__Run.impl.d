@@ -1,0 +1,1 @@
+lib/libc/run.ml: Cage Int32 Minic Source Wasi Wasm

@@ -1,0 +1,1 @@
+lib/libc/source.ml: Cage

@@ -1,0 +1,1 @@
+lib/libc/wasi.ml: Arch Buffer Char Int32 Int64 Printf Wasm

@@ -1,0 +1,233 @@
+(** The MiniC libc — the analogue of the paper's modified wasi-libc
+    (§6.2).
+
+    Two allocator builds exist: {!malloc_hardened} creates a memory
+    segment per allocation (Fig. 8a: a 16-byte untagged metadata header
+    leads every chunk, so adjacent allocations can never share a tag
+    with their neighbour across the header), frees with [segment.free]
+    (catching use-after-free and double-free), and returns tagged
+    pointers. {!malloc_plain} is the same allocator without segments,
+    used by the baseline configurations.
+
+    Everything here is MiniC source compiled by our own toolchain into
+    the guest — the allocator runs {e inside} the sandbox, as wasi-libc
+    does. *)
+
+(* Shared declarations: the backend patches __heap_base/__heap_end. *)
+let heap_globals = {|
+long __heap_base = 0;
+long __heap_end = 0;
+long __brk = 0;
+long __free_list = 0;
+|}
+
+(* memcpy & friends in terms of the bulk-memory builtins. *)
+let string_funcs = {|
+void *memset(void *dst, int c, unsigned long n) {
+  __builtin_memset((long)dst, c, (long)n);
+  return dst;
+}
+
+void *memcpy(void *dst, void *src, unsigned long n) {
+  __builtin_memcpy((long)dst, (long)src, (long)n);
+  return dst;
+}
+
+int memcmp(char *a, char *b, unsigned long n) {
+  unsigned long i = 0;
+  while (i < n) {
+    if (a[i] != b[i]) { return (int)a[i] - (int)b[i]; }
+    i = i + 1;
+  }
+  return 0;
+}
+
+unsigned long strlen(char *s) {
+  unsigned long n = 0;
+  while (s[n] != 0) { n = n + 1; }
+  return n;
+}
+
+/* The classic unsafe strcpy: no bounds, exactly what Table 2's
+   out-of-bounds CVEs exploit. */
+char *strcpy(char *dst, char *src) {
+  unsigned long i = 0;
+  while (src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = 0;
+  return dst;
+}
+
+char *strncpy(char *dst, char *src, unsigned long n) {
+  unsigned long i = 0;
+  while (i < n && src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  while (i < n) { dst[i] = 0; i = i + 1; }
+  return dst;
+}
+
+int strcmp(char *a, char *b) {
+  unsigned long i = 0;
+  while (a[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  return (int)a[i] - (int)b[i];
+}
+|}
+
+(* Chunk layout (both variants):
+     [-16] long size        (payload bytes, multiple of 16)
+     [ -8] long next        (free-list link when free)
+     [  0] payload
+   The 16-byte header is never tagged: it is the allocator-metadata
+   guard of Fig. 8a. *)
+let malloc_core = {|
+long __chunk_init() {
+  if (__brk == 0) { __brk = __heap_base; }
+  return __brk;
+}
+
+long __chunk_carve(long need) {
+  /* first-fit over the free list */
+  long prev = 0;
+  long cur = __free_list;
+  while (cur != 0) {
+    long *hdr = (long *)(cur - 16);
+    long sz = hdr[0];
+    if (sz >= need) {
+      long nxt = hdr[1];
+      if (prev == 0) { __free_list = nxt; }
+      else {
+        long *ph = (long *)(prev - 16);
+        ph[1] = nxt;
+      }
+      /* split when the remainder can hold a header + 16 bytes */
+      if (sz - need >= 32) {
+        long rest = cur + need + 16;
+        long *rh = (long *)(rest - 16);
+        rh[0] = sz - need - 16;
+        rh[1] = __free_list;
+        __free_list = rest;
+        hdr[0] = need;
+      }
+      return cur;
+    }
+    prev = cur;
+    cur = hdr[1];
+  }
+  /* extend the wilderness */
+  long top = __chunk_init();
+  long payload = top + 16;
+  if (payload + need > __heap_end) { return 0; }
+  __brk = payload + need;
+  long *hdr = (long *)top;
+  hdr[0] = need;
+  hdr[1] = 0;
+  return payload;
+}
+|}
+
+let malloc_hardened = malloc_core ^ {|
+void *malloc(unsigned long n) {
+  if (n == 0) { n = 1; }
+  long need = ((long)n + 15) & ~15;
+  long payload = __chunk_carve(need);
+  if (payload == 0) { return (void *)0; }
+  /* create the segment: draws a random tag, tags the payload, zeroes
+     it, and returns the tagged pointer (paper, heap safety) */
+  return (void *)__builtin_segment_new(payload, need);
+}
+
+void free(void *p) {
+  if (p == 0) { return; }
+  long tagged = (long)p;
+  long addr = tagged & 0xffffffffffff;
+  long *hdr = (long *)(addr - 16);
+  long sz = hdr[0];
+  /* retags the segment; traps on double-free or a forged pointer */
+  __builtin_segment_free(tagged, sz);
+  hdr[1] = __free_list;
+  __free_list = addr;
+}
+
+void *realloc(void *p, unsigned long n) {
+  if (p == 0) { return malloc(n); }
+  long addr = (long)p & 0xffffffffffff;
+  long *hdr = (long *)(addr - 16);
+  long old = hdr[0];
+  void *q = malloc(n);
+  if (q == 0) { return (void *)0; }
+  long copy = old;
+  if ((long)n < copy) { copy = (long)n; }
+  __builtin_memcpy((long)q, (long)p, copy);
+  free(p);
+  return q;
+}
+
+void *calloc(unsigned long count, unsigned long size) {
+  /* segment.new already zeroes the allocation */
+  return malloc(count * size);
+}
+|}
+
+let malloc_plain = malloc_core ^ {|
+void *malloc(unsigned long n) {
+  if (n == 0) { n = 1; }
+  long need = ((long)n + 15) & ~15;
+  long payload = __chunk_carve(need);
+  if (payload == 0) { return (void *)0; }
+  return (void *)payload;
+}
+
+void free(void *p) {
+  if (p == 0) { return; }
+  long addr = (long)p;
+  long *hdr = (long *)(addr - 16);
+  hdr[1] = __free_list;
+  __free_list = addr;
+}
+
+void *realloc(void *p, unsigned long n) {
+  if (p == 0) { return malloc(n); }
+  long addr = (long)p;
+  long *hdr = (long *)(addr - 16);
+  long old = hdr[0];
+  void *q = malloc(n);
+  if (q == 0) { return (void *)0; }
+  long copy = old;
+  if ((long)n < copy) { copy = (long)n; }
+  __builtin_memcpy((long)q, (long)p, copy);
+  free(p);
+  return q;
+}
+
+void *calloc(unsigned long count, unsigned long size) {
+  void *p = malloc(count * size);
+  if (p != 0) { __builtin_memset((long)p, 0, (long)(count * size)); }
+  return p;
+}
+|}
+
+(* Host I/O declarations (resolved by Libc.Wasi). *)
+let host_decls = {|
+extern void print_i64(long v);
+extern void print_f64(double v);
+extern void print_str(char *s);
+extern void print_char(int c);
+extern void proc_exit(int code);
+extern long clock_ns();
+extern long host_rand();
+|}
+
+(** The libc prelude for a given configuration. [hardened] selects the
+    segment-aware allocator (Cage configurations); the plain allocator
+    serves the baselines. *)
+let prelude ~hardened =
+  heap_globals ^ host_decls ^ string_funcs
+  ^ (if hardened then malloc_hardened else malloc_plain)
+
+(** Prelude matching a Table 3 runtime configuration. *)
+let prelude_of_config (cfg : Cage.Config.t) =
+  prelude ~hardened:(cfg.internal_safety && cfg.ptr64)

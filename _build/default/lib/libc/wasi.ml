@@ -1,0 +1,95 @@
+(** Host-side system interface — the runtime half of the libc.
+
+    Provides the [env.*] imports MiniC programs declare via
+    {!Source.host_decls}: console output (captured in a buffer so tests
+    can assert on it), a deterministic monotonic clock and a
+    deterministic PRNG. *)
+
+exception Proc_exit of int
+
+type t = {
+  out : Buffer.t;
+  mutable clock : int64;
+  mutable rand_state : int64;
+}
+
+let create () = { out = Buffer.create 256; clock = 0L; rand_state = 0x9e3779b9L }
+
+let output t = Buffer.contents t.out
+let clear t = Buffer.clear t.out
+
+(* Read a NUL-terminated string out of the instance memory; guest
+   pointers may carry MTE tags in the upper bits. *)
+let read_cstr (inst : Wasm.Instance.t) (p : int64) =
+  let mem = Wasm.Instance.memory inst in
+  let addr = Arch.Ptr.address p in
+  let buf = Buffer.create 32 in
+  let rec go a =
+    let c = Wasm.Memory.load_byte mem a in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr c);
+      go (Int64.add a 1L)
+    end
+  in
+  (try go addr with Wasm.Memory.Out_of_bounds _ -> ());
+  Buffer.contents buf
+
+let ptr_arg (inst : Wasm.Instance.t) (v : Wasm.Values.t) =
+  ignore inst;
+  match v with
+  | Wasm.Values.I64 p -> p
+  | Wasm.Values.I32 p -> Int64.logand (Int64.of_int32 p) 0xffffffffL
+  | _ -> raise (Wasm.Instance.Trap "host: expected pointer argument")
+
+(** The import list to pass to [Exec.instantiate]. *)
+let imports t : (string * string * Wasm.Instance.host_func) list =
+  [
+    ( "env", "print_i64",
+      fun _ args ->
+        (match args with
+        | [ Wasm.Values.I64 v ] ->
+            Buffer.add_string t.out (Int64.to_string v);
+            Buffer.add_char t.out '\n'
+        | _ -> raise (Wasm.Instance.Trap "print_i64: bad arguments"));
+        [] );
+    ( "env", "print_f64",
+      fun _ args ->
+        (match args with
+        | [ Wasm.Values.F64 v ] ->
+            Buffer.add_string t.out (Printf.sprintf "%.6f\n" v)
+        | _ -> raise (Wasm.Instance.Trap "print_f64: bad arguments"));
+        [] );
+    ( "env", "print_str",
+      fun inst args ->
+        (match args with
+        | [ v ] ->
+            Buffer.add_string t.out (read_cstr inst (ptr_arg inst v));
+            Buffer.add_char t.out '\n'
+        | _ -> raise (Wasm.Instance.Trap "print_str: bad arguments"));
+        [] );
+    ( "env", "print_char",
+      fun _ args ->
+        (match args with
+        | [ Wasm.Values.I32 c ] ->
+            Buffer.add_char t.out (Char.chr (Int32.to_int c land 0xff))
+        | _ -> raise (Wasm.Instance.Trap "print_char: bad arguments"));
+        [] );
+    ( "env", "proc_exit",
+      fun _ args ->
+        match args with
+        | [ Wasm.Values.I32 code ] -> raise (Proc_exit (Int32.to_int code))
+        | _ -> raise (Wasm.Instance.Trap "proc_exit: bad arguments") );
+    ( "env", "clock_ns",
+      fun _ _ ->
+        t.clock <- Int64.add t.clock 1000L;
+        [ Wasm.Values.I64 t.clock ] );
+    ( "env", "host_rand",
+      fun _ _ ->
+        (* xorshift64* : deterministic across runs *)
+        let x = t.rand_state in
+        let x = Int64.logxor x (Int64.shift_left x 13) in
+        let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+        let x = Int64.logxor x (Int64.shift_left x 17) in
+        t.rand_state <- x;
+        [ Wasm.Values.I64 x ] );
+  ]

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Char Format Int32 Int64 Ir List Option String Wasm

@@ -1,0 +1,1 @@
+lib/minic/cst.ml: List Printf String

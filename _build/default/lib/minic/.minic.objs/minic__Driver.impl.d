@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Cage Codegen Elab Ir Lexer Opt Parser Printf Stack_sanitizer Wasm

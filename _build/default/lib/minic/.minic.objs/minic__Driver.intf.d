@@ -1,0 +1,1 @@
+lib/minic/driver.mli: Cage Ir Stack_sanitizer Wasm

@@ -1,0 +1,1 @@
+lib/minic/elab.ml: Bytes Char Cst Format Hashtbl Int32 Int64 Ir List Option String Wasm

@@ -1,0 +1,1 @@
+lib/minic/escape.ml: Ir List Option

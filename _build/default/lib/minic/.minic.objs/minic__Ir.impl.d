@@ -1,0 +1,1 @@
+lib/minic/ir.ml: List Option String Wasm

@@ -1,0 +1,1 @@
+lib/minic/opt.ml: Hashtbl Int32 Int64 Ir List Option Wasm

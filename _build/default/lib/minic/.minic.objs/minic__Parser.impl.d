@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Char Cst Format Int64 Lexer List Token

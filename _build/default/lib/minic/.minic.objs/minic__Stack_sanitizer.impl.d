@@ -1,0 +1,1 @@
+lib/minic/stack_sanitizer.ml: Escape Format Ir List

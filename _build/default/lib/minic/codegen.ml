@@ -1,0 +1,698 @@
+(** Code generation: IR → (extended) WebAssembly.
+
+    The backend owns the linear-memory layout:
+
+    {v
+    0     .. 1024        reserved (null page)
+    1024  .. data_end    globals, string literals, static data
+    stack_base .. stack_top   shadow stack (grows downward)
+    stack_top  .. end         heap (handed to the allocator via the
+                               __heap_base / __heap_end globals)
+    v}
+
+    When [memsafety] is on, instrumented stack slots are 16-byte
+    aligned and tagged on function entry exactly as §4.2 describes: the
+    first instrumented slot draws a random tag with [segment.new],
+    subsequent slots increment the tag (wrapping in the 4-bit field) and
+    claim their memory with [segment.set_tag]; every instrumented slot
+    is untagged again before return. A 16-byte untagged guard slot leads
+    the frame when the sanitizer asked for one (Fig. 8b).
+
+    When [pauth] is on, taking a function's address emits the Fig. 9
+    signing sequence and indirect calls authenticate before truncating
+    to a 32-bit table index. *)
+
+open Ir
+
+exception Codegen_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+type options = {
+  memsafety : bool;  (** emit segment instructions for sanitised slots *)
+  pauth : bool;      (** sign/authenticate function pointers *)
+  mem_pages : int64; (** linear memory size *)
+  stack_bytes : int; (** shadow-stack reservation *)
+}
+
+let default_options =
+  { memsafety = false; pauth = false; mem_pages = 80L; stack_bytes = 65536 }
+
+let align_up n a = Int64.mul (Int64.div (Int64.add n (Int64.of_int (a - 1))) (Int64.of_int a)) (Int64.of_int a)
+
+(* Tag field manipulation constants (bits 56-59). *)
+let tag_increment = 0x0100_0000_0000_0000L
+let tag_field_mask = 0x0f00_0000_0000_0000L
+
+type fn_ctx = {
+  prog : program;
+  opts : options;
+  width : Wasm.Ast.width;           (* pointer width *)
+  addr_vt : Wasm.Types.val_type;    (* i32 or i64 *)
+  func_index : string -> int;
+  type_index : Wasm.Types.func_type -> int;
+  (* per-function *)
+  fp_local : int;
+  slot_offsets : (int * int64) list;    (* slot_id -> frame offset *)
+  slot_ptr_locals : (int * int) list;   (* slot_id -> local holding the
+                                           tagged pointer *)
+  frame_size : int64;
+  has_frame : bool;
+}
+
+let ptr_const ctx v : Wasm.Ast.instr =
+  match ctx.width with
+  | Wasm.Ast.W32 -> Wasm.Ast.I32Const (Int64.to_int32 v)
+  | Wasm.Ast.W64 -> Wasm.Ast.I64Const v
+
+let slot_offset ctx id =
+  match List.assoc_opt id ctx.slot_offsets with
+  | Some off -> off
+  | None -> fail "unknown slot %d" id
+
+(* Address of a slot's raw frame storage: fp + offset. *)
+let raw_slot_addr ctx id =
+  let off = slot_offset ctx id in
+  if Int64.equal off 0L then [ Wasm.Ast.LocalGet ctx.fp_local ]
+  else
+    [ Wasm.Ast.LocalGet ctx.fp_local; ptr_const ctx off;
+      Wasm.Ast.IBinop (ctx.width, Wasm.Ast.Add) ]
+
+(* Address used by program accesses: the tagged pointer local when the
+   slot is instrumented, plain frame storage otherwise. *)
+let slot_addr ctx id =
+  match List.assoc_opt id ctx.slot_ptr_locals with
+  | Some l -> [ Wasm.Ast.LocalGet l ]
+  | None -> raw_slot_addr ctx id
+
+let load_instr (mem : mem_ty) (ext : Wasm.Ast.extension) (res : ty) off :
+    Wasm.Ast.instr =
+  let ma = { Wasm.Ast.offset = off; align = 0 } in
+  match (mem, res) with
+  | M8, I32 -> Wasm.Ast.Load (Wasm.Types.I32, Some (Wasm.Ast.Pack8, ext), ma)
+  | M16, I32 -> Wasm.Ast.Load (Wasm.Types.I32, Some (Wasm.Ast.Pack16, ext), ma)
+  | M32, I32 -> Wasm.Ast.Load (Wasm.Types.I32, None, ma)
+  | M8, I64 -> Wasm.Ast.Load (Wasm.Types.I64, Some (Wasm.Ast.Pack8, ext), ma)
+  | M16, I64 -> Wasm.Ast.Load (Wasm.Types.I64, Some (Wasm.Ast.Pack16, ext), ma)
+  | M32, I64 -> Wasm.Ast.Load (Wasm.Types.I64, Some (Wasm.Ast.Pack32, ext), ma)
+  | M64, I64 -> Wasm.Ast.Load (Wasm.Types.I64, None, ma)
+  | MF32, F32 -> Wasm.Ast.Load (Wasm.Types.F32, None, ma)
+  | MF64, F64 -> Wasm.Ast.Load (Wasm.Types.F64, None, ma)
+  | _ -> fail "invalid load combination"
+
+let store_instr (mem : mem_ty) (vty : ty) off : Wasm.Ast.instr =
+  let ma = { Wasm.Ast.offset = off; align = 0 } in
+  match (mem, vty) with
+  | M8, I32 -> Wasm.Ast.Store (Wasm.Types.I32, Some Wasm.Ast.Pack8, ma)
+  | M16, I32 -> Wasm.Ast.Store (Wasm.Types.I32, Some Wasm.Ast.Pack16, ma)
+  | M32, I32 -> Wasm.Ast.Store (Wasm.Types.I32, None, ma)
+  | M8, I64 -> Wasm.Ast.Store (Wasm.Types.I64, Some Wasm.Ast.Pack8, ma)
+  | M16, I64 -> Wasm.Ast.Store (Wasm.Types.I64, Some Wasm.Ast.Pack16, ma)
+  | M32, I64 -> Wasm.Ast.Store (Wasm.Types.I64, Some Wasm.Ast.Pack32, ma)
+  | M64, I64 -> Wasm.Ast.Store (Wasm.Types.I64, None, ma)
+  | MF32, F32 -> Wasm.Ast.Store (Wasm.Types.F32, None, ma)
+  | MF64, F64 -> Wasm.Ast.Store (Wasm.Types.F64, None, ma)
+  | _ -> fail "invalid store combination"
+
+let width_of : ty -> Wasm.Ast.width = function
+  | I32 | F32 -> Wasm.Ast.W32
+  | I64 | F64 -> Wasm.Ast.W64
+
+let table_idx_of ctx name =
+  match Ir.table_index ctx.prog name with
+  | Some i -> i
+  | None -> fail "function %s is not in the table" name
+
+let rec compile_exp ctx (e : exp) : Wasm.Ast.instr list =
+  match e with
+  | Const (Wasm.Values.I32 v) -> [ Wasm.Ast.I32Const v ]
+  | Const (Wasm.Values.I64 v) -> [ Wasm.Ast.I64Const v ]
+  | Const (Wasm.Values.F32 v) -> [ Wasm.Ast.F32Const v ]
+  | Const (Wasm.Values.F64 v) -> [ Wasm.Ast.F64Const v ]
+  | Temp (t, _) -> [ Wasm.Ast.LocalGet t ]
+  | Bin (op, ty, a, b) ->
+      let w = width_of ty in
+      compile_exp ctx a @ compile_exp ctx b
+      @ [
+          (match op with
+          | Ibin o -> Wasm.Ast.IBinop (w, o)
+          | Irel o -> Wasm.Ast.IRelop (w, o)
+          | Fbin o -> Wasm.Ast.FBinop (w, o)
+          | Frel o -> Wasm.Ast.FRelop (w, o));
+        ]
+  | Eqz (ty, a) -> compile_exp ctx a @ [ Wasm.Ast.ITestop (width_of ty) ]
+  | Cvt (op, a) -> compile_exp ctx a @ [ Wasm.Ast.Cvtop op ]
+  | Load { mem; ext; res; addr; off } ->
+      compile_exp ctx addr @ [ load_instr mem ext res off ]
+  | SlotAddr id -> slot_addr ctx id
+  | GlobalAddr a -> [ ptr_const ctx a ]
+  | FuncRef name ->
+      let idx = Int64.of_int (table_idx_of ctx name) in
+      if ctx.width = Wasm.Ast.W64 then
+        (* Fig. 9: zero-extend the table index to 64 bits, then sign *)
+        Wasm.Ast.I64Const idx
+        :: (if ctx.opts.pauth then [ Wasm.Ast.PointerSign ] else [])
+      else [ Wasm.Ast.I32Const (Int64.to_int32 idx) ]
+
+(* --------------------------------------------------------------- *)
+(* Frame prologue / epilogue                                        *)
+(* --------------------------------------------------------------- *)
+
+(* Tagging sequence for instrumented slots (§4.2): random tag for the
+   first, increment-and-wrap for the rest. [prev_local] holds the last
+   tagged pointer. *)
+let tag_slots ctx (slots : slot list) ~slot16 : Wasm.Ast.instr list =
+  let instrumented = List.filter (fun s -> s.instrument) slots in
+  let prev = ref None in
+  List.concat_map
+    (fun s ->
+      let size = Int64.of_int (slot16 s) in
+      let ptr_local = List.assoc s.slot_id ctx.slot_ptr_locals in
+      let code =
+        match !prev with
+        | None ->
+            (* first slot: segment.new draws a random tag *)
+            raw_slot_addr ctx s.slot_id
+            @ [ Wasm.Ast.I64Const size; Wasm.Ast.SegmentNew 0L;
+                Wasm.Ast.LocalSet ptr_local ]
+        | Some prev_local ->
+            (* tag = (prev.tag + 1) mod 16; claim via segment.set_tag *)
+            [ Wasm.Ast.LocalGet prev_local;
+              Wasm.Ast.I64Const tag_increment;
+              Wasm.Ast.IBinop (Wasm.Ast.W64, Wasm.Ast.Add);
+              Wasm.Ast.I64Const tag_field_mask;
+              Wasm.Ast.IBinop (Wasm.Ast.W64, Wasm.Ast.And) ]
+            @ raw_slot_addr ctx s.slot_id
+            @ [ Wasm.Ast.IBinop (Wasm.Ast.W64, Wasm.Ast.Or);
+                Wasm.Ast.LocalSet ptr_local ]
+            @ raw_slot_addr ctx s.slot_id
+            @ [ Wasm.Ast.LocalGet ptr_local; Wasm.Ast.I64Const size;
+                Wasm.Ast.SegmentSetTag 0L ]
+      in
+      prev := Some ptr_local;
+      code)
+    instrumented
+
+(* Untag all instrumented slots and return them to the frame
+   (segment.set_tag with an untagged pointer). *)
+let untag_slots ctx (slots : slot list) ~slot16 : Wasm.Ast.instr list =
+  List.concat_map
+    (fun s ->
+      if not s.instrument then []
+      else
+        let size = Int64.of_int (slot16 s) in
+        raw_slot_addr ctx s.slot_id
+        @ raw_slot_addr ctx s.slot_id
+        @ [ Wasm.Ast.I64Const size; Wasm.Ast.SegmentSetTag 0L ])
+    slots
+
+let sp_global = 0
+
+let prologue ctx (f : func) ~slot16 : Wasm.Ast.instr list =
+  if not ctx.has_frame then []
+  else
+    [ Wasm.Ast.GlobalGet sp_global; ptr_const ctx ctx.frame_size;
+      Wasm.Ast.IBinop (ctx.width, Wasm.Ast.Sub);
+      Wasm.Ast.LocalTee ctx.fp_local; Wasm.Ast.GlobalSet sp_global ]
+    @
+    if ctx.opts.memsafety then tag_slots ctx f.fn_slots ~slot16 else []
+
+let epilogue ctx (f : func) ~slot16 : Wasm.Ast.instr list =
+  if not ctx.has_frame then []
+  else
+    (if ctx.opts.memsafety then untag_slots ctx f.fn_slots ~slot16 else [])
+    @ [ Wasm.Ast.LocalGet ctx.fp_local; ptr_const ctx ctx.frame_size;
+        Wasm.Ast.IBinop (ctx.width, Wasm.Ast.Add);
+        Wasm.Ast.GlobalSet sp_global ]
+
+(* --------------------------------------------------------------- *)
+(* Statements                                                       *)
+(* --------------------------------------------------------------- *)
+
+type label = L_exit | L_cont | L_anon
+
+let break_depth labels =
+  let rec go i = function
+    | [] -> fail "break outside a loop"
+    | L_exit :: _ -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 labels
+
+let cont_depth labels =
+  let rec go i = function
+    | [] -> fail "continue outside a loop"
+    | L_cont :: _ -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 labels
+
+let rec compile_stmts ctx f ~slot16 ~labels (stmts : stmt list) :
+    Wasm.Ast.instr list =
+  List.concat_map (compile_stmt ctx f ~slot16 ~labels) stmts
+
+and compile_stmt ctx f ~slot16 ~labels (s : stmt) : Wasm.Ast.instr list =
+  match s with
+  | Nop_stmt -> []
+  | Trap -> [ Wasm.Ast.Unreachable ]
+  | Set (t, _, e) -> compile_exp ctx e @ [ Wasm.Ast.LocalSet t ]
+  | Store { mem; addr; off; value } ->
+      let vty =
+        match mem with
+        | M8 | M16 | M32 -> (
+            (* value width given by the expression *)
+            match exp_ty ctx value with I64 -> I64 | _ -> I32)
+        | M64 -> I64
+        | MF32 -> F32
+        | MF64 -> F64
+      in
+      compile_exp ctx addr @ compile_exp ctx value
+      @ [ store_instr mem vty off ]
+  | If (c, a, b) ->
+      compile_exp ctx c
+      @ [ Wasm.Ast.If
+            (Wasm.Ast.ValBlock None,
+             compile_stmts ctx f ~slot16 ~labels:(L_anon :: labels) a,
+             compile_stmts ctx f ~slot16 ~labels:(L_anon :: labels) b) ]
+  | ForLoop { cond; step; body; post_test } ->
+      let body_labels = L_cont :: L_anon :: L_exit :: labels in
+      let body' =
+        [ Wasm.Ast.Block
+            (Wasm.Ast.ValBlock None,
+             compile_stmts ctx f ~slot16 ~labels:body_labels body) ]
+      in
+      let step_labels = L_anon :: L_exit :: labels in
+      let step' = compile_stmts ctx f ~slot16 ~labels:step_labels step in
+      let loop_body =
+        if post_test then
+          body' @ step'
+          @ (match cond with
+            | Some c ->
+                compile_exp ctx c @ [ Wasm.Ast.BrIf 0 ]
+            | None -> [ Wasm.Ast.Br 0 ])
+        else
+          (match cond with
+          | Some c ->
+              compile_exp ctx c
+              @ [ Wasm.Ast.ITestop Wasm.Ast.W32; Wasm.Ast.BrIf 1 ]
+          | None -> [])
+          @ body' @ step' @ [ Wasm.Ast.Br 0 ]
+      in
+      [ Wasm.Ast.Block
+          (Wasm.Ast.ValBlock None,
+           [ Wasm.Ast.Loop (Wasm.Ast.ValBlock None, loop_body) ]) ]
+  | Switch { scrut; cases; default } ->
+      (* Lowered to the textbook nested-block shape:
+
+           block $exit              ; Break target
+             block $default
+               block $c_{n-1} ... block $c_0
+                 <selector>         ; br_table (dense) or cmp chain
+               end ; c_0
+               body_0 ; br $exit
+               ...
+             end ; default block
+             default_body
+           end ; exit
+
+         Dense case values dispatch through a single br_table — the
+         same lowering wasm compilers use for C switches; sparse values
+         fall back to a compare chain. *)
+      let n = List.length cases in
+      let values = List.map fst cases in
+      let scrut_i = compile_exp ctx scrut in
+      let dense_selector () =
+        let vmin = List.fold_left Int64.min (List.hd values) values in
+        let vmax = List.fold_left Int64.max (List.hd values) values in
+        let range = Int64.to_int (Int64.sub vmax vmin) + 1 in
+        if n >= 2 && range <= 4 * n && range <= 256 then
+          let slot s =
+            let v = Int64.add vmin (Int64.of_int s) in
+            let rec idx i = function
+              | [] -> n (* default *)
+              | v' :: _ when Int64.equal v' v -> i
+              | _ :: tl -> idx (i + 1) tl
+            in
+            idx 0 values
+          in
+          let d =
+            scrut_i
+            @ [ Wasm.Ast.I64Const vmin;
+                Wasm.Ast.IBinop (Wasm.Ast.W64, Wasm.Ast.Sub) ]
+          in
+          (* index = d if d <u range else range (the br_table default);
+             the scrutinee is a temp, so recomputing d is two cheap
+             instructions *)
+          Some
+            ([ Wasm.Ast.I32Const (Int32.of_int range) ]
+            @ d
+            @ [ Wasm.Ast.Cvtop Wasm.Ast.I32WrapI64 ]
+            @ d
+            @ [ Wasm.Ast.I64Const (Int64.of_int range);
+                Wasm.Ast.IRelop (Wasm.Ast.W64, Wasm.Ast.GeU);
+                Wasm.Ast.Select ]
+            @ [ Wasm.Ast.BrTable (List.init range slot, n) ])
+        else None
+      in
+      let selector =
+        match (values, dense_selector ()) with
+        | _ :: _, Some s -> s
+        | _ ->
+            (* compare chain: one eq + br_if per case *)
+            List.concat
+              (List.mapi
+                 (fun j v ->
+                   scrut_i
+                   @ [ Wasm.Ast.I64Const v;
+                       Wasm.Ast.IRelop (Wasm.Ast.W64, Wasm.Ast.Eq);
+                       Wasm.Ast.BrIf j ])
+                 values)
+            @ [ Wasm.Ast.Br n ]
+      in
+      (* build from the inside out *)
+      let default_labels = L_exit :: labels in
+      let inner = ref selector in
+      List.iteri
+        (fun j (_, body) ->
+          let body_labels =
+            List.init (n - 1 - j) (fun _ -> L_anon)
+            @ [ L_anon (* default block *) ] @ default_labels
+          in
+          inner :=
+            [ Wasm.Ast.Block (Wasm.Ast.ValBlock None, !inner) ]
+            @ compile_stmts ctx f ~slot16 ~labels:body_labels body
+            @ [ Wasm.Ast.Br (n - j) ])
+        cases;
+      [ Wasm.Ast.Block
+          (Wasm.Ast.ValBlock None,
+           [ Wasm.Ast.Block (Wasm.Ast.ValBlock None, !inner) ]
+           @ compile_stmts ctx f ~slot16 ~labels:default_labels default) ]
+  | Break -> [ Wasm.Ast.Br (break_depth labels) ]
+  | Continue -> [ Wasm.Ast.Br (cont_depth labels) ]
+  | Return e ->
+      Option.fold ~none:[] ~some:(compile_exp ctx) e
+      @ epilogue ctx f ~slot16
+      @ [ Wasm.Ast.Return ]
+  | Call { dst; callee; args } -> (
+      let args' = List.concat_map (compile_exp ctx) args in
+      let set_dst =
+        match dst with
+        | None -> []
+        | Some (t, _) -> [ Wasm.Ast.LocalSet t ]
+      in
+      match callee with
+      | Direct name -> args' @ [ Wasm.Ast.Call (ctx.func_index name) ] @ set_dst
+      | Indirect { sig_params; sig_ret; fptr } ->
+          let ft =
+            {
+              Wasm.Types.params = List.map ty_to_wasm sig_params;
+              results =
+                (match sig_ret with None -> [] | Some t -> [ ty_to_wasm t ]);
+            }
+          in
+          let auth =
+            if ctx.width = Wasm.Ast.W64 then
+              (* Fig. 9: authenticate (strips the signature or traps),
+                 then truncate to the 32-bit table index *)
+              (if ctx.opts.pauth then [ Wasm.Ast.PointerAuth ] else [])
+              @ [ Wasm.Ast.Cvtop Wasm.Ast.I32WrapI64 ]
+            else []
+          in
+          args' @ compile_exp ctx fptr @ auth
+          @ [ Wasm.Ast.CallIndirect (ctx.type_index ft) ]
+          @ set_dst)
+  | SegmentNew { dst; ptr; len } ->
+      compile_exp ctx ptr @ compile_exp ctx len
+      @ [ Wasm.Ast.SegmentNew 0L; Wasm.Ast.LocalSet dst ]
+  | SegmentSetTag { ptr; tagged; len } ->
+      compile_exp ctx ptr @ compile_exp ctx tagged @ compile_exp ctx len
+      @ [ Wasm.Ast.SegmentSetTag 0L ]
+  | SegmentFree { tagged; len } ->
+      compile_exp ctx tagged @ compile_exp ctx len
+      @ [ Wasm.Ast.SegmentFree 0L ]
+  | PointerSign { dst; ptr } ->
+      compile_exp ctx ptr @ [ Wasm.Ast.PointerSign; Wasm.Ast.LocalSet dst ]
+  | PointerAuth { dst; ptr } ->
+      compile_exp ctx ptr @ [ Wasm.Ast.PointerAuth; Wasm.Ast.LocalSet dst ]
+  | MemFill { dst; byte; len } ->
+      compile_exp ctx dst @ compile_exp ctx byte @ compile_exp ctx len
+      @ [ Wasm.Ast.MemoryFill ]
+  | MemCopy { dst; src; len } ->
+      compile_exp ctx dst @ compile_exp ctx src @ compile_exp ctx len
+      @ [ Wasm.Ast.MemoryCopy ]
+
+(* Crude expression typing for store-width selection. *)
+and exp_ty ctx : exp -> ty = function
+  | Const (Wasm.Values.I32 _) -> I32
+  | Const (Wasm.Values.I64 _) -> I64
+  | Const (Wasm.Values.F32 _) -> F32
+  | Const (Wasm.Values.F64 _) -> F64
+  | Temp (_, ty) -> ty
+  | Bin ((Irel _ | Frel _), _, _, _) -> I32
+  | Bin (_, ty, _, _) -> ty
+  | Eqz _ -> I32
+  | Cvt (op, _) -> (
+      match op with
+      | Wasm.Ast.I32WrapI64 | Wasm.Ast.I32TruncF32S | Wasm.Ast.I32TruncF32U
+      | Wasm.Ast.I32TruncF64S | Wasm.Ast.I32TruncF64U
+      | Wasm.Ast.I32ReinterpretF32 ->
+          I32
+      | Wasm.Ast.I64ExtendI32S | Wasm.Ast.I64ExtendI32U
+      | Wasm.Ast.I64TruncF32S | Wasm.Ast.I64TruncF32U
+      | Wasm.Ast.I64TruncF64S | Wasm.Ast.I64TruncF64U
+      | Wasm.Ast.I64ReinterpretF64 ->
+          I64
+      | Wasm.Ast.F32ConvertI32S | Wasm.Ast.F32ConvertI32U
+      | Wasm.Ast.F32ConvertI64S | Wasm.Ast.F32ConvertI64U
+      | Wasm.Ast.F32DemoteF64 | Wasm.Ast.F32ReinterpretI32 ->
+          F32
+      | _ -> F64)
+  | Load { res; _ } -> res
+  | SlotAddr _ | GlobalAddr _ | FuncRef _ ->
+      if ctx.width = Wasm.Ast.W64 then I64 else I32
+
+(* --------------------------------------------------------------- *)
+(* Temp typing                                                      *)
+(* --------------------------------------------------------------- *)
+
+(* Infer each temp's wasm type from its definitions and uses. *)
+let temp_types (f : func) : ty array =
+  let tys = Array.make (max f.fn_ntemps 1) I32 in
+  List.iteri (fun _ (t, ty) -> tys.(t) <- ty) f.fn_params;
+  let note () e = match e with Temp (t, ty) -> tys.(t) <- ty | _ -> () in
+  ignore (fold_exps note () f.fn_body);
+  let rec scan (s : stmt) =
+    match s with
+    | Set (t, ty, _) -> tys.(t) <- ty
+    | Call { dst = Some (t, ty); _ } -> tys.(t) <- ty
+    | SegmentNew { dst; _ } | PointerSign { dst; _ } | PointerAuth { dst; _ }
+      ->
+        tys.(dst) <- I64
+    | If (_, a, b) ->
+        List.iter scan a;
+        List.iter scan b
+    | ForLoop { step; body; _ } ->
+        List.iter scan step;
+        List.iter scan body
+    | _ -> ()
+  in
+  List.iter scan f.fn_body;
+  tys
+
+(* --------------------------------------------------------------- *)
+(* Module assembly                                                  *)
+(* --------------------------------------------------------------- *)
+
+(** Compile an IR program to a wasm module under the given options. *)
+let compile ?(opts = default_options) (p : program) : Wasm.Ast.module_ =
+  let width = if p.pr_ptr64 then Wasm.Ast.W64 else Wasm.Ast.W32 in
+  let addr_vt = if p.pr_ptr64 then Wasm.Types.I64 else Wasm.Types.I32 in
+  if opts.memsafety && not p.pr_ptr64 then
+    fail "memory safety requires 64-bit pointers (memory64)";
+  (* layout *)
+  let stack_base = align_up p.pr_data_end 16 in
+  let stack_top = Int64.add stack_base (Int64.of_int opts.stack_bytes) in
+  let heap_base = stack_top in
+  let mem_bytes = Int64.mul opts.mem_pages 65536L in
+  if heap_base >= mem_bytes then fail "memory too small for stack layout";
+  (* type table *)
+  let types = ref [] in
+  let type_index ft =
+    let rec idx i = function
+      | [] ->
+          types := !types @ [ ft ];
+          i
+      | ft' :: _ when Wasm.Types.func_type_equal ft ft' -> i
+      | _ :: tl -> idx (i + 1) tl
+    in
+    idx 0 !types
+  in
+  (* function indexing: imports first *)
+  let externs = p.pr_externs in
+  let func_names =
+    List.map (fun e -> e.ef_name) externs
+    @ List.map (fun f -> f.fn_name) p.pr_funcs
+  in
+  let func_index name =
+    let rec go i = function
+      | [] -> fail "unknown function %s" name
+      | n :: _ when String.equal n name -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 func_names
+  in
+  let ft_of_sig params ret =
+    {
+      Wasm.Types.params = List.map ty_to_wasm params;
+      results = (match ret with None -> [] | Some t -> [ ty_to_wasm t ]);
+    }
+  in
+  let imports =
+    List.map
+      (fun e ->
+        {
+          Wasm.Ast.im_module = "env";
+          im_name = e.ef_name;
+          im_type = type_index (ft_of_sig e.ef_params e.ef_ret);
+        })
+      externs
+  in
+  (* compile each function *)
+  let compile_func (f : func) : Wasm.Ast.func =
+    let tys = temp_types f in
+    (* frame layout *)
+    let slot16 (s : slot) = (s.slot_size + 15) / 16 * 16 in
+    let guard = if opts.memsafety && f.fn_needs_guard then 16L else 0L in
+    let offsets, frame_end =
+      List.fold_left
+        (fun (acc, off) (s : slot) ->
+          if opts.memsafety then
+            let off = align_up off 16 in
+            ((s.slot_id, off) :: acc, Int64.add off (Int64.of_int (slot16 s)))
+          else
+            let a = max s.slot_align 1 in
+            let off = align_up off a in
+            ((s.slot_id, off) :: acc, Int64.add off (Int64.of_int s.slot_size)))
+        ([], guard) f.fn_slots
+    in
+    let frame_size = align_up frame_end 16 in
+    let has_frame = f.fn_slots <> [] in
+    (* locals: temps, then fp, then slot-pointer locals *)
+    let nparams = List.length f.fn_params in
+    let fp_local = f.fn_ntemps in
+    let slot_ptr_locals, extra_count =
+      if opts.memsafety then
+        List.fold_left
+          (fun (acc, n) (s : slot) ->
+            if s.instrument then ((s.slot_id, f.fn_ntemps + 1 + n) :: acc, n + 1)
+            else (acc, n))
+          ([], 0) f.fn_slots
+      else ([], 0)
+    in
+    let ctx =
+      {
+        prog = p;
+        opts;
+        width;
+        addr_vt;
+        func_index;
+        type_index;
+        fp_local;
+        slot_offsets = offsets;
+        slot_ptr_locals;
+        frame_size;
+        has_frame;
+      }
+    in
+    let slot16 s = slot16 s in
+    let body =
+      prologue ctx f ~slot16
+      @ compile_stmts ctx f ~slot16 ~labels:[] f.fn_body
+      @
+      (* fall-through end for void functions *)
+      match f.fn_ret with None -> epilogue ctx f ~slot16 | Some _ -> []
+    in
+    let locals =
+      List.init (f.fn_ntemps - nparams) (fun i ->
+          ty_to_wasm tys.(nparams + i))
+      @ [ addr_vt ] (* fp *)
+      @ List.init extra_count (fun _ -> Wasm.Types.I64)
+    in
+    {
+      Wasm.Ast.ftype =
+        type_index (ft_of_sig (List.map snd f.fn_params) f.fn_ret);
+      locals;
+      body;
+      fname = Some f.fn_name;
+    }
+  in
+  let funcs = List.map compile_func p.pr_funcs in
+  (* data segments, plus the patched heap globals *)
+  let extra_data =
+    List.filter_map
+      (fun (g : global_var) ->
+        let le64 v =
+          String.init 8 (fun i ->
+              Char.chr
+                (Int64.to_int
+                   (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+        in
+        match g.gv_name with
+        | "__heap_base" -> Some (g.gv_addr, le64 heap_base)
+        | "__heap_end" -> Some (g.gv_addr, le64 mem_bytes)
+        | "__stack_top" -> Some (g.gv_addr, le64 stack_top)
+        | _ -> None)
+      p.pr_globals
+  in
+  let datas =
+    List.map
+      (fun (addr, bytes) -> { Wasm.Ast.d_offset = addr; d_bytes = bytes })
+      (p.pr_data @ extra_data)
+  in
+  let table_size = List.length p.pr_table + 1 in
+  {
+    Wasm.Ast.types = !types;
+    imports;
+    funcs;
+    table =
+      Some
+        {
+          Wasm.Types.tbl_limits =
+            { Wasm.Types.min = Int64.of_int table_size;
+              max = Some (Int64.of_int table_size) };
+        };
+    memory =
+      Some
+        {
+          Wasm.Types.mem_idx = (if p.pr_ptr64 then Wasm.Types.Idx64
+                                else Wasm.Types.Idx32);
+          mem_limits =
+            { Wasm.Types.min = opts.mem_pages; max = Some 16384L };
+        };
+    globals =
+      [ { Wasm.Ast.g_type = { Wasm.Types.mut = true; g_type = addr_vt };
+          g_init =
+            (if p.pr_ptr64 then Wasm.Values.I64 stack_top
+             else Wasm.Values.I32 (Int64.to_int32 stack_top)) } ];
+    exports =
+      List.map
+        (fun (f : func) ->
+          { Wasm.Ast.ex_name = f.fn_name;
+            ex_desc = Wasm.Ast.Func_export (func_index f.fn_name) })
+        (List.filter (fun f -> f.fn_export) p.pr_funcs)
+      @ [ { Wasm.Ast.ex_name = "memory"; ex_desc = Wasm.Ast.Mem_export 0 } ];
+    elems =
+      (if p.pr_table = [] then []
+       else
+         [ { Wasm.Ast.e_offset = 1L;
+             e_funcs = List.map func_index p.pr_table } ]);
+    datas;
+    start = None;
+  }
+
+(** The heap region the compiled module's allocator will manage
+    (needed by tests and the startup experiment). *)
+let heap_layout ?(opts = default_options) (p : program) =
+  let stack_base = align_up p.pr_data_end 16 in
+  let stack_top = Int64.add stack_base (Int64.of_int opts.stack_bytes) in
+  (stack_top, Int64.mul opts.mem_pages 65536L)

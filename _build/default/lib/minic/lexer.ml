@@ -1,0 +1,265 @@
+(** Hand-rolled lexer for MiniC. Tracks line numbers for diagnostics and
+    supports C and C++ comments, character/string escapes, hex literals
+    and float literals. *)
+
+exception Lex_error of string * int  (** message, line *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let create src = { src; pos = 0; line = 1 }
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2_char lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek_char lx with Some '\n' -> lx.line <- lx.line + 1 | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let error lx fmt =
+  Format.kasprintf (fun s -> raise (Lex_error (s, lx.line))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '/' when peek2_char lx = Some '/' ->
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | Some '/' when peek2_char lx = Some '*' ->
+      advance lx;
+      advance lx;
+      let rec to_close () =
+        match (peek_char lx, peek2_char lx) with
+        | Some '*', Some '/' ->
+            advance lx;
+            advance lx
+        | None, _ -> error lx "unterminated comment"
+        | _ ->
+            advance lx;
+            to_close ()
+      in
+      to_close ();
+      skip_ws lx
+  | Some '#' ->
+      (* preprocessor lines (e.g. #include) are ignored: MiniC sources
+         are self-contained *)
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | _ -> ()
+
+let lex_escape lx =
+  advance lx;
+  match peek_char lx with
+  | Some 'n' -> advance lx; '\n'
+  | Some 't' -> advance lx; '\t'
+  | Some 'r' -> advance lx; '\r'
+  | Some '0' -> advance lx; '\000'
+  | Some '\\' -> advance lx; '\\'
+  | Some '\'' -> advance lx; '\''
+  | Some '"' -> advance lx; '"'
+  | Some c -> error lx "unknown escape \\%c" c
+  | None -> error lx "unterminated escape"
+
+let lex_number lx =
+  let start = lx.pos in
+  if peek_char lx = Some '0' && (peek2_char lx = Some 'x' || peek2_char lx = Some 'X')
+  then begin
+    advance lx;
+    advance lx;
+    while (match peek_char lx with Some c -> is_hex c | None -> false) do
+      advance lx
+    done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    Token.Int_lit (Int64.of_string s)
+  end
+  else begin
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+    let is_float =
+      match (peek_char lx, peek2_char lx) with
+      | Some '.', Some c when is_digit c -> true
+      | Some '.', (Some (' ' | ';' | ')' | ',' | '/' | '*' | '+' | '-') | None)
+        -> true
+      | Some ('e' | 'E'), _ -> true
+      | _ -> false
+    in
+    if is_float then begin
+      (match peek_char lx with
+      | Some '.' ->
+          advance lx;
+          while (match peek_char lx with Some c -> is_digit c | None -> false) do
+            advance lx
+          done
+      | _ -> ());
+      (match peek_char lx with
+      | Some ('e' | 'E') ->
+          advance lx;
+          (match peek_char lx with
+          | Some ('+' | '-') -> advance lx
+          | _ -> ());
+          while (match peek_char lx with Some c -> is_digit c | None -> false) do
+            advance lx
+          done
+      | _ -> ());
+      (* optional f suffix *)
+      (match peek_char lx with Some ('f' | 'F') -> advance lx | _ -> ());
+      Token.Float_lit (float_of_string
+                         (let s = String.sub lx.src start (lx.pos - start) in
+                          if s.[String.length s - 1] = 'f'
+                             || s.[String.length s - 1] = 'F'
+                          then String.sub s 0 (String.length s - 1)
+                          else s))
+    end
+    else begin
+      (* optional L/u suffixes *)
+      let s = String.sub lx.src start (lx.pos - start) in
+      while (match peek_char lx with
+            | Some ('l' | 'L' | 'u' | 'U') -> true
+            | _ -> false) do
+        advance lx
+      done;
+      Token.Int_lit (Int64.of_string s)
+    end
+  end
+
+let next_token lx : Token.t * int =
+  skip_ws lx;
+  let line = lx.line in
+  let tok =
+    match peek_char lx with
+    | None -> Token.Eof
+    | Some c when is_digit c -> lex_number lx
+    | Some c when is_ident_start c ->
+        let start = lx.pos in
+        while (match peek_char lx with Some c -> is_ident c | None -> false) do
+          advance lx
+        done;
+        let s = String.sub lx.src start (lx.pos - start) in
+        (match Token.keyword_of_string s with
+        | Some kw -> kw
+        | None -> Token.Ident s)
+    | Some '"' ->
+        advance lx;
+        let buf = Buffer.create 16 in
+        let rec go () =
+          match peek_char lx with
+          | Some '"' -> advance lx
+          | Some '\\' -> Buffer.add_char buf (lex_escape lx); go ()
+          | Some c -> advance lx; Buffer.add_char buf c; go ()
+          | None -> error lx "unterminated string"
+        in
+        go ();
+        Token.String_lit (Buffer.contents buf)
+    | Some '\'' ->
+        advance lx;
+        let c =
+          match peek_char lx with
+          | Some '\\' -> lex_escape lx
+          | Some c -> advance lx; c
+          | None -> error lx "unterminated char literal"
+        in
+        (match peek_char lx with
+        | Some '\'' -> advance lx
+        | _ -> error lx "unterminated char literal");
+        Token.Char_lit c
+    | Some c ->
+        advance lx;
+        let two expect tok1 tok0 =
+          if peek_char lx = Some expect then (advance lx; tok1) else tok0
+        in
+        (match c with
+        | '(' -> Token.LParen
+        | ')' -> Token.RParen
+        | '{' -> Token.LBrace
+        | '}' -> Token.RBrace
+        | '[' -> Token.LBracket
+        | ']' -> Token.RBracket
+        | ';' -> Token.Semi
+        | ',' -> Token.Comma
+        | '.' -> Token.Dot
+        | '?' -> Token.Question
+        | ':' -> Token.Colon
+        | '~' -> Token.Tilde
+        | '+' ->
+            (match peek_char lx with
+            | Some '+' -> advance lx; Token.PlusPlus
+            | Some '=' -> advance lx; Token.PlusEq
+            | _ -> Token.Plus)
+        | '-' ->
+            (match peek_char lx with
+            | Some '-' -> advance lx; Token.MinusMinus
+            | Some '=' -> advance lx; Token.MinusEq
+            | Some '>' -> advance lx; Token.Arrow
+            | _ -> Token.Minus)
+        | '*' -> two '=' Token.StarEq Token.Star
+        | '/' -> two '=' Token.SlashEq Token.Slash
+        | '%' -> two '=' Token.PercentEq Token.Percent
+        | '^' -> two '=' Token.CaretEq Token.Caret
+        | '!' -> two '=' Token.NotEq Token.Bang
+        | '=' -> two '=' Token.EqEq Token.Assign
+        | '&' ->
+            (match peek_char lx with
+            | Some '&' -> advance lx; Token.AmpAmp
+            | Some '=' -> advance lx; Token.AmpEq
+            | _ -> Token.Amp)
+        | '|' ->
+            (match peek_char lx with
+            | Some '|' -> advance lx; Token.PipePipe
+            | Some '=' -> advance lx; Token.PipeEq
+            | _ -> Token.Pipe)
+        | '<' ->
+            (match peek_char lx with
+            | Some '<' ->
+                advance lx;
+                two '=' Token.ShlEq Token.Shl
+            | Some '=' -> advance lx; Token.Le
+            | _ -> Token.Lt)
+        | '>' ->
+            (match peek_char lx with
+            | Some '>' ->
+                advance lx;
+                two '=' Token.ShrEq Token.Shr
+            | Some '=' -> advance lx; Token.Ge
+            | _ -> Token.Gt)
+        | c -> error lx "unexpected character %C" c)
+  in
+  (tok, line)
+
+(** Tokenise a whole source string. *)
+let tokenize src =
+  let lx = create src in
+  let rec go acc =
+    match next_token lx with
+    | Token.Eof, line -> List.rev ((Token.Eof, line) :: acc)
+    | tok -> go (tok :: acc)
+  in
+  go []

@@ -1,0 +1,727 @@
+(** Recursive-descent parser for MiniC.
+
+    Implements the usual C precedence levels. MiniC has no typedefs, so
+    a statement starting with a type keyword (or [struct N] followed by
+    an identifier or [*]) is a declaration; anything else is an
+    expression statement. *)
+
+exception Parse_error of string * int
+
+type t = {
+  toks : (Token.t * int) array;
+  mutable pos : int;
+}
+
+let error p fmt =
+  let line = snd p.toks.(min p.pos (Array.length p.toks - 1)) in
+  Format.kasprintf (fun s -> raise (Parse_error (s, line))) fmt
+
+let peek p = fst p.toks.(p.pos)
+let peek2 p =
+  if p.pos + 1 < Array.length p.toks then fst p.toks.(p.pos + 1) else Token.Eof
+let line p = snd p.toks.(p.pos)
+
+let advance p = if p.pos < Array.length p.toks - 1 then p.pos <- p.pos + 1
+
+let eat p tok =
+  if peek p = tok then advance p
+  else error p "expected %s, found %s" (Token.to_string tok)
+         (Token.to_string (peek p))
+
+let eat_ident p =
+  match peek p with
+  | Token.Ident s ->
+      advance p;
+      s
+  | t -> error p "expected identifier, found %s" (Token.to_string t)
+
+(* --------------------------------------------------------------- *)
+(* Types                                                            *)
+(* --------------------------------------------------------------- *)
+
+let starts_type p =
+  match peek p with
+  | Token.KW_int | KW_long | KW_char | KW_float | KW_double | KW_void
+  | KW_unsigned | KW_const | KW_static ->
+      true
+  | KW_struct -> ( match peek2 p with Token.Ident _ -> true | _ -> false)
+  | _ -> false
+
+(* Base type: [unsigned] (int|long|char) | float | double | void |
+   struct N.  Ignores const/static qualifiers. *)
+let rec parse_base_ty p : Cst.ty =
+  match peek p with
+  | Token.KW_const | Token.KW_static ->
+      advance p;
+      parse_base_ty p
+  | Token.KW_unsigned ->
+      advance p;
+      (match peek p with
+      | Token.KW_int -> advance p; Cst.TUInt
+      | Token.KW_long -> advance p; Cst.TULong
+      | Token.KW_char -> advance p; Cst.TChar
+      | _ -> Cst.TUInt)
+  | Token.KW_int -> advance p; Cst.TInt
+  | Token.KW_long ->
+      advance p;
+      (* accept "long long" and "long int" *)
+      (match peek p with
+      | Token.KW_long | Token.KW_int -> advance p
+      | _ -> ());
+      Cst.TLong
+  | Token.KW_char -> advance p; Cst.TChar
+  | Token.KW_float -> advance p; Cst.TFloat
+  | Token.KW_double -> advance p; Cst.TDouble
+  | Token.KW_void -> advance p; Cst.TVoid
+  | Token.KW_struct ->
+      advance p;
+      Cst.TStruct (eat_ident p)
+  | t -> error p "expected a type, found %s" (Token.to_string t)
+
+(* Pointer stars after a base type. *)
+let parse_ptr_suffix p ty =
+  let ty = ref ty in
+  while peek p = Token.Star do
+    advance p;
+    (* skip const in e.g. `char *const` *)
+    (match peek p with Token.KW_const -> advance p | _ -> ());
+    ty := Cst.TPtr !ty
+  done;
+  !ty
+
+(* Forward declaration: filled below (param lists need full types). *)
+let parse_abstract_fnptr_hook :
+    (t -> Cst.ty -> Cst.ty) ref =
+  ref (fun _ ty -> ty)
+
+(* An abstract declarator after a base type, as used in casts:
+   stars, optionally followed by the function-pointer form
+   "( star ) ( params )". *)
+let parse_abstract_ty p base =
+  let ty = parse_ptr_suffix p base in
+  if peek p = Token.LParen && peek2 p = Token.Star then
+    !parse_abstract_fnptr_hook p ty
+  else ty
+
+(* --------------------------------------------------------------- *)
+(* Expressions (precedence climbing)                                *)
+(* --------------------------------------------------------------- *)
+
+let mk e eline : Cst.expr = { e; eline }
+
+let rec parse_expr p = parse_assign p
+
+and parse_assign p : Cst.expr =
+  let lhs = parse_cond p in
+  let ln = line p in
+  let compound op =
+    advance p;
+    let rhs = parse_assign p in
+    mk (Cst.Assign (lhs, mk (Cst.Bin (op, lhs, rhs)) ln)) ln
+  in
+  match peek p with
+  | Token.Assign ->
+      advance p;
+      let rhs = parse_assign p in
+      mk (Cst.Assign (lhs, rhs)) ln
+  | Token.PlusEq -> compound Cst.Add
+  | Token.MinusEq -> compound Cst.Sub
+  | Token.StarEq -> compound Cst.Mul
+  | Token.SlashEq -> compound Cst.Div
+  | Token.PercentEq -> compound Cst.Mod
+  | Token.AmpEq -> compound Cst.BAnd
+  | Token.PipeEq -> compound Cst.BOr
+  | Token.CaretEq -> compound Cst.BXor
+  | Token.ShlEq -> compound Cst.Shl
+  | Token.ShrEq -> compound Cst.Shr
+  | _ -> lhs
+
+and parse_cond p =
+  let c = parse_lor p in
+  if peek p = Token.Question then begin
+    let ln = line p in
+    advance p;
+    let t = parse_assign p in
+    eat p Token.Colon;
+    let f = parse_cond p in
+    mk (Cst.Cond (c, t, f)) ln
+  end
+  else c
+
+and parse_binary p ~ops ~next =
+  let lhs = ref (next p) in
+  let rec go () =
+    match List.assoc_opt (peek p) ops with
+    | Some op ->
+        let ln = line p in
+        advance p;
+        let rhs = next p in
+        lhs := mk (Cst.Bin (op, !lhs, rhs)) ln;
+        go ()
+    | None -> ()
+  in
+  go ();
+  !lhs
+
+and parse_lor p =
+  parse_binary p ~ops:[ (Token.PipePipe, Cst.LOr) ] ~next:parse_land
+
+and parse_land p =
+  parse_binary p ~ops:[ (Token.AmpAmp, Cst.LAnd) ] ~next:parse_bor
+
+and parse_bor p = parse_binary p ~ops:[ (Token.Pipe, Cst.BOr) ] ~next:parse_bxor
+
+and parse_bxor p =
+  parse_binary p ~ops:[ (Token.Caret, Cst.BXor) ] ~next:parse_band
+
+and parse_band p = parse_binary p ~ops:[ (Token.Amp, Cst.BAnd) ] ~next:parse_eq
+
+and parse_eq p =
+  parse_binary p
+    ~ops:[ (Token.EqEq, Cst.Eq); (Token.NotEq, Cst.Ne) ]
+    ~next:parse_rel
+
+and parse_rel p =
+  parse_binary p
+    ~ops:
+      [ (Token.Lt, Cst.Lt); (Token.Gt, Cst.Gt); (Token.Le, Cst.Le);
+        (Token.Ge, Cst.Ge) ]
+    ~next:parse_shift
+
+and parse_shift p =
+  parse_binary p
+    ~ops:[ (Token.Shl, Cst.Shl); (Token.Shr, Cst.Shr) ]
+    ~next:parse_addsub
+
+and parse_addsub p =
+  parse_binary p
+    ~ops:[ (Token.Plus, Cst.Add); (Token.Minus, Cst.Sub) ]
+    ~next:parse_muldiv
+
+and parse_muldiv p =
+  parse_binary p
+    ~ops:
+      [ (Token.Star, Cst.Mul); (Token.Slash, Cst.Div);
+        (Token.Percent, Cst.Mod) ]
+    ~next:parse_unary
+
+and parse_unary p : Cst.expr =
+  let ln = line p in
+  match peek p with
+  | Token.Minus ->
+      advance p;
+      mk (Cst.Un (Cst.Neg, parse_unary p)) ln
+  | Token.Tilde ->
+      advance p;
+      mk (Cst.Un (Cst.BNot, parse_unary p)) ln
+  | Token.Bang ->
+      advance p;
+      mk (Cst.Un (Cst.LNot, parse_unary p)) ln
+  | Token.Star ->
+      advance p;
+      mk (Cst.Deref (parse_unary p)) ln
+  | Token.Amp ->
+      advance p;
+      mk (Cst.AddrOf (parse_unary p)) ln
+  | Token.PlusPlus ->
+      advance p;
+      mk (Cst.PreIncr (parse_unary p)) ln
+  | Token.MinusMinus ->
+      advance p;
+      mk (Cst.PreDecr (parse_unary p)) ln
+  | Token.KW_sizeof ->
+      advance p;
+      if peek p = Token.LParen && starts_type { p with pos = p.pos + 1 } then begin
+        (* hack: probe one token ahead for a type *)
+        eat p Token.LParen;
+        let ty = parse_abstract_ty p (parse_base_ty p) in
+        eat p Token.RParen;
+        mk (Cst.SizeofT ty) ln
+      end
+      else mk (Cst.SizeofE (parse_unary p)) ln
+  | Token.LParen when starts_type { p with pos = p.pos + 1 } ->
+      (* cast *)
+      eat p Token.LParen;
+      let ty = parse_abstract_ty p (parse_base_ty p) in
+      eat p Token.RParen;
+      mk (Cst.Cast (ty, parse_unary p)) ln
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let e = ref (parse_primary p) in
+  let rec go () =
+    let ln = line p in
+    match peek p with
+    | Token.LParen ->
+        advance p;
+        let args = parse_args p in
+        eat p Token.RParen;
+        e := mk (Cst.Call (!e, args)) ln;
+        go ()
+    | Token.LBracket ->
+        advance p;
+        let i = parse_expr p in
+        eat p Token.RBracket;
+        e := mk (Cst.Index (!e, i)) ln;
+        go ()
+    | Token.Dot ->
+        advance p;
+        e := mk (Cst.Member (!e, eat_ident p)) ln;
+        go ()
+    | Token.Arrow ->
+        advance p;
+        e := mk (Cst.Arrow (!e, eat_ident p)) ln;
+        go ()
+    | Token.PlusPlus ->
+        advance p;
+        e := mk (Cst.PostIncr !e) ln;
+        go ()
+    | Token.MinusMinus ->
+        advance p;
+        e := mk (Cst.PostDecr !e) ln;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !e
+
+and parse_args p =
+  if peek p = Token.RParen then []
+  else
+    let rec go acc =
+      let a = parse_assign p in
+      if peek p = Token.Comma then begin
+        advance p;
+        go (a :: acc)
+      end
+      else List.rev (a :: acc)
+    in
+    go []
+
+and parse_primary p : Cst.expr =
+  let ln = line p in
+  match peek p with
+  | Token.Int_lit v ->
+      advance p;
+      mk (Cst.IntLit v) ln
+  | Token.Float_lit v ->
+      advance p;
+      mk (Cst.FloatLit v) ln
+  | Token.String_lit s ->
+      advance p;
+      mk (Cst.StrLit s) ln
+  | Token.Char_lit c ->
+      advance p;
+      mk (Cst.IntLit (Int64.of_int (Char.code c))) ln
+  | Token.Ident s ->
+      advance p;
+      mk (Cst.Var s) ln
+  | Token.LParen ->
+      advance p;
+      let e = parse_expr p in
+      eat p Token.RParen;
+      e
+  | t -> error p "unexpected token %s in expression" (Token.to_string t)
+
+(* Constant folding for array sizes. *)
+let rec const_eval (e : Cst.expr) : int64 =
+  match e.e with
+  | Cst.IntLit v -> v
+  | Cst.Bin (op, a, b) -> (
+      let a = const_eval a and b = const_eval b in
+      match op with
+      | Cst.Add -> Int64.add a b
+      | Cst.Sub -> Int64.sub a b
+      | Cst.Mul -> Int64.mul a b
+      | Cst.Div -> Int64.div a b
+      | Cst.Mod -> Int64.rem a b
+      | Cst.Shl -> Int64.shift_left a (Int64.to_int b)
+      | Cst.Shr -> Int64.shift_right a (Int64.to_int b)
+      | _ -> raise (Parse_error ("non-constant array size", e.eline)))
+  | Cst.Un (Cst.Neg, a) -> Int64.neg (const_eval a)
+  | _ -> raise (Parse_error ("non-constant array size", e.eline))
+
+(* --------------------------------------------------------------- *)
+(* Declarators                                                      *)
+(* --------------------------------------------------------------- *)
+
+(* After the base type, parse one declarator:
+   name, star-name, name[N]..., or the function-pointer form
+   "( star name ) ( params )". Returns (full type, name). *)
+let rec parse_declarator p base : Cst.ty * string =
+  let base = parse_ptr_suffix p base in
+  if peek p = Token.LParen then begin
+    (* function pointer: ( * name ) ( params ) *)
+    eat p Token.LParen;
+    eat p Token.Star;
+    let name = eat_ident p in
+    eat p Token.RParen;
+    eat p Token.LParen;
+    let params = parse_param_types p in
+    eat p Token.RParen;
+    (Cst.TPtr (Cst.TFunc (base, params)), name)
+  end
+  else begin
+    let name = eat_ident p in
+    let rec arrays () =
+      if peek p = Token.LBracket then begin
+        advance p;
+        let n = Int64.to_int (const_eval (parse_cond p)) in
+        eat p Token.RBracket;
+        let inner = arrays () in
+        Cst.TArray (inner, n)
+      end
+      else base
+    in
+    (arrays (), name)
+  end
+
+and parse_param_types p =
+  if peek p = Token.RParen then []
+  else if peek p = Token.KW_void && peek2 p = Token.RParen then begin
+    advance p;
+    []
+  end
+  else
+    let rec go acc =
+      let base = parse_base_ty p in
+      let ty = parse_ptr_suffix p base in
+      (* optional name, ignored *)
+      (match peek p with Token.Ident _ -> advance p | _ -> ());
+      if peek p = Token.Comma then begin
+        advance p;
+        go (ty :: acc)
+      end
+      else List.rev (ty :: acc)
+    in
+    go []
+
+let () =
+  parse_abstract_fnptr_hook :=
+    fun p base ->
+      (* "( star ) ( params )": an abstract function-pointer type *)
+      eat p Token.LParen;
+      eat p Token.Star;
+      eat p Token.RParen;
+      eat p Token.LParen;
+      let params = parse_param_types p in
+      eat p Token.RParen;
+      Cst.TPtr (Cst.TFunc (base, params))
+
+(* A function parameter: T name, T *name, T name[] (decays), or a
+   function pointer. *)
+let parse_param p : Cst.param =
+  let base = parse_base_ty p in
+  let ty, name = parse_declarator p base in
+  let ty = match ty with Cst.TArray (t, _) -> Cst.TPtr t | t -> t in
+  { Cst.p_ty = ty; p_name = name }
+
+(* --------------------------------------------------------------- *)
+(* Initialisers                                                     *)
+(* --------------------------------------------------------------- *)
+
+let rec parse_init p : Cst.init =
+  if peek p = Token.LBrace then begin
+    advance p;
+    let rec go acc =
+      if peek p = Token.RBrace then begin
+        advance p;
+        List.rev acc
+      end
+      else begin
+        let field =
+          if peek p = Token.Dot then begin
+            advance p;
+            let f = eat_ident p in
+            eat p Token.Assign;
+            Some f
+          end
+          else None
+        in
+        let init = parse_init p in
+        let acc = (field, init) :: acc in
+        if peek p = Token.Comma then begin
+          advance p;
+          go acc
+        end
+        else begin
+          eat p Token.RBrace;
+          List.rev acc
+        end
+      end
+    in
+    Cst.IList (go [])
+  end
+  else Cst.IExpr (parse_assign p)
+
+(* --------------------------------------------------------------- *)
+(* Statements                                                       *)
+(* --------------------------------------------------------------- *)
+
+let rec parse_stmt p : Cst.stmt =
+  let ln = line p in
+  let s d : Cst.stmt = { s = d; sline = ln } in
+  match peek p with
+  | Token.LBrace ->
+      advance p;
+      let body = parse_stmts p in
+      eat p Token.RBrace;
+      s (Cst.SBlock body)
+  | Token.KW_if ->
+      advance p;
+      eat p Token.LParen;
+      let c = parse_expr p in
+      eat p Token.RParen;
+      let then_ = block_of (parse_stmt p) in
+      let else_ =
+        if peek p = Token.KW_else then begin
+          advance p;
+          block_of (parse_stmt p)
+        end
+        else []
+      in
+      s (Cst.SIf (c, then_, else_))
+  | Token.KW_while ->
+      advance p;
+      eat p Token.LParen;
+      let c = parse_expr p in
+      eat p Token.RParen;
+      s (Cst.SWhile (c, block_of (parse_stmt p)))
+  | Token.KW_do ->
+      advance p;
+      let body = block_of (parse_stmt p) in
+      eat p Token.KW_while;
+      eat p Token.LParen;
+      let c = parse_expr p in
+      eat p Token.RParen;
+      eat p Token.Semi;
+      s (Cst.SDoWhile (body, c))
+  | Token.KW_for ->
+      advance p;
+      eat p Token.LParen;
+      let init =
+        if peek p = Token.Semi then begin
+          advance p;
+          None
+        end
+        else if starts_type p then begin
+          let st = parse_decl_stmt p in
+          Some st
+        end
+        else begin
+          let e = parse_expr p in
+          eat p Token.Semi;
+          Some { Cst.s = Cst.SExpr e; sline = ln }
+        end
+      in
+      let cond =
+        if peek p = Token.Semi then None else Some (parse_expr p)
+      in
+      eat p Token.Semi;
+      let step =
+        if peek p = Token.RParen then None else Some (parse_expr p)
+      in
+      eat p Token.RParen;
+      s (Cst.SFor (init, cond, step, block_of (parse_stmt p)))
+  | Token.KW_switch ->
+      advance p;
+      eat p Token.LParen;
+      let scrut = parse_expr p in
+      eat p Token.RParen;
+      eat p Token.LBrace;
+      let cases = ref [] in
+      let default = ref [] in
+      let rec case_body acc =
+        match peek p with
+        | Token.KW_case | Token.KW_default | Token.RBrace -> List.rev acc
+        | _ -> case_body (parse_stmt p :: acc)
+      in
+      let rec clauses () =
+        match peek p with
+        | Token.KW_case ->
+            advance p;
+            let v = const_eval (parse_cond p) in
+            eat p Token.Colon;
+            let body = case_body [] in
+            (* drop a redundant trailing break: cases break implicitly *)
+            let body =
+              match List.rev body with
+              | { Cst.s = Cst.SBreak; _ } :: rest -> List.rev rest
+              | _ -> body
+            in
+            cases := (v, body) :: !cases;
+            clauses ()
+        | Token.KW_default ->
+            advance p;
+            eat p Token.Colon;
+            let body = case_body [] in
+            let body =
+              match List.rev body with
+              | { Cst.s = Cst.SBreak; _ } :: rest -> List.rev rest
+              | _ -> body
+            in
+            default := body;
+            clauses ()
+        | Token.RBrace -> advance p
+        | t -> error p "expected case/default/}, found %s" (Token.to_string t)
+      in
+      clauses ();
+      s (Cst.SSwitch (scrut, List.rev !cases, !default))
+  | Token.KW_return ->
+      advance p;
+      if peek p = Token.Semi then begin
+        advance p;
+        s (Cst.SReturn None)
+      end
+      else begin
+        let e = parse_expr p in
+        eat p Token.Semi;
+        s (Cst.SReturn (Some e))
+      end
+  | Token.KW_break ->
+      advance p;
+      eat p Token.Semi;
+      s Cst.SBreak
+  | Token.KW_continue ->
+      advance p;
+      eat p Token.Semi;
+      s Cst.SContinue
+  | Token.Semi ->
+      advance p;
+      s (Cst.SBlock [])
+  | _ when starts_type p -> parse_decl_stmt p
+  | _ ->
+      let e = parse_expr p in
+      eat p Token.Semi;
+      s (Cst.SExpr e)
+
+and block_of (st : Cst.stmt) =
+  match st.s with Cst.SBlock b -> b | _ -> [ st ]
+
+(* One or more comma-separated declarations sharing a base type. *)
+and parse_decl_stmt p : Cst.stmt =
+  let ln = line p in
+  let base = parse_base_ty p in
+  let rec go acc =
+    let ty, name = parse_declarator p base in
+    let init =
+      if peek p = Token.Assign then begin
+        advance p;
+        Some (parse_init p)
+      end
+      else None
+    in
+    let decl : Cst.stmt = { s = Cst.SDecl (ty, name, init); sline = ln } in
+    if peek p = Token.Comma then begin
+      advance p;
+      go (decl :: acc)
+    end
+    else begin
+      eat p Token.Semi;
+      List.rev (decl :: acc)
+    end
+  in
+  match go [] with
+  | [ single ] -> single
+  | many -> { s = Cst.SBlock many; sline = ln }
+
+and parse_stmts p =
+  let rec go acc =
+    if peek p = Token.RBrace || peek p = Token.Eof then List.rev acc
+    else go (parse_stmt p :: acc)
+  in
+  go []
+
+(* --------------------------------------------------------------- *)
+(* Top level                                                        *)
+(* --------------------------------------------------------------- *)
+
+let parse_decl p : Cst.decl =
+  match peek p with
+  | Token.KW_struct when peek2 p <> Token.Eof && (
+      match (peek2 p, fst p.toks.(min (p.pos + 2) (Array.length p.toks - 1))) with
+      | Token.Ident _, Token.LBrace -> true
+      | _ -> false) ->
+      advance p;
+      let name = eat_ident p in
+      eat p Token.LBrace;
+      let rec fields acc =
+        if peek p = Token.RBrace then List.rev acc
+        else begin
+          let base = parse_base_ty p in
+          let ty, fname = parse_declarator p base in
+          eat p Token.Semi;
+          fields ((ty, fname) :: acc)
+        end
+      in
+      let fs = fields [] in
+      eat p Token.RBrace;
+      eat p Token.Semi;
+      Cst.DStruct { sd_name = name; sd_fields = fs }
+  | Token.KW_extern ->
+      advance p;
+      let base = parse_base_ty p in
+      let ret = parse_ptr_suffix p base in
+      let name = eat_ident p in
+      eat p Token.LParen;
+      let params = parse_param_types p in
+      eat p Token.RParen;
+      eat p Token.Semi;
+      Cst.DExtern (ret, name, params)
+  | _ ->
+      let base = parse_base_ty p in
+      let ty, name = parse_declarator p base in
+      if peek p = Token.LParen then begin
+        (* function definition *)
+        advance p;
+        let params =
+          if peek p = Token.RParen then []
+          else if peek p = Token.KW_void && peek2 p = Token.RParen then begin
+            advance p;
+            []
+          end
+          else
+            let rec go acc =
+              let prm = parse_param p in
+              if peek p = Token.Comma then begin
+                advance p;
+                go (prm :: acc)
+              end
+              else List.rev (prm :: acc)
+            in
+            go []
+        in
+        eat p Token.RParen;
+        if peek p = Token.Semi then begin
+          (* forward declaration *)
+          advance p;
+          Cst.DExtern (ty, name, List.map (fun pr -> pr.Cst.p_ty) params)
+        end
+        else begin
+          eat p Token.LBrace;
+          let body = parse_stmts p in
+          eat p Token.RBrace;
+          Cst.DFunc { fd_ret = ty; fd_name = name; fd_params = params;
+                      fd_body = body }
+        end
+      end
+      else begin
+        let init =
+          if peek p = Token.Assign then begin
+            advance p;
+            Some (parse_init p)
+          end
+          else None
+        in
+        eat p Token.Semi;
+        Cst.DGlobal { gd_ty = ty; gd_name = name; gd_init = init }
+      end
+
+(** Parse a full translation unit. *)
+let parse src : Cst.program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let p = { toks; pos = 0 } in
+  let rec go acc =
+    if peek p = Token.Eof then List.rev acc else go (parse_decl p :: acc)
+  in
+  go []

@@ -1,0 +1,78 @@
+(** The Cage stack sanitizer — paper Algorithm 1.
+
+    Decides, per function, which stack slots must be protected with
+    memory segments: those that escape the function plus those indexed
+    with a non-statically-verifiable offset. Everything else keeps
+    plain, untagged frame storage — the optimisation that keeps the
+    paper's stack-safety overhead low.
+
+    Also decides whether the frame needs a leading untagged {e guard
+    slot} (paper Fig. 8b): if the slot adjacent to the previous frame is
+    itself tagged, two adjacent frames could otherwise draw colliding
+    tags, hiding an inter-frame overflow.
+
+    The actual tagging code (a [segment.new] for the first instrumented
+    slot, tag-increment + [segment.set_tag] for the rest, and the
+    untagging epilogue) is emitted by {!Codegen} for slots this pass
+    marked. Running this pass {e after} the optimiser mirrors §6.1: a
+    slot deleted by mem2reg-style promotion is never instrumented. *)
+
+open Ir
+
+type stats = {
+  total_slots : int;
+  instrumented : int;
+  escaping : int;
+  unsafe_gep : int;
+  guards : int;
+}
+
+let empty_stats =
+  { total_slots = 0; instrumented = 0; escaping = 0; unsafe_gep = 0;
+    guards = 0 }
+
+let add a b =
+  {
+    total_slots = a.total_slots + b.total_slots;
+    instrumented = a.instrumented + b.instrumented;
+    escaping = a.escaping + b.escaping;
+    unsafe_gep = a.unsafe_gep + b.unsafe_gep;
+    guards = a.guards + b.guards;
+  }
+
+(** Algorithm 1 on one function. [instrument_all] is the ablation knob:
+    instrument every slot regardless of the analysis (what a sanitizer
+    without the escape/GEP filter would do). *)
+let run_func ?(instrument_all = false) (f : func) : stats =
+  Escape.analyse_func f;
+  List.iter
+    (fun s -> s.instrument <- instrument_all || s.escapes || s.unsafe_gep)
+    f.fn_slots;
+  let instrumented = List.filter (fun s -> s.instrument) f.fn_slots in
+  (* Guard needed if the first slot of the frame is tagged (Fig. 8b):
+     an untagged first slot already separates this frame from the
+     previous one. *)
+  f.fn_needs_guard <-
+    (match f.fn_slots with
+    | first :: _ -> instrumented <> [] && first.instrument
+    | [] -> false);
+  {
+    total_slots = List.length f.fn_slots;
+    instrumented = List.length instrumented;
+    escaping =
+      List.length (List.filter (fun (s : slot) -> s.escapes) f.fn_slots);
+    unsafe_gep =
+      List.length (List.filter (fun (s : slot) -> s.unsafe_gep) f.fn_slots);
+    guards = (if f.fn_needs_guard then 1 else 0);
+  }
+
+(** Run over a whole program, returning aggregate statistics. *)
+let run ?instrument_all (p : program) : stats =
+  List.fold_left
+    (fun acc f -> add acc (run_func ?instrument_all f))
+    empty_stats p.pr_funcs
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "slots: %d, instrumented: %d (escaping %d, unsafe-GEP %d), guards: %d"
+    s.total_slots s.instrumented s.escaping s.unsafe_gep s.guards

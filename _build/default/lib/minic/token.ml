@@ -1,0 +1,85 @@
+(** Lexical tokens of MiniC, the C subset our toolchain compiles.
+
+    MiniC stands in for the paper's clang/LLVM frontend: enough C to
+    express the PolyBench kernels, the hardened allocator, and the
+    vulnerable programs of the motivation section (Listing 1 / Table 2). *)
+
+type t =
+  (* literals and names *)
+  | Int_lit of int64
+  | Float_lit of float
+  | String_lit of string
+  | Char_lit of char
+  | Ident of string
+  (* keywords *)
+  | KW_int | KW_long | KW_char | KW_float | KW_double | KW_void
+  | KW_unsigned | KW_struct | KW_if | KW_else | KW_while | KW_for
+  | KW_do | KW_return | KW_break | KW_continue | KW_sizeof | KW_static
+  | KW_const | KW_extern | KW_switch | KW_case | KW_default
+  (* punctuation *)
+  | LParen | RParen | LBrace | RBrace | LBracket | RBracket
+  | Semi | Comma | Dot | Arrow | Question | Colon
+  (* operators *)
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | Tilde | Bang
+  | AmpAmp | PipePipe
+  | Shl | Shr
+  | Lt | Gt | Le | Ge | EqEq | NotEq
+  | Assign
+  | PlusEq | MinusEq | StarEq | SlashEq | PercentEq
+  | AmpEq | PipeEq | CaretEq | ShlEq | ShrEq
+  | PlusPlus | MinusMinus
+  | Eof
+
+let keyword_of_string = function
+  | "int" -> Some KW_int
+  | "long" -> Some KW_long
+  | "char" -> Some KW_char
+  | "float" -> Some KW_float
+  | "double" -> Some KW_double
+  | "void" -> Some KW_void
+  | "unsigned" -> Some KW_unsigned
+  | "struct" -> Some KW_struct
+  | "if" -> Some KW_if
+  | "else" -> Some KW_else
+  | "while" -> Some KW_while
+  | "for" -> Some KW_for
+  | "do" -> Some KW_do
+  | "return" -> Some KW_return
+  | "break" -> Some KW_break
+  | "continue" -> Some KW_continue
+  | "sizeof" -> Some KW_sizeof
+  | "static" -> Some KW_static
+  | "const" -> Some KW_const
+  | "extern" -> Some KW_extern
+  | "switch" -> Some KW_switch
+  | "case" -> Some KW_case
+  | "default" -> Some KW_default
+  | _ -> None
+
+let to_string = function
+  | Int_lit v -> Int64.to_string v
+  | Float_lit v -> string_of_float v
+  | String_lit s -> Printf.sprintf "%S" s
+  | Char_lit c -> Printf.sprintf "%C" c
+  | Ident s -> s
+  | KW_int -> "int" | KW_long -> "long" | KW_char -> "char"
+  | KW_float -> "float" | KW_double -> "double" | KW_void -> "void"
+  | KW_unsigned -> "unsigned" | KW_struct -> "struct" | KW_if -> "if"
+  | KW_else -> "else" | KW_while -> "while" | KW_for -> "for"
+  | KW_do -> "do" | KW_return -> "return" | KW_break -> "break"
+  | KW_continue -> "continue" | KW_sizeof -> "sizeof"
+  | KW_static -> "static" | KW_const -> "const" | KW_extern -> "extern"
+  | KW_switch -> "switch" | KW_case -> "case" | KW_default -> "default"
+  | LParen -> "(" | RParen -> ")" | LBrace -> "{" | RBrace -> "}"
+  | LBracket -> "[" | RBracket -> "]" | Semi -> ";" | Comma -> ","
+  | Dot -> "." | Arrow -> "->" | Question -> "?" | Colon -> ":"
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/"
+  | Percent -> "%" | Amp -> "&" | Pipe -> "|" | Caret -> "^"
+  | Tilde -> "~" | Bang -> "!" | AmpAmp -> "&&" | PipePipe -> "||"
+  | Shl -> "<<" | Shr -> ">>" | Lt -> "<" | Gt -> ">" | Le -> "<="
+  | Ge -> ">=" | EqEq -> "==" | NotEq -> "!=" | Assign -> "="
+  | PlusEq -> "+=" | MinusEq -> "-=" | StarEq -> "*=" | SlashEq -> "/="
+  | PercentEq -> "%=" | AmpEq -> "&=" | PipeEq -> "|=" | CaretEq -> "^="
+  | ShlEq -> "<<=" | ShrEq -> ">>=" | PlusPlus -> "++" | MinusMinus -> "--"
+  | Eof -> "<eof>"

@@ -1,0 +1,1 @@
+lib/wasm/binary.ml: Ast Buffer Char Format Int32 Int64 List Option String Types Values

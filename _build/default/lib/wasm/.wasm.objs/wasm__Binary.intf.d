@@ -1,0 +1,1 @@
+lib/wasm/binary.mli: Ast

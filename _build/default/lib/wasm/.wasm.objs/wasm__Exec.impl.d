@@ -1,0 +1,1 @@
+lib/wasm/exec.ml: Arch Array Ast Float Format Instance Int32 Int64 List Memory Option Printf Random String Types Values

@@ -1,0 +1,1 @@
+lib/wasm/exec.mli: Ast Instance Values

@@ -1,0 +1,1 @@
+lib/wasm/instance.ml: Arch Ast List Memory Meter Random String Types Values

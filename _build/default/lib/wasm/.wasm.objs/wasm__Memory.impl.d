@@ -1,0 +1,1 @@
+lib/wasm/memory.ml: Bytes Char Int32 Int64 String Types

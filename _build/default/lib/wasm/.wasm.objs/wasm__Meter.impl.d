@@ -1,0 +1,1 @@
+lib/wasm/meter.ml: Format

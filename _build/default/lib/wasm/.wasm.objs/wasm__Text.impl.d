@@ -1,0 +1,1 @@
+lib/wasm/text.ml: Array Ast Buffer Char Format Int64 List Option Printf String Types Values

@@ -1,0 +1,1 @@
+lib/wasm/validate.ml: Array Ast Format Int64 List Option Types Values

@@ -1,0 +1,1 @@
+lib/wasm/validate.mli: Ast

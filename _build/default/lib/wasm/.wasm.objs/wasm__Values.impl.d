@@ -1,0 +1,1 @@
+lib/wasm/values.ml: Format Int32 Int64 Types

@@ -1,0 +1,157 @@
+(** Abstract syntax of (extended) WebAssembly.
+
+    The instruction set covers the full wasm MVP numeric/control/memory
+    core (minus SIMD and reference types), the memory64 extension, and
+    the five Cage instructions of paper Fig. 7:
+
+    - [segment.new o], [segment.set_tag o], [segment.free o]
+    - [i64.pointer_sign], [i64.pointer_auth] *)
+
+type width = W32 | W64
+
+type iunop = Clz | Ctz | Popcnt
+type ibinop =
+  | Add | Sub | Mul | DivS | DivU | RemS | RemU
+  | And | Or | Xor | Shl | ShrS | ShrU | Rotl | Rotr
+
+type irelop = Eq | Ne | LtS | LtU | GtS | GtU | LeS | LeU | GeS | GeU
+
+type funop = Neg | Abs | Ceil | Floor | Trunc | Nearest | Sqrt
+type fbinop = FAdd | FSub | FMul | FDiv | FMin | FMax | Copysign
+type frelop = FEq | FNe | FLt | FGt | FLe | FGe
+
+(** Conversions, named [<dst>.<op>_<src>] as in the spec. *)
+type cvtop =
+  | I32WrapI64
+  | I64ExtendI32S
+  | I64ExtendI32U
+  | I32TruncF32S | I32TruncF32U | I32TruncF64S | I32TruncF64U
+  | I64TruncF32S | I64TruncF32U | I64TruncF64S | I64TruncF64U
+  | F32ConvertI32S | F32ConvertI32U | F32ConvertI64S | F32ConvertI64U
+  | F64ConvertI32S | F64ConvertI32U | F64ConvertI64S | F64ConvertI64U
+  | F32DemoteF64
+  | F64PromoteF32
+  | I32ReinterpretF32 | I64ReinterpretF64
+  | F32ReinterpretI32 | F64ReinterpretI64
+
+(** Storage size for loads/stores narrower than the value type. *)
+type pack_size = Pack8 | Pack16 | Pack32
+type extension = SX | ZX
+
+type memarg = { offset : int64; align : int }
+
+(** Block types: Cage programs only need the MVP shorthand forms. *)
+type block_type = ValBlock of Types.val_type option
+
+type instr =
+  | Unreachable
+  | Nop
+  | Block of block_type * instr list
+  | Loop of block_type * instr list
+  | If of block_type * instr list * instr list
+  | Br of int
+  | BrIf of int
+  | BrTable of int list * int
+  | Return
+  | Call of int
+  | CallIndirect of int  (** type index; table 0 *)
+  | Drop
+  | Select
+  | LocalGet of int
+  | LocalSet of int
+  | LocalTee of int
+  | GlobalGet of int
+  | GlobalSet of int
+  | I32Const of int32
+  | I64Const of int64
+  | F32Const of float
+  | F64Const of float
+  | IUnop of width * iunop
+  | IBinop of width * ibinop
+  | ITestop of width  (** eqz *)
+  | IRelop of width * irelop
+  | FUnop of width * funop
+  | FBinop of width * fbinop
+  | FRelop of width * frelop
+  | Cvtop of cvtop
+  | Load of Types.num_type * (pack_size * extension) option * memarg
+  | Store of Types.num_type * pack_size option * memarg
+  | MemorySize
+  | MemoryGrow
+  | MemoryFill  (** bulk-memory: dst value len -> () *)
+  | MemoryCopy  (** bulk-memory: dst src len -> () *)
+  (* --- Cage extension (paper Fig. 7) --- *)
+  | SegmentNew of int64  (** static offset [o]: ptr len -> tagged ptr *)
+  | SegmentSetTag of int64  (** ptr tagged-ptr len -> () *)
+  | SegmentFree of int64  (** tagged-ptr len -> () *)
+  | PointerSign  (** i64 -> i64 *)
+  | PointerAuth  (** i64 -> i64, traps on bad signature *)
+
+(** A function definition: its type index, extra locals, and body. *)
+type func = {
+  ftype : int;
+  locals : Types.val_type list;
+  body : instr list;
+  fname : string option;  (** for diagnostics *)
+}
+
+type export_desc = Func_export of int | Mem_export of int
+type export = { ex_name : string; ex_desc : export_desc }
+
+(** An import of a host function. *)
+type import = { im_module : string; im_name : string; im_type : int }
+
+type global = { g_type : Types.global_type; g_init : Values.t }
+
+(** Active element segment: function indices placed in the table at
+    instantiation. *)
+type elem = { e_offset : int64; e_funcs : int list }
+
+(** Active data segment. *)
+type data = { d_offset : int64; d_bytes : string }
+
+type module_ = {
+  types : Types.func_type list;
+  imports : import list;  (** imported functions come first in index space *)
+  funcs : func list;
+  table : Types.table_type option;
+  memory : Types.mem_type option;
+  globals : global list;
+  exports : export list;
+  elems : elem list;
+  datas : data list;
+  start : int option;
+}
+
+let empty_module = {
+  types = [];
+  imports = [];
+  funcs = [];
+  table = None;
+  memory = None;
+  globals = [];
+  exports = [];
+  elems = [];
+  datas = [];
+  start = None;
+}
+
+(** Number of imported functions, i.e. the index of the first
+    module-defined function. *)
+let num_imports m = List.length m.imports
+
+let func_type_of (m : module_) i = List.nth m.types i
+
+(** The type of function index [i] (imports first, then local funcs). *)
+let type_of_func (m : module_) i =
+  let ni = num_imports m in
+  if i < ni then func_type_of m (List.nth m.imports i).im_type
+  else func_type_of m (List.nth m.funcs (i - ni)).ftype
+
+(** Whether an instruction is a Cage extension instruction (used by the
+    validator to reject them when the feature is disabled). *)
+let is_cage_instr = function
+  | SegmentNew _ | SegmentSetTag _ | SegmentFree _ | PointerSign
+  | PointerAuth ->
+      true
+  | _ -> false

@@ -1,0 +1,846 @@
+(** WebAssembly binary format: encoder and decoder.
+
+    Follows the wasm core binary format (LEB128 integers, sections in
+    index order) plus:
+
+    - the memory64 limits flag (bit 2) for 64-bit memories;
+    - the Cage extension instructions, encoded under the reserved
+      [0xfb] prefix with sub-opcodes 1-5 (mirroring how the artifact's
+      wasm-tools fork reserves an unused prefix):
+
+    {v
+    0xfb 0x01 o  segment.new       0xfb 0x04    i64.pointer_sign
+    0xfb 0x02 o  segment.set_tag   0xfb 0x05    i64.pointer_auth
+    0xfb 0x03 o  segment.free
+    v} *)
+
+exception Decode_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Encoder primitives                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module E = struct
+  let byte b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let rec u64 b (v : int64) =
+    let low = Int64.to_int (Int64.logand v 0x7fL) in
+    let rest = Int64.shift_right_logical v 7 in
+    if Int64.equal rest 0L then byte b low
+    else begin
+      byte b (low lor 0x80);
+      u64 b rest
+    end
+
+  let u32 b v = u64 b (Int64.logand (Int64.of_int v) 0xffffffffL)
+
+  let rec s64 b (v : int64) =
+    let low = Int64.to_int (Int64.logand v 0x7fL) in
+    let rest = Int64.shift_right v 7 in
+    let done_ =
+      (Int64.equal rest 0L && low land 0x40 = 0)
+      || (Int64.equal rest (-1L) && low land 0x40 <> 0)
+    in
+    if done_ then byte b low
+    else begin
+      byte b (low lor 0x80);
+      s64 b rest
+    end
+
+  let s32 b (v : int32) = s64 b (Int64.of_int32 v)
+
+  let f32 b v =
+    let bits = Int32.bits_of_float v in
+    for i = 0 to 3 do
+      byte b (Int32.to_int (Int32.shift_right_logical bits (8 * i)) land 0xff)
+    done
+
+  let f64 b v =
+    let bits = Int64.bits_of_float v in
+    for i = 0 to 7 do
+      byte b (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+    done
+
+  let name b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let vec b f xs =
+    u32 b (List.length xs);
+    List.iter (f b) xs
+
+  (* a section: id byte + size-prefixed payload *)
+  let section b id payload =
+    if Buffer.length payload > 0 then begin
+      byte b id;
+      u32 b (Buffer.length payload);
+      Buffer.add_buffer b payload
+    end
+end
+
+let val_type_byte : Types.val_type -> int = function
+  | Types.I32 -> 0x7f
+  | Types.I64 -> 0x7e
+  | Types.F32 -> 0x7d
+  | Types.F64 -> 0x7c
+
+let encode_val_type b t = E.byte b (val_type_byte t)
+
+let encode_limits b (l : Types.limits) ~mem64 =
+  let flags =
+    (match l.max with Some _ -> 1 | None -> 0)
+    lor if mem64 then 4 else 0
+  in
+  E.byte b flags;
+  E.u64 b l.min;
+  Option.iter (E.u64 b) l.max
+
+let encode_block_type b : Ast.block_type -> unit = function
+  | Ast.ValBlock None -> E.byte b 0x40
+  | Ast.ValBlock (Some t) -> encode_val_type b t
+
+let ibinop_base32 : Ast.ibinop -> int = function
+  | Ast.Add -> 0x6a | Sub -> 0x6b | Mul -> 0x6c | DivS -> 0x6d
+  | DivU -> 0x6e | RemS -> 0x6f | RemU -> 0x70 | And -> 0x71 | Or -> 0x72
+  | Xor -> 0x73 | Shl -> 0x74 | ShrS -> 0x75 | ShrU -> 0x76 | Rotl -> 0x77
+  | Rotr -> 0x78
+
+let irelop_base32 : Ast.irelop -> int = function
+  | Ast.Eq -> 0x46 | Ne -> 0x47 | LtS -> 0x48 | LtU -> 0x49 | GtS -> 0x4a
+  | GtU -> 0x4b | LeS -> 0x4c | LeU -> 0x4d | GeS -> 0x4e | GeU -> 0x4f
+
+let funop_base32 : Ast.funop -> int = function
+  | Ast.Abs -> 0x8b | Neg -> 0x8c | Ceil -> 0x8d | Floor -> 0x8e
+  | Trunc -> 0x8f | Nearest -> 0x90 | Sqrt -> 0x91
+
+let fbinop_base32 : Ast.fbinop -> int = function
+  | Ast.FAdd -> 0x92 | FSub -> 0x93 | FMul -> 0x94 | FDiv -> 0x95
+  | FMin -> 0x96 | FMax -> 0x97 | Copysign -> 0x98
+
+let frelop_base32 : Ast.frelop -> int = function
+  | Ast.FEq -> 0x5b | FNe -> 0x5c | FLt -> 0x5d | FGt -> 0x5e | FLe -> 0x5f
+  | FGe -> 0x60
+
+let cvtop_byte : Ast.cvtop -> int = function
+  | Ast.I32WrapI64 -> 0xa7
+  | I32TruncF32S -> 0xa8 | I32TruncF32U -> 0xa9
+  | I32TruncF64S -> 0xaa | I32TruncF64U -> 0xab
+  | I64ExtendI32S -> 0xac | I64ExtendI32U -> 0xad
+  | I64TruncF32S -> 0xae | I64TruncF32U -> 0xaf
+  | I64TruncF64S -> 0xb0 | I64TruncF64U -> 0xb1
+  | F32ConvertI32S -> 0xb2 | F32ConvertI32U -> 0xb3
+  | F32ConvertI64S -> 0xb4 | F32ConvertI64U -> 0xb5
+  | F32DemoteF64 -> 0xb6
+  | F64ConvertI32S -> 0xb7 | F64ConvertI32U -> 0xb8
+  | F64ConvertI64S -> 0xb9 | F64ConvertI64U -> 0xba
+  | F64PromoteF32 -> 0xbb
+  | I32ReinterpretF32 -> 0xbc | I64ReinterpretF64 -> 0xbd
+  | F32ReinterpretI32 -> 0xbe | F64ReinterpretI64 -> 0xbf
+
+let encode_memarg b (ma : Ast.memarg) =
+  E.u32 b ma.align;
+  E.u64 b ma.offset
+
+let rec encode_instr b (ins : Ast.instr) =
+  match ins with
+  | Ast.Unreachable -> E.byte b 0x00
+  | Nop -> E.byte b 0x01
+  | Block (bt, body) ->
+      E.byte b 0x02;
+      encode_block_type b bt;
+      List.iter (encode_instr b) body;
+      E.byte b 0x0b
+  | Loop (bt, body) ->
+      E.byte b 0x03;
+      encode_block_type b bt;
+      List.iter (encode_instr b) body;
+      E.byte b 0x0b
+  | If (bt, then_, else_) ->
+      E.byte b 0x04;
+      encode_block_type b bt;
+      List.iter (encode_instr b) then_;
+      if else_ <> [] then begin
+        E.byte b 0x05;
+        List.iter (encode_instr b) else_
+      end;
+      E.byte b 0x0b
+  | Br n -> E.byte b 0x0c; E.u32 b n
+  | BrIf n -> E.byte b 0x0d; E.u32 b n
+  | BrTable (targets, default) ->
+      E.byte b 0x0e;
+      E.vec b (fun b n -> E.u32 b n) targets;
+      E.u32 b default
+  | Return -> E.byte b 0x0f
+  | Call i -> E.byte b 0x10; E.u32 b i
+  | CallIndirect ti ->
+      E.byte b 0x11;
+      E.u32 b ti;
+      E.byte b 0x00
+  | Drop -> E.byte b 0x1a
+  | Select -> E.byte b 0x1b
+  | LocalGet i -> E.byte b 0x20; E.u32 b i
+  | LocalSet i -> E.byte b 0x21; E.u32 b i
+  | LocalTee i -> E.byte b 0x22; E.u32 b i
+  | GlobalGet i -> E.byte b 0x23; E.u32 b i
+  | GlobalSet i -> E.byte b 0x24; E.u32 b i
+  | Load (ty, pack, ma) ->
+      let op =
+        match (ty, pack) with
+        | Types.I32, None -> 0x28
+        | Types.I64, None -> 0x29
+        | Types.F32, None -> 0x2a
+        | Types.F64, None -> 0x2b
+        | Types.I32, Some (Ast.Pack8, Ast.SX) -> 0x2c
+        | Types.I32, Some (Ast.Pack8, Ast.ZX) -> 0x2d
+        | Types.I32, Some (Ast.Pack16, Ast.SX) -> 0x2e
+        | Types.I32, Some (Ast.Pack16, Ast.ZX) -> 0x2f
+        | Types.I64, Some (Ast.Pack8, Ast.SX) -> 0x30
+        | Types.I64, Some (Ast.Pack8, Ast.ZX) -> 0x31
+        | Types.I64, Some (Ast.Pack16, Ast.SX) -> 0x32
+        | Types.I64, Some (Ast.Pack16, Ast.ZX) -> 0x33
+        | Types.I64, Some (Ast.Pack32, Ast.SX) -> 0x34
+        | Types.I64, Some (Ast.Pack32, Ast.ZX) -> 0x35
+        | _ -> fail "unencodable load"
+      in
+      E.byte b op;
+      encode_memarg b ma
+  | Store (ty, pack, ma) ->
+      let op =
+        match (ty, pack) with
+        | Types.I32, None -> 0x36
+        | Types.I64, None -> 0x37
+        | Types.F32, None -> 0x38
+        | Types.F64, None -> 0x39
+        | Types.I32, Some Ast.Pack8 -> 0x3a
+        | Types.I32, Some Ast.Pack16 -> 0x3b
+        | Types.I64, Some Ast.Pack8 -> 0x3c
+        | Types.I64, Some Ast.Pack16 -> 0x3d
+        | Types.I64, Some Ast.Pack32 -> 0x3e
+        | _ -> fail "unencodable store"
+      in
+      E.byte b op;
+      encode_memarg b ma
+  | MemorySize -> E.byte b 0x3f; E.byte b 0x00
+  | MemoryGrow -> E.byte b 0x40; E.byte b 0x00
+  | MemoryCopy -> E.byte b 0xfc; E.u32 b 0x0a; E.byte b 0x00; E.byte b 0x00
+  | MemoryFill -> E.byte b 0xfc; E.u32 b 0x0b; E.byte b 0x00
+  | I32Const v -> E.byte b 0x41; E.s32 b v
+  | I64Const v -> E.byte b 0x42; E.s64 b v
+  | F32Const v -> E.byte b 0x43; E.f32 b v
+  | F64Const v -> E.byte b 0x44; E.f64 b v
+  | ITestop Ast.W32 -> E.byte b 0x45
+  | ITestop Ast.W64 -> E.byte b 0x50
+  | IRelop (Ast.W32, op) -> E.byte b (irelop_base32 op)
+  | IRelop (Ast.W64, op) -> E.byte b (irelop_base32 op + 0x0b)
+  | IUnop (Ast.W32, op) ->
+      E.byte b
+        (match op with Ast.Clz -> 0x67 | Ctz -> 0x68 | Popcnt -> 0x69)
+  | IUnop (Ast.W64, op) ->
+      E.byte b
+        (match op with Ast.Clz -> 0x79 | Ctz -> 0x7a | Popcnt -> 0x7b)
+  | IBinop (Ast.W32, op) -> E.byte b (ibinop_base32 op)
+  | IBinop (Ast.W64, op) -> E.byte b (ibinop_base32 op + 0x12)
+  | FUnop (Ast.W32, op) -> E.byte b (funop_base32 op)
+  | FUnop (Ast.W64, op) -> E.byte b (funop_base32 op + 0x0e)
+  | FBinop (Ast.W32, op) -> E.byte b (fbinop_base32 op)
+  | FBinop (Ast.W64, op) -> E.byte b (fbinop_base32 op + 0x0e)
+  | FRelop (Ast.W32, op) -> E.byte b (frelop_base32 op)
+  | FRelop (Ast.W64, op) -> E.byte b (frelop_base32 op + 0x06)
+  | Cvtop op -> E.byte b (cvtop_byte op)
+  (* Cage extension: 0xfb prefix *)
+  | SegmentNew o -> E.byte b 0xfb; E.u32 b 0x01; E.u64 b o
+  | SegmentSetTag o -> E.byte b 0xfb; E.u32 b 0x02; E.u64 b o
+  | SegmentFree o -> E.byte b 0xfb; E.u32 b 0x03; E.u64 b o
+  | PointerSign -> E.byte b 0xfb; E.u32 b 0x04
+  | PointerAuth -> E.byte b 0xfb; E.u32 b 0x05
+
+let encode_func_type b (ft : Types.func_type) =
+  E.byte b 0x60;
+  E.vec b encode_val_type ft.params;
+  E.vec b encode_val_type ft.results
+
+(* group consecutive equal local types into (count, type) runs *)
+let local_runs locals =
+  List.fold_left
+    (fun acc t ->
+      match acc with
+      | (n, t') :: rest when t' = t -> (n + 1, t') :: rest
+      | _ -> (1, t) :: acc)
+    [] locals
+  |> List.rev
+
+(** Encode a module to wasm binary bytes. *)
+let encode (m : Ast.module_) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "\x00asm";
+  Buffer.add_string b "\x01\x00\x00\x00";
+  let mem64 =
+    match m.memory with
+    | Some mt -> mt.mem_idx = Types.Idx64
+    | None -> false
+  in
+  (* type section *)
+  let tb = Buffer.create 256 in
+  E.vec tb encode_func_type m.types;
+  E.section b 1 tb;
+  (* import section *)
+  let ib = Buffer.create 256 in
+  if m.imports <> [] then begin
+    E.vec ib
+      (fun b (im : Ast.import) ->
+        E.name b im.im_module;
+        E.name b im.im_name;
+        E.byte b 0x00;
+        E.u32 b im.im_type)
+      m.imports;
+    E.section b 2 ib
+  end;
+  (* function section *)
+  let fb = Buffer.create 256 in
+  if m.funcs <> [] then begin
+    E.vec fb (fun b (f : Ast.func) -> E.u32 b f.ftype) m.funcs;
+    E.section b 3 fb
+  end;
+  (* table section *)
+  (match m.table with
+  | None -> ()
+  | Some tt ->
+      let tb = Buffer.create 16 in
+      E.u32 tb 1;
+      E.byte tb 0x70;
+      encode_limits tb tt.tbl_limits ~mem64:false;
+      E.section b 4 tb);
+  (* memory section *)
+  (match m.memory with
+  | None -> ()
+  | Some mt ->
+      let mb = Buffer.create 16 in
+      E.u32 mb 1;
+      encode_limits mb mt.mem_limits ~mem64;
+      E.section b 5 mb);
+  (* global section *)
+  if m.globals <> [] then begin
+    let gb = Buffer.create 64 in
+    E.vec gb
+      (fun b (g : Ast.global) ->
+        encode_val_type b g.g_type.Types.g_type;
+        E.byte b (if g.g_type.Types.mut then 0x01 else 0x00);
+        (match g.g_init with
+        | Values.I32 v -> encode_instr b (Ast.I32Const v)
+        | Values.I64 v -> encode_instr b (Ast.I64Const v)
+        | Values.F32 v -> encode_instr b (Ast.F32Const v)
+        | Values.F64 v -> encode_instr b (Ast.F64Const v));
+        E.byte b 0x0b)
+      m.globals;
+    E.section b 6 gb
+  end;
+  (* export section *)
+  if m.exports <> [] then begin
+    let eb = Buffer.create 256 in
+    E.vec eb
+      (fun b (ex : Ast.export) ->
+        E.name b ex.ex_name;
+        match ex.ex_desc with
+        | Ast.Func_export i ->
+            E.byte b 0x00;
+            E.u32 b i
+        | Ast.Mem_export i ->
+            E.byte b 0x02;
+            E.u32 b i)
+      m.exports;
+    E.section b 7 eb
+  end;
+  (* start section *)
+  (match m.start with
+  | None -> ()
+  | Some i ->
+      let sb = Buffer.create 8 in
+      E.u32 sb i;
+      E.section b 8 sb);
+  (* element section *)
+  if m.elems <> [] then begin
+    let eb = Buffer.create 256 in
+    E.vec eb
+      (fun b (e : Ast.elem) ->
+        E.u32 b 0;
+        encode_instr b (Ast.I32Const (Int64.to_int32 e.e_offset));
+        E.byte b 0x0b;
+        E.vec b (fun b i -> E.u32 b i) e.e_funcs)
+      m.elems;
+    E.section b 9 eb
+  end;
+  (* code section *)
+  if m.funcs <> [] then begin
+    let cb = Buffer.create 4096 in
+    E.vec cb
+      (fun b (f : Ast.func) ->
+        let body = Buffer.create 256 in
+        E.vec body
+          (fun b (n, t) ->
+            E.u32 b n;
+            encode_val_type b t)
+          (local_runs f.locals);
+        List.iter (encode_instr body) f.body;
+        E.byte body 0x0b;
+        E.u32 b (Buffer.length body);
+        Buffer.add_buffer b body)
+      m.funcs;
+    E.section b 10 cb
+  end;
+  (* data section *)
+  if m.datas <> [] then begin
+    let db = Buffer.create 4096 in
+    E.vec db
+      (fun b (d : Ast.data) ->
+        E.u32 b 0;
+        (if mem64 then encode_instr b (Ast.I64Const d.d_offset)
+         else encode_instr b (Ast.I32Const (Int64.to_int32 d.d_offset)));
+        E.byte b 0x0b;
+        E.u32 b (String.length d.d_bytes);
+        Buffer.add_string b d.d_bytes)
+      m.datas;
+    E.section b 11 db
+  end;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module D = struct
+  type t = { src : string; mutable pos : int }
+
+  let make src = { src; pos = 0 }
+  let eof d = d.pos >= String.length d.src
+
+  let byte d =
+    if eof d then fail "unexpected end of input";
+    let c = Char.code d.src.[d.pos] in
+    d.pos <- d.pos + 1;
+    c
+
+  let peek d =
+    if eof d then fail "unexpected end of input";
+    Char.code d.src.[d.pos]
+
+  let u64 d =
+    let rec go shift acc =
+      let b = byte d in
+      let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift) in
+      if b land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    go 0 0L
+
+  let u32 d = Int64.to_int (u64 d)
+
+  let s64 d =
+    let rec go shift acc =
+      let b = byte d in
+      let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift) in
+      if b land 0x80 <> 0 then go (shift + 7) acc
+      else if shift + 7 < 64 && b land 0x40 <> 0 then
+        (* sign-extend *)
+        Int64.logor acc (Int64.shift_left (-1L) (shift + 7))
+      else acc
+    in
+    go 0 0L
+
+  let s32 d = Int64.to_int32 (s64 d)
+
+  let f32 d =
+    let bits = ref 0l in
+    for i = 0 to 3 do
+      bits := Int32.logor !bits (Int32.shift_left (Int32.of_int (byte d)) (8 * i))
+    done;
+    Int32.float_of_bits !bits
+
+  let f64 d =
+    let bits = ref 0L in
+    for i = 0 to 7 do
+      bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (byte d)) (8 * i))
+    done;
+    Int64.float_of_bits !bits
+
+  let name d =
+    let n = u32 d in
+    if d.pos + n > String.length d.src then fail "name exceeds input";
+    let s = String.sub d.src d.pos n in
+    d.pos <- d.pos + n;
+    s
+
+  let vec d f =
+    let n = u32 d in
+    List.init n (fun _ -> f d)
+end
+
+let decode_val_type d : Types.val_type =
+  match D.byte d with
+  | 0x7f -> Types.I32
+  | 0x7e -> Types.I64
+  | 0x7d -> Types.F32
+  | 0x7c -> Types.F64
+  | b -> fail "unknown value type 0x%02x" b
+
+let decode_limits d : Types.limits * bool =
+  let flags = D.byte d in
+  let mem64 = flags land 4 <> 0 in
+  let min = D.u64 d in
+  let max = if flags land 1 <> 0 then Some (D.u64 d) else None in
+  ({ Types.min; max }, mem64)
+
+let decode_block_type d : Ast.block_type =
+  match D.peek d with
+  | 0x40 ->
+      ignore (D.byte d);
+      Ast.ValBlock None
+  | _ -> Ast.ValBlock (Some (decode_val_type d))
+
+let decode_memarg d : Ast.memarg =
+  let align = D.u32 d in
+  let offset = D.u64 d in
+  { Ast.align; offset }
+
+(* Reverse opcode tables for the grouped numeric ops. *)
+let irelop_of_code base code : Ast.irelop =
+  match code - base with
+  | 0 -> Ast.Eq | 1 -> Ne | 2 -> LtS | 3 -> LtU | 4 -> GtS | 5 -> GtU
+  | 6 -> LeS | 7 -> LeU | 8 -> GeS | 9 -> GeU
+  | _ -> fail "bad relop"
+
+let ibinop_of_code base code : Ast.ibinop =
+  match code - base with
+  | 0 -> Ast.Add | 1 -> Sub | 2 -> Mul | 3 -> DivS | 4 -> DivU | 5 -> RemS
+  | 6 -> RemU | 7 -> And | 8 -> Or | 9 -> Xor | 10 -> Shl | 11 -> ShrS
+  | 12 -> ShrU | 13 -> Rotl | 14 -> Rotr
+  | _ -> fail "bad ibinop"
+
+let funop_of_code base code : Ast.funop =
+  match code - base with
+  | 0 -> Ast.Abs | 1 -> Neg | 2 -> Ceil | 3 -> Floor | 4 -> Trunc
+  | 5 -> Nearest | 6 -> Sqrt
+  | _ -> fail "bad funop"
+
+let fbinop_of_code base code : Ast.fbinop =
+  match code - base with
+  | 0 -> Ast.FAdd | 1 -> FSub | 2 -> FMul | 3 -> FDiv | 4 -> FMin
+  | 5 -> FMax | 6 -> Copysign
+  | _ -> fail "bad fbinop"
+
+let frelop_of_code base code : Ast.frelop =
+  match code - base with
+  | 0 -> Ast.FEq | 1 -> FNe | 2 -> FLt | 3 -> FGt | 4 -> FLe | 5 -> FGe
+  | _ -> fail "bad frelop"
+
+let cvtop_of_code code : Ast.cvtop =
+  match code with
+  | 0xa7 -> Ast.I32WrapI64
+  | 0xa8 -> I32TruncF32S | 0xa9 -> I32TruncF32U
+  | 0xaa -> I32TruncF64S | 0xab -> I32TruncF64U
+  | 0xac -> I64ExtendI32S | 0xad -> I64ExtendI32U
+  | 0xae -> I64TruncF32S | 0xaf -> I64TruncF32U
+  | 0xb0 -> I64TruncF64S | 0xb1 -> I64TruncF64U
+  | 0xb2 -> F32ConvertI32S | 0xb3 -> F32ConvertI32U
+  | 0xb4 -> F32ConvertI64S | 0xb5 -> F32ConvertI64U
+  | 0xb6 -> F32DemoteF64
+  | 0xb7 -> F64ConvertI32S | 0xb8 -> F64ConvertI32U
+  | 0xb9 -> F64ConvertI64S | 0xba -> F64ConvertI64U
+  | 0xbb -> F64PromoteF32
+  | 0xbc -> I32ReinterpretF32 | 0xbd -> I64ReinterpretF64
+  | 0xbe -> F32ReinterpretI32 | 0xbf -> F64ReinterpretI64
+  | c -> fail "unknown conversion opcode 0x%02x" c
+
+(* Decode instructions until one of the [stops] bytes; the stop byte is
+   consumed and returned. *)
+let rec decode_instrs d ~stops =
+  let rec go acc =
+    let op = D.peek d in
+    if List.mem op stops then begin
+      ignore (D.byte d);
+      (List.rev acc, op)
+    end
+    else go (decode_instr d :: acc)
+  in
+  go []
+
+and decode_instr d : Ast.instr =
+  let op = D.byte d in
+  match op with
+  | 0x00 -> Ast.Unreachable
+  | 0x01 -> Ast.Nop
+  | 0x02 ->
+      let bt = decode_block_type d in
+      let body, _ = decode_instrs d ~stops:[ 0x0b ] in
+      Ast.Block (bt, body)
+  | 0x03 ->
+      let bt = decode_block_type d in
+      let body, _ = decode_instrs d ~stops:[ 0x0b ] in
+      Ast.Loop (bt, body)
+  | 0x04 ->
+      let bt = decode_block_type d in
+      let then_, stop = decode_instrs d ~stops:[ 0x0b; 0x05 ] in
+      let else_ =
+        if stop = 0x05 then fst (decode_instrs d ~stops:[ 0x0b ]) else []
+      in
+      Ast.If (bt, then_, else_)
+  | 0x0c -> Ast.Br (D.u32 d)
+  | 0x0d -> Ast.BrIf (D.u32 d)
+  | 0x0e ->
+      let targets = D.vec d D.u32 in
+      let default = D.u32 d in
+      Ast.BrTable (targets, default)
+  | 0x0f -> Ast.Return
+  | 0x10 -> Ast.Call (D.u32 d)
+  | 0x11 ->
+      let ti = D.u32 d in
+      let tbl = D.byte d in
+      if tbl <> 0 then fail "call_indirect: non-zero table";
+      Ast.CallIndirect ti
+  | 0x1a -> Ast.Drop
+  | 0x1b -> Ast.Select
+  | 0x20 -> Ast.LocalGet (D.u32 d)
+  | 0x21 -> Ast.LocalSet (D.u32 d)
+  | 0x22 -> Ast.LocalTee (D.u32 d)
+  | 0x23 -> Ast.GlobalGet (D.u32 d)
+  | 0x24 -> Ast.GlobalSet (D.u32 d)
+  | 0x28 -> Ast.Load (Types.I32, None, decode_memarg d)
+  | 0x29 -> Ast.Load (Types.I64, None, decode_memarg d)
+  | 0x2a -> Ast.Load (Types.F32, None, decode_memarg d)
+  | 0x2b -> Ast.Load (Types.F64, None, decode_memarg d)
+  | 0x2c -> Ast.Load (Types.I32, Some (Ast.Pack8, Ast.SX), decode_memarg d)
+  | 0x2d -> Ast.Load (Types.I32, Some (Ast.Pack8, Ast.ZX), decode_memarg d)
+  | 0x2e -> Ast.Load (Types.I32, Some (Ast.Pack16, Ast.SX), decode_memarg d)
+  | 0x2f -> Ast.Load (Types.I32, Some (Ast.Pack16, Ast.ZX), decode_memarg d)
+  | 0x30 -> Ast.Load (Types.I64, Some (Ast.Pack8, Ast.SX), decode_memarg d)
+  | 0x31 -> Ast.Load (Types.I64, Some (Ast.Pack8, Ast.ZX), decode_memarg d)
+  | 0x32 -> Ast.Load (Types.I64, Some (Ast.Pack16, Ast.SX), decode_memarg d)
+  | 0x33 -> Ast.Load (Types.I64, Some (Ast.Pack16, Ast.ZX), decode_memarg d)
+  | 0x34 -> Ast.Load (Types.I64, Some (Ast.Pack32, Ast.SX), decode_memarg d)
+  | 0x35 -> Ast.Load (Types.I64, Some (Ast.Pack32, Ast.ZX), decode_memarg d)
+  | 0x36 -> Ast.Store (Types.I32, None, decode_memarg d)
+  | 0x37 -> Ast.Store (Types.I64, None, decode_memarg d)
+  | 0x38 -> Ast.Store (Types.F32, None, decode_memarg d)
+  | 0x39 -> Ast.Store (Types.F64, None, decode_memarg d)
+  | 0x3a -> Ast.Store (Types.I32, Some Ast.Pack8, decode_memarg d)
+  | 0x3b -> Ast.Store (Types.I32, Some Ast.Pack16, decode_memarg d)
+  | 0x3c -> Ast.Store (Types.I64, Some Ast.Pack8, decode_memarg d)
+  | 0x3d -> Ast.Store (Types.I64, Some Ast.Pack16, decode_memarg d)
+  | 0x3e -> Ast.Store (Types.I64, Some Ast.Pack32, decode_memarg d)
+  | 0x3f ->
+      ignore (D.byte d);
+      Ast.MemorySize
+  | 0x40 ->
+      ignore (D.byte d);
+      Ast.MemoryGrow
+  | 0x41 -> Ast.I32Const (D.s32 d)
+  | 0x42 -> Ast.I64Const (D.s64 d)
+  | 0x43 -> Ast.F32Const (D.f32 d)
+  | 0x44 -> Ast.F64Const (D.f64 d)
+  | 0x45 -> Ast.ITestop Ast.W32
+  | 0x50 -> Ast.ITestop Ast.W64
+  | c when c >= 0x46 && c <= 0x4f -> Ast.IRelop (Ast.W32, irelop_of_code 0x46 c)
+  | c when c >= 0x51 && c <= 0x5a -> Ast.IRelop (Ast.W64, irelop_of_code 0x51 c)
+  | c when c >= 0x5b && c <= 0x60 -> Ast.FRelop (Ast.W32, frelop_of_code 0x5b c)
+  | c when c >= 0x61 && c <= 0x66 -> Ast.FRelop (Ast.W64, frelop_of_code 0x61 c)
+  | 0x67 -> Ast.IUnop (Ast.W32, Ast.Clz)
+  | 0x68 -> Ast.IUnop (Ast.W32, Ast.Ctz)
+  | 0x69 -> Ast.IUnop (Ast.W32, Ast.Popcnt)
+  | c when c >= 0x6a && c <= 0x78 -> Ast.IBinop (Ast.W32, ibinop_of_code 0x6a c)
+  | 0x79 -> Ast.IUnop (Ast.W64, Ast.Clz)
+  | 0x7a -> Ast.IUnop (Ast.W64, Ast.Ctz)
+  | 0x7b -> Ast.IUnop (Ast.W64, Ast.Popcnt)
+  | c when c >= 0x7c && c <= 0x8a -> Ast.IBinop (Ast.W64, ibinop_of_code 0x7c c)
+  | c when c >= 0x8b && c <= 0x91 -> Ast.FUnop (Ast.W32, funop_of_code 0x8b c)
+  | c when c >= 0x92 && c <= 0x98 -> Ast.FBinop (Ast.W32, fbinop_of_code 0x92 c)
+  | c when c >= 0x99 && c <= 0x9f -> Ast.FUnop (Ast.W64, funop_of_code 0x99 c)
+  | c when c >= 0xa0 && c <= 0xa6 -> Ast.FBinop (Ast.W64, fbinop_of_code 0xa0 c)
+  | c when c >= 0xa7 && c <= 0xbf -> Ast.Cvtop (cvtop_of_code c)
+  | 0xfc -> (
+      match D.u32 d with
+      | 0x0a ->
+          ignore (D.byte d);
+          ignore (D.byte d);
+          Ast.MemoryCopy
+      | 0x0b ->
+          ignore (D.byte d);
+          Ast.MemoryFill
+      | sub -> fail "unknown 0xfc sub-opcode %d" sub)
+  | 0xfb -> (
+      (* the Cage extension prefix *)
+      match D.u32 d with
+      | 0x01 -> Ast.SegmentNew (D.u64 d)
+      | 0x02 -> Ast.SegmentSetTag (D.u64 d)
+      | 0x03 -> Ast.SegmentFree (D.u64 d)
+      | 0x04 -> Ast.PointerSign
+      | 0x05 -> Ast.PointerAuth
+      | sub -> fail "unknown cage sub-opcode %d" sub)
+  | c -> fail "unknown opcode 0x%02x" c
+
+let decode_func_type d : Types.func_type =
+  (match D.byte d with
+  | 0x60 -> ()
+  | b -> fail "expected functype (0x60), got 0x%02x" b);
+  let params = D.vec d decode_val_type in
+  let results = D.vec d decode_val_type in
+  { Types.params; results }
+
+let decode_const_expr d =
+  let instrs, _ = decode_instrs d ~stops:[ 0x0b ] in
+  match instrs with
+  | [ Ast.I32Const v ] -> Values.I32 v
+  | [ Ast.I64Const v ] -> Values.I64 v
+  | [ Ast.F32Const v ] -> Values.F32 v
+  | [ Ast.F64Const v ] -> Values.F64 v
+  | _ -> fail "unsupported constant expression"
+
+(** Decode a wasm binary into a module. *)
+let decode (bytes : string) : Ast.module_ =
+  let d = D.make bytes in
+  if String.length bytes < 8 then fail "input too short";
+  if String.sub bytes 0 4 <> "\x00asm" then fail "bad magic";
+  if String.sub bytes 4 4 <> "\x01\x00\x00\x00" then fail "bad version";
+  d.D.pos <- 8;
+  let m = ref Ast.empty_module in
+  let func_types = ref [] in
+  let bodies = ref [] in
+  while not (D.eof d) do
+    let id = D.byte d in
+    let size = D.u32 d in
+    let section_end = d.D.pos + size in
+    (match id with
+    | 0 ->
+        (* custom section: skip *)
+        d.D.pos <- section_end
+    | 1 -> m := { !m with types = D.vec d decode_func_type }
+    | 2 ->
+        m :=
+          { !m with
+            imports =
+              D.vec d (fun d ->
+                  let im_module = D.name d in
+                  let im_name = D.name d in
+                  (match D.byte d with
+                  | 0x00 -> ()
+                  | k -> fail "unsupported import kind %d" k);
+                  { Ast.im_module; im_name; im_type = D.u32 d }) }
+    | 3 -> func_types := D.vec d D.u32
+    | 4 ->
+        let tables =
+          D.vec d (fun d ->
+              (match D.byte d with
+              | 0x70 -> ()
+              | b -> fail "expected funcref table, got 0x%02x" b);
+              let lim, _ = decode_limits d in
+              { Types.tbl_limits = lim })
+        in
+        m := { !m with table = List.nth_opt tables 0 }
+    | 5 ->
+        let mems =
+          D.vec d (fun d ->
+              let lim, mem64 = decode_limits d in
+              { Types.mem_idx = (if mem64 then Types.Idx64 else Types.Idx32);
+                mem_limits = lim })
+        in
+        m := { !m with memory = List.nth_opt mems 0 }
+    | 6 ->
+        m :=
+          { !m with
+            globals =
+              D.vec d (fun d ->
+                  let g_type = decode_val_type d in
+                  let mut = D.byte d = 0x01 in
+                  let g_init = decode_const_expr d in
+                  { Ast.g_type = { Types.mut; g_type }; g_init }) }
+    | 7 ->
+        m :=
+          { !m with
+            exports =
+              D.vec d (fun d ->
+                  let ex_name = D.name d in
+                  let kind = D.byte d in
+                  let idx = D.u32 d in
+                  let ex_desc =
+                    match kind with
+                    | 0x00 -> Ast.Func_export idx
+                    | 0x02 -> Ast.Mem_export idx
+                    | k -> fail "unsupported export kind %d" k
+                  in
+                  { Ast.ex_name; ex_desc }) }
+    | 8 -> m := { !m with start = Some (D.u32 d) }
+    | 9 ->
+        m :=
+          { !m with
+            elems =
+              D.vec d (fun d ->
+                  (match D.u32 d with
+                  | 0 -> ()
+                  | f -> fail "unsupported element flags %d" f);
+                  let offset =
+                    match decode_const_expr d with
+                    | Values.I32 v -> Int64.of_int32 v
+                    | Values.I64 v -> v
+                    | _ -> fail "bad element offset"
+                  in
+                  { Ast.e_offset = offset; e_funcs = D.vec d D.u32 }) }
+    | 10 ->
+        bodies :=
+          D.vec d (fun d ->
+              let _size = D.u32 d in
+              let locals =
+                List.concat
+                  (D.vec d (fun d ->
+                       let n = D.u32 d in
+                       let t = decode_val_type d in
+                       List.init n (fun _ -> t)))
+              in
+              let body, _ = decode_instrs d ~stops:[ 0x0b ] in
+              (locals, body))
+    | 11 ->
+        m :=
+          { !m with
+            datas =
+              D.vec d (fun d ->
+                  (match D.u32 d with
+                  | 0 -> ()
+                  | f -> fail "unsupported data flags %d" f);
+                  let offset =
+                    match decode_const_expr d with
+                    | Values.I32 v ->
+                        Int64.logand (Int64.of_int32 v) 0xffffffffL
+                    | Values.I64 v -> v
+                    | _ -> fail "bad data offset"
+                  in
+                  let n = D.u32 d in
+                  if d.D.pos + n > String.length bytes then
+                    fail "data segment exceeds input";
+                  let s = String.sub bytes d.D.pos n in
+                  d.D.pos <- d.D.pos + n;
+                  { Ast.d_offset = offset; d_bytes = s }) }
+    | id -> fail "unknown section id %d" id);
+    if d.D.pos <> section_end then
+      fail "section %d: decoded %d bytes, declared %d" id
+        (d.D.pos - (section_end - size))
+        size
+  done;
+  let funcs =
+    List.map2
+      (fun ftype (locals, body) ->
+        { Ast.ftype; locals; body; fname = None })
+      !func_types !bodies
+  in
+  { !m with funcs }
+
+(** Encode then write to a file. *)
+let write_file path m =
+  let oc = open_out_bin path in
+  output_string oc (encode m);
+  close_out oc
+
+(** Read and decode a file. *)
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  decode s

@@ -1,0 +1,838 @@
+(** The interpreter: wasm small-step semantics extended with the Cage
+    rules of paper Fig. 11.
+
+    Loads and stores check allocation tags when the instance was
+    instantiated with [enforce_tags] (Eqs. 1-4); the five Cage
+    instructions implement Eqs. 5-13. Execution events are reported to
+    the instance's {!Meter} so the Cage lowering layer can price runs
+    under different hardware configurations without re-executing. *)
+
+open Instance
+
+exception Branch of int * Values.t list
+exception Ret of Values.t list
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+let max_call_depth = 2000
+
+(* ------------------------------------------------------------------ *)
+(* Numeric operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let eval_iunop32 (op : Ast.iunop) x =
+  match op with
+  | Clz -> Int32.of_int (Values.clz32 x)
+  | Ctz -> Int32.of_int (Values.ctz32 x)
+  | Popcnt -> Int32.of_int (Values.popcnt32 x)
+
+let eval_iunop64 (op : Ast.iunop) x =
+  match op with
+  | Clz -> Int64.of_int (Values.clz64 x)
+  | Ctz -> Int64.of_int (Values.ctz64 x)
+  | Popcnt -> Int64.of_int (Values.popcnt64 x)
+
+let eval_ibinop32 (op : Ast.ibinop) x y =
+  match op with
+  | Add -> Int32.add x y
+  | Sub -> Int32.sub x y
+  | Mul -> Int32.mul x y
+  | DivS ->
+      if Int32.equal y 0l then trap "integer divide by zero"
+      else if Int32.equal x Int32.min_int && Int32.equal y (-1l) then
+        trap "integer overflow"
+      else Int32.div x y
+  | DivU ->
+      if Int32.equal y 0l then trap "integer divide by zero"
+      else Int32.unsigned_div x y
+  | RemS ->
+      if Int32.equal y 0l then trap "integer divide by zero"
+      else if Int32.equal x Int32.min_int && Int32.equal y (-1l) then 0l
+      else Int32.rem x y
+  | RemU ->
+      if Int32.equal y 0l then trap "integer divide by zero"
+      else Int32.unsigned_rem x y
+  | And -> Int32.logand x y
+  | Or -> Int32.logor x y
+  | Xor -> Int32.logxor x y
+  | Shl -> Int32.shift_left x (Values.i32_shift_amount y)
+  | ShrS -> Int32.shift_right x (Values.i32_shift_amount y)
+  | ShrU -> Int32.shift_right_logical x (Values.i32_shift_amount y)
+  | Rotl -> Values.rotl32 x y
+  | Rotr -> Values.rotr32 x y
+
+let eval_ibinop64 (op : Ast.ibinop) x y =
+  match op with
+  | Add -> Int64.add x y
+  | Sub -> Int64.sub x y
+  | Mul -> Int64.mul x y
+  | DivS ->
+      if Int64.equal y 0L then trap "integer divide by zero"
+      else if Int64.equal x Int64.min_int && Int64.equal y (-1L) then
+        trap "integer overflow"
+      else Int64.div x y
+  | DivU ->
+      if Int64.equal y 0L then trap "integer divide by zero"
+      else Int64.unsigned_div x y
+  | RemS ->
+      if Int64.equal y 0L then trap "integer divide by zero"
+      else if Int64.equal x Int64.min_int && Int64.equal y (-1L) then 0L
+      else Int64.rem x y
+  | RemU ->
+      if Int64.equal y 0L then trap "integer divide by zero"
+      else Int64.unsigned_rem x y
+  | And -> Int64.logand x y
+  | Or -> Int64.logor x y
+  | Xor -> Int64.logxor x y
+  | Shl -> Int64.shift_left x (Values.i64_shift_amount y)
+  | ShrS -> Int64.shift_right x (Values.i64_shift_amount y)
+  | ShrU -> Int64.shift_right_logical x (Values.i64_shift_amount y)
+  | Rotl -> Values.rotl64 x y
+  | Rotr -> Values.rotr64 x y
+
+let eval_irelop32 (op : Ast.irelop) x y =
+  match op with
+  | Eq -> Int32.equal x y
+  | Ne -> not (Int32.equal x y)
+  | LtS -> Int32.compare x y < 0
+  | LtU -> Values.u32_lt x y
+  | GtS -> Int32.compare x y > 0
+  | GtU -> Values.u32_gt x y
+  | LeS -> Int32.compare x y <= 0
+  | LeU -> Values.u32_le x y
+  | GeS -> Int32.compare x y >= 0
+  | GeU -> Values.u32_ge x y
+
+let eval_irelop64 (op : Ast.irelop) x y =
+  match op with
+  | Eq -> Int64.equal x y
+  | Ne -> not (Int64.equal x y)
+  | LtS -> Int64.compare x y < 0
+  | LtU -> Values.u64_lt x y
+  | GtS -> Int64.compare x y > 0
+  | GtU -> Values.u64_gt x y
+  | LeS -> Int64.compare x y <= 0
+  | LeU -> Values.u64_le x y
+  | GeS -> Int64.compare x y >= 0
+  | GeU -> Values.u64_ge x y
+
+let eval_funop (op : Ast.funop) x =
+  match op with
+  | Neg -> -.x
+  | Abs -> Float.abs x
+  | Ceil -> Float.ceil x
+  | Floor -> Float.floor x
+  | Trunc -> Float.trunc x
+  | Nearest -> Float.round x (* close enough to round-to-even for our use *)
+  | Sqrt -> Float.sqrt x
+
+let eval_fbinop (op : Ast.fbinop) x y =
+  match op with
+  | FAdd -> x +. y
+  | FSub -> x -. y
+  | FMul -> x *. y
+  | FDiv -> x /. y
+  | FMin -> if Float.is_nan x || Float.is_nan y then Float.nan else Float.min x y
+  | FMax -> if Float.is_nan x || Float.is_nan y then Float.nan else Float.max x y
+  | Copysign -> Float.copy_sign x y
+
+let eval_frelop (op : Ast.frelop) x y =
+  match op with
+  | FEq -> x = y
+  | FNe -> x <> y
+  | FLt -> x < y
+  | FGt -> x > y
+  | FLe -> x <= y
+  | FGe -> x >= y
+
+let trunc_to_i32 ~signed x =
+  if Float.is_nan x then trap "invalid conversion to integer";
+  let t = Float.trunc x in
+  if signed then
+    if t >= 2147483648.0 || t < -2147483648.0 then trap "integer overflow"
+    else Int32.of_float t
+  else if t >= 4294967296.0 || t <= -1.0 then trap "integer overflow"
+  else Int64.to_int32 (Int64.of_float t)
+
+let trunc_to_i64 ~signed x =
+  if Float.is_nan x then trap "invalid conversion to integer";
+  let t = Float.trunc x in
+  if signed then
+    if t >= 9.22337203685477581e18 || t < -9.22337203685477581e18 then
+      trap "integer overflow"
+    else Int64.of_float t
+  else if t >= 1.8446744073709552e19 || t <= -1.0 then trap "integer overflow"
+  else if t >= 9.22337203685477581e18 then
+    (* wrap into the unsigned top half *)
+    Int64.add Int64.min_int (Int64.of_float (t -. 9.22337203685477581e18))
+  else Int64.of_float t
+
+let u32_to_float x = Int64.to_float (Int64.logand (Int64.of_int32 x) 0xffffffffL)
+
+let u64_to_float x =
+  if Int64.compare x 0L >= 0 then Int64.to_float x
+  else Int64.to_float (Int64.shift_right_logical x 1) *. 2.0
+
+let eval_cvtop (op : Ast.cvtop) (v : Values.t) : Values.t =
+  match (op, v) with
+  | I32WrapI64, I64 x -> I32 (Int64.to_int32 x)
+  | I64ExtendI32S, I32 x -> I64 (Int64.of_int32 x)
+  | I64ExtendI32U, I32 x -> I64 (Int64.logand (Int64.of_int32 x) 0xffffffffL)
+  | I32TruncF32S, F32 x | I32TruncF64S, F64 x -> I32 (trunc_to_i32 ~signed:true x)
+  | I32TruncF32U, F32 x | I32TruncF64U, F64 x -> I32 (trunc_to_i32 ~signed:false x)
+  | I64TruncF32S, F32 x | I64TruncF64S, F64 x -> I64 (trunc_to_i64 ~signed:true x)
+  | I64TruncF32U, F32 x | I64TruncF64U, F64 x -> I64 (trunc_to_i64 ~signed:false x)
+  | F32ConvertI32S, I32 x -> F32 (Values.to_f32 (Int32.to_float x))
+  | F32ConvertI32U, I32 x -> F32 (Values.to_f32 (u32_to_float x))
+  | F32ConvertI64S, I64 x -> F32 (Values.to_f32 (Int64.to_float x))
+  | F32ConvertI64U, I64 x -> F32 (Values.to_f32 (u64_to_float x))
+  | F64ConvertI32S, I32 x -> F64 (Int32.to_float x)
+  | F64ConvertI32U, I32 x -> F64 (u32_to_float x)
+  | F64ConvertI64S, I64 x -> F64 (Int64.to_float x)
+  | F64ConvertI64U, I64 x -> F64 (u64_to_float x)
+  | F32DemoteF64, F64 x -> F32 (Values.to_f32 x)
+  | F64PromoteF32, F32 x -> F64 x
+  | I32ReinterpretF32, F32 x -> I32 (Int32.bits_of_float x)
+  | I64ReinterpretF64, F64 x -> I64 (Int64.bits_of_float x)
+  | F32ReinterpretI32, I32 x -> F32 (Int32.float_of_bits x)
+  | F64ReinterpretI64, I64 x -> F64 (Int64.float_of_bits x)
+  | _ -> trap "conversion operand type mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* Stack helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pop stack =
+  match !stack with
+  | [] -> trap "operand stack underflow (unvalidated module?)"
+  | v :: rest ->
+      stack := rest;
+      v
+
+let push stack v = stack := v :: !stack
+
+let pop_i32 stack =
+  match pop stack with
+  | Values.I32 v -> v
+  | v -> trap "expected i32, got %a" Values.pp v
+
+let pop_i64 stack =
+  match pop stack with
+  | Values.I64 v -> v
+  | v -> trap "expected i64, got %a" Values.pp v
+
+let popn stack n =
+  let rec go acc n = if n = 0 then acc else go (pop stack :: acc) (n - 1) in
+  go [] n
+
+(* ------------------------------------------------------------------ *)
+(* Memory access with tag checking                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Bits 48-55 of a 64-bit address are checked by the MMU even with TBI
+   enabled (the tag lives in 56-59, ignored bits are 56-63); a pointer
+   carrying PAC-signature bits there is non-canonical and faults. This is
+   what makes "signed pointers cannot access memory" true. *)
+let noncanonical_mask = 0x00ff_0000_0000_0000L
+
+(* Resolve an address operand to (effective address, logical tag). *)
+let resolve_addr (idx : Values.t) (offset : int64) =
+  match idx with
+  | Values.I32 i ->
+      (Int64.add (Int64.logand (Int64.of_int32 i) 0xffffffffL) offset,
+       Arch.Tag.zero)
+  | Values.I64 p ->
+      if Int64.logand p noncanonical_mask <> 0L then
+        trap "non-canonical address 0x%Lx" p;
+      (Int64.add (Arch.Ptr.address p) offset, Arch.Ptr.tag p)
+  | v -> trap "bad address operand %a" Values.pp v
+
+let check_tags (inst : Instance.t) access ~addr ~tag ~len =
+  if inst.enforce_tags then
+    match inst.mte with
+    | None -> ()
+    | Some mte -> (
+        let ptr = Arch.Ptr.with_tag addr tag in
+        match Arch.Mte.check mte access ~ptr ~len:(Int64.of_int len) with
+        | Arch.Mte.Allowed | Arch.Mte.Deferred _ -> ()
+        | Arch.Mte.Faulted f -> trap "%a" Arch.Mte.pp_fault f)
+
+let do_load (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memarg) =
+  let mem = memory inst in
+  let addr, tag = resolve_addr (pop stack) ma.offset in
+  let size =
+    match pack with
+    | None -> ( match ty with I32 | F32 -> 4 | I64 | F64 -> 8)
+    | Some (p, _) -> ( match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4)
+  in
+  (* Bounds first: an out-of-bounds access is a sandbox violation and
+     reported as such regardless of tag state. *)
+  if not (Memory.in_bounds mem ~addr ~len:size) then
+    trap "out of bounds memory access";
+  check_tags inst Arch.Mte.Load ~addr ~tag ~len:size;
+  (match inst.meter with
+  | Some m ->
+      m.loads <- m.loads + 1;
+      m.load_bytes <- m.load_bytes + size
+  | None -> ());
+  let v =
+    try
+      match (ty, pack) with
+      | I32, None -> Values.I32 (Memory.load_i32 mem addr)
+      | I64, None -> Values.I64 (Memory.load_i64 mem addr)
+      | F32, None -> Values.F32 (Memory.load_f32 mem addr)
+      | F64, None -> Values.F64 (Memory.load_f64 mem addr)
+      | (I32 | I64), Some (p, ext) ->
+          let n =
+            match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4
+          in
+          let raw = Memory.load_n mem addr n in
+          let bits = n * 8 in
+          let v =
+            match ext with
+            | Ast.ZX -> raw
+            | Ast.SX ->
+                Int64.shift_right (Int64.shift_left raw (64 - bits)) (64 - bits)
+          in
+          if ty = I32 then Values.I32 (Int64.to_int32 v) else Values.I64 v
+      | _ -> trap "packed load of float"
+    with Memory.Out_of_bounds _ -> trap "out of bounds memory access"
+  in
+  push stack v
+
+let do_store (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memarg) =
+  let mem = memory inst in
+  let v = pop stack in
+  let addr, tag = resolve_addr (pop stack) ma.offset in
+  let size =
+    match pack with
+    | None -> ( match ty with I32 | F32 -> 4 | I64 | F64 -> 8)
+    | Some p -> ( match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4)
+  in
+  if not (Memory.in_bounds mem ~addr ~len:size) then
+    trap "out of bounds memory access";
+  check_tags inst Arch.Mte.Store ~addr ~tag ~len:size;
+  (match inst.meter with
+  | Some m ->
+      m.stores <- m.stores + 1;
+      m.store_bytes <- m.store_bytes + size
+  | None -> ());
+  try
+    match (ty, pack, v) with
+    | I32, None, Values.I32 x -> Memory.store_i32 mem addr x
+    | I64, None, Values.I64 x -> Memory.store_i64 mem addr x
+    | F32, None, Values.F32 x -> Memory.store_f32 mem addr x
+    | F64, None, Values.F64 x -> Memory.store_f64 mem addr x
+    | I32, Some p, Values.I32 x ->
+        let n = match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4 in
+        Memory.store_n mem addr n (Int64.of_int32 x)
+    | I64, Some p, Values.I64 x ->
+        let n = match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4 in
+        Memory.store_n mem addr n x
+    | _ -> trap "store operand type mismatch"
+  with Memory.Out_of_bounds _ -> trap "out of bounds memory access"
+
+(* ------------------------------------------------------------------ *)
+(* Cage segment instructions (Eqs. 5-13)                               *)
+(* ------------------------------------------------------------------ *)
+
+let seg_granules len = Int64.to_int (Int64.div len 16L)
+
+let rng_int (inst : Instance.t) n = Random.State.int inst.rng n
+
+let exec_segment_new (inst : Instance.t) stack o =
+  let l = pop_i64 stack in
+  let k = pop_i64 stack in
+  let mte = mte inst in
+  let tm = Arch.Mte.tag_memory mte in
+  let addr = Int64.add (Arch.Ptr.address k) o in
+  let tag = Arch.Tag.irg inst.exclude ~rng:(rng_int inst) in
+  (match Arch.Tag_memory.set_region tm ~addr ~len:l tag with
+  | Ok () -> ()
+  | Error e -> trap "segment.new: %s" e);
+  (* Eq. 5: the new segment is zeroed. *)
+  (try Memory.fill (memory inst) ~addr ~len:l 0
+   with Memory.Out_of_bounds _ -> trap "segment.new: out of bounds");
+  (match inst.meter with
+  | Some m ->
+      m.seg_new <- m.seg_new + 1;
+      m.seg_new_granules <- m.seg_new_granules + seg_granules l
+  | None -> ());
+  push stack (Values.I64 (Arch.Ptr.with_tag (Int64.add k o) tag))
+
+let exec_segment_set_tag (inst : Instance.t) stack o =
+  let l = pop_i64 stack in
+  let t = pop_i64 stack in
+  let k = pop_i64 stack in
+  let mte = mte inst in
+  let tm = Arch.Mte.tag_memory mte in
+  let addr = Int64.add (Arch.Ptr.address k) o in
+  (match Arch.Tag_memory.set_region tm ~addr ~len:l (Arch.Ptr.tag t) with
+  | Ok () -> ()
+  | Error e -> trap "segment.set_tag: %s" e);
+  match inst.meter with
+  | Some m ->
+      m.seg_set_tag <- m.seg_set_tag + 1;
+      m.seg_set_tag_granules <- m.seg_set_tag_granules + seg_granules l
+  | None -> ()
+
+let exec_segment_free (inst : Instance.t) stack o =
+  let l = pop_i64 stack in
+  let k = pop_i64 stack in
+  let mte = mte inst in
+  let tm = Arch.Mte.tag_memory mte in
+  let addr = Int64.add (Arch.Ptr.address k) o in
+  let ptag = Arch.Ptr.tag k in
+  (* Eq. 9/10: the pointer must still own the whole segment — this is
+     what catches double-frees and frees through corrupted pointers. *)
+  if not (Arch.Tag_memory.matches tm ~addr ~len:(Int64.max l 1L) ptag) then
+    trap "segment.free: tag mismatch (double free or invalid free)";
+  let free_tag = Arch.Tag.next_allowed inst.exclude ptag in
+  (match Arch.Tag_memory.set_region tm ~addr ~len:l free_tag with
+  | Ok () -> ()
+  | Error e -> trap "segment.free: %s" e);
+  match inst.meter with
+  | Some m ->
+      m.seg_free <- m.seg_free + 1;
+      m.seg_free_granules <- m.seg_free_granules + seg_granules l
+  | None -> ()
+
+let exec_pointer_sign (inst : Instance.t) stack =
+  let k = pop_i64 stack in
+  (match inst.meter with
+  | Some m -> m.ptr_sign <- m.ptr_sign + 1
+  | None -> ());
+  push stack
+    (Values.I64
+       (Arch.Pac.sign inst.pac_config inst.pac_key ~modifier:inst.pac_modifier
+          k))
+
+let exec_pointer_auth (inst : Instance.t) stack =
+  let k = pop_i64 stack in
+  (match inst.meter with
+  | Some m -> m.ptr_auth <- m.ptr_auth + 1
+  | None -> ());
+  match
+    Arch.Pac.auth inst.pac_config inst.pac_key ~modifier:inst.pac_modifier k
+  with
+  | Arch.Pac.Valid k' -> push stack (Values.I64 k')
+  | Arch.Pac.Invalid_trap | Arch.Pac.Invalid_poisoned _ ->
+      (* Eq. 13: the extension semantics trap on failed authentication. *)
+      trap "i64.pointer_auth: invalid signature"
+
+(* ------------------------------------------------------------------ *)
+(* Main evaluator                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let block_arity : Ast.block_type -> int = function
+  | Ast.ValBlock None -> 0
+  | Ast.ValBlock (Some _) -> 1
+
+let meter_br (inst : Instance.t) =
+  match inst.meter with Some m -> m.branch <- m.branch + 1 | None -> ()
+
+let rec eval (inst : Instance.t) ~depth locals arities stack (instrs : Ast.instr list) =
+  List.iter (eval_instr inst ~depth locals arities stack) instrs
+
+and eval_instr (inst : Instance.t) ~depth locals arities stack (ins : Ast.instr) =
+  let meter f = match inst.meter with Some m -> f m | None -> () in
+  match ins with
+  | Unreachable -> trap "unreachable executed"
+  | Nop -> ()
+  | Block (bt, body) -> (
+      let arity = block_arity bt in
+      try eval inst ~depth locals (arity :: arities) stack body with
+      | Branch (0, vs) -> List.iter (push stack) vs
+      | Branch (n, vs) -> raise (Branch (n - 1, vs)))
+  | Loop (_, body) ->
+      let rec iter () =
+        match eval inst ~depth locals (0 :: arities) stack body with
+        | () -> ()
+        | exception Branch (0, _) ->
+            meter_br inst;
+            iter ()
+        | exception Branch (n, vs) -> raise (Branch (n - 1, vs))
+      in
+      iter ()
+  | If (bt, then_, else_) -> (
+      meter (fun m -> m.branch <- m.branch + 1);
+      let c = pop_i32 stack in
+      let arity = block_arity bt in
+      let body = if not (Int32.equal c 0l) then then_ else else_ in
+      try eval inst ~depth locals (arity :: arities) stack body with
+      | Branch (0, vs) -> List.iter (push stack) vs
+      | Branch (n, vs) -> raise (Branch (n - 1, vs)))
+  | Br n ->
+      meter_br inst;
+      let arity = try List.nth arities n with _ -> 0 in
+      raise (Branch (n, popn stack arity))
+  | BrIf n ->
+      meter_br inst;
+      let c = pop_i32 stack in
+      if not (Int32.equal c 0l) then begin
+        let arity = try List.nth arities n with _ -> 0 in
+        raise (Branch (n, popn stack arity))
+      end
+  | BrTable (targets, default) ->
+      meter_br inst;
+      let i = Int32.to_int (pop_i32 stack) in
+      let n =
+        if i >= 0 && i < List.length targets then List.nth targets i
+        else default
+      in
+      let arity = try List.nth arities n with _ -> 0 in
+      raise (Branch (n, popn stack arity))
+  | Return ->
+      meter (fun m -> m.return_ <- m.return_ + 1);
+      let arity = List.nth arities (List.length arities - 1) in
+      raise (Ret (popn stack arity))
+  | Call i ->
+      meter (fun m -> m.call <- m.call + 1);
+      invoke_idx inst ~depth:(depth + 1) stack i
+  | CallIndirect ti ->
+      meter (fun m -> m.call_indirect <- m.call_indirect + 1);
+      let idx = Int32.to_int (pop_i32 stack) in
+      if idx < 0 || idx >= Array.length inst.table then
+        trap "undefined element %d in table" idx;
+      (match inst.table.(idx) with
+      | None -> trap "uninitialized table element %d" idx
+      | Some fi ->
+          let expected = List.nth inst.module_.types ti in
+          let actual = func_type inst.funcs.(fi) in
+          if not (Types.func_type_equal expected actual) then
+            trap "indirect call type mismatch";
+          invoke_idx inst ~depth:(depth + 1) stack fi)
+  | Drop -> ignore (pop stack)
+  | Select ->
+      meter (fun m -> m.select <- m.select + 1);
+      let c = pop_i32 stack in
+      let v2 = pop stack in
+      let v1 = pop stack in
+      push stack (if not (Int32.equal c 0l) then v1 else v2)
+  | LocalGet i ->
+      meter (fun m -> m.local_access <- m.local_access + 1);
+      push stack locals.(i)
+  | LocalSet i ->
+      meter (fun m -> m.local_access <- m.local_access + 1);
+      locals.(i) <- pop stack
+  | LocalTee i ->
+      meter (fun m -> m.local_access <- m.local_access + 1);
+      let v = pop stack in
+      locals.(i) <- v;
+      push stack v
+  | GlobalGet i ->
+      meter (fun m -> m.global_access <- m.global_access + 1);
+      push stack inst.globals.(i)
+  | GlobalSet i ->
+      meter (fun m -> m.global_access <- m.global_access + 1);
+      inst.globals.(i) <- pop stack
+  | I32Const v ->
+      meter (fun m -> m.const <- m.const + 1);
+      push stack (Values.I32 v)
+  | I64Const v ->
+      meter (fun m -> m.const <- m.const + 1);
+      push stack (Values.I64 v)
+  | F32Const v ->
+      meter (fun m -> m.const <- m.const + 1);
+      push stack (Values.F32 (Values.to_f32 v))
+  | F64Const v ->
+      meter (fun m -> m.const <- m.const + 1);
+      push stack (Values.F64 v)
+  | IUnop (w, op) ->
+      meter (fun m -> m.ialu <- m.ialu + 1);
+      (match w with
+      | W32 -> push stack (Values.I32 (eval_iunop32 op (pop_i32 stack)))
+      | W64 -> push stack (Values.I64 (eval_iunop64 op (pop_i64 stack))))
+  | IBinop (w, op) ->
+      meter (fun m ->
+          match op with
+          | Mul -> m.imul <- m.imul + 1
+          | DivS | DivU | RemS | RemU -> m.idiv <- m.idiv + 1
+          | _ -> m.ialu <- m.ialu + 1);
+      (match w with
+      | W32 ->
+          let y = pop_i32 stack in
+          let x = pop_i32 stack in
+          push stack (Values.I32 (eval_ibinop32 op x y))
+      | W64 ->
+          let y = pop_i64 stack in
+          let x = pop_i64 stack in
+          push stack (Values.I64 (eval_ibinop64 op x y)))
+  | ITestop w ->
+      meter (fun m -> m.ialu <- m.ialu + 1);
+      let z =
+        match w with
+        | W32 -> Int32.equal (pop_i32 stack) 0l
+        | W64 -> Int64.equal (pop_i64 stack) 0L
+      in
+      push stack (Values.I32 (if z then 1l else 0l))
+  | IRelop (w, op) ->
+      meter (fun m -> m.ialu <- m.ialu + 1);
+      let b =
+        match w with
+        | W32 ->
+            let y = pop_i32 stack in
+            let x = pop_i32 stack in
+            eval_irelop32 op x y
+        | W64 ->
+            let y = pop_i64 stack in
+            let x = pop_i64 stack in
+            eval_irelop64 op x y
+      in
+      push stack (Values.I32 (if b then 1l else 0l))
+  | FUnop (w, op) ->
+      meter (fun m -> m.falu <- m.falu + 1);
+      let v = pop stack in
+      (match (w, v) with
+      | W32, Values.F32 x -> push stack (Values.F32 (Values.to_f32 (eval_funop op x)))
+      | W64, Values.F64 x -> push stack (Values.F64 (eval_funop op x))
+      | _ -> trap "funop operand mismatch")
+  | FBinop (w, op) ->
+      meter (fun m ->
+          match op with
+          | FMul -> m.fmul <- m.fmul + 1
+          | FDiv -> m.fdiv <- m.fdiv + 1
+          | _ -> m.falu <- m.falu + 1);
+      let v2 = pop stack in
+      let v1 = pop stack in
+      (match (w, v1, v2) with
+      | W32, Values.F32 x, Values.F32 y ->
+          push stack (Values.F32 (Values.to_f32 (eval_fbinop op x y)))
+      | W64, Values.F64 x, Values.F64 y ->
+          push stack (Values.F64 (eval_fbinop op x y))
+      | _ -> trap "fbinop operand mismatch")
+  | FRelop (w, op) ->
+      meter (fun m -> m.falu <- m.falu + 1);
+      let v2 = pop stack in
+      let v1 = pop stack in
+      let b =
+        match (w, v1, v2) with
+        | W32, Values.F32 x, Values.F32 y -> eval_frelop op x y
+        | W64, Values.F64 x, Values.F64 y -> eval_frelop op x y
+        | _ -> trap "frelop operand mismatch"
+      in
+      push stack (Values.I32 (if b then 1l else 0l))
+  | Cvtop op ->
+      meter (fun m -> m.cvt <- m.cvt + 1);
+      push stack (eval_cvtop op (pop stack))
+  | Load (ty, pack, ma) -> do_load inst stack ty pack ma
+  | Store (ty, pack, ma) -> do_store inst stack ty pack ma
+  | MemorySize ->
+      let mem = memory inst in
+      let pages = Memory.size_pages mem in
+      push stack
+        (match Memory.idx_type mem with
+        | Types.Idx32 -> Values.I32 (Int64.to_int32 pages)
+        | Types.Idx64 -> Values.I64 pages)
+  | MemoryGrow ->
+      meter (fun m -> m.mem_grow <- m.mem_grow + 1);
+      let mem = memory inst in
+      let delta =
+        match Memory.idx_type mem with
+        | Types.Idx32 -> Int64.logand (Int64.of_int32 (pop_i32 stack)) 0xffffffffL
+        | Types.Idx64 -> pop_i64 stack
+      in
+      let old = Memory.grow mem delta in
+      if old >= 0L then
+        Option.iter
+          (fun mte ->
+            let tm = Arch.Mte.tag_memory mte in
+            Arch.Mte.set_tag_memory mte
+              (Arch.Tag_memory.grow tm
+                 ~new_size_bytes:(Int64.to_int (Memory.size_bytes mem))))
+          inst.mte;
+      push stack
+        (match Memory.idx_type mem with
+        | Types.Idx32 -> Values.I32 (Int64.to_int32 old)
+        | Types.Idx64 -> Values.I64 old)
+  | MemoryFill ->
+      let mem = memory inst in
+      let pop_addrv () =
+        match Memory.idx_type mem with
+        | Types.Idx32 -> Int64.logand (Int64.of_int32 (pop_i32 stack)) 0xffffffffL
+        | Types.Idx64 ->
+            let p = pop_i64 stack in
+            Arch.Ptr.address p
+      in
+      let len = pop_addrv () in
+      let v = Int32.to_int (pop_i32 stack) in
+      let dst = pop_addrv () in
+      meter (fun m ->
+          m.stores <- m.stores + max 1 (Int64.to_int (Int64.div len 16L));
+          m.store_bytes <- m.store_bytes + Int64.to_int len);
+      (try Memory.fill mem ~addr:dst ~len v
+       with Memory.Out_of_bounds _ -> trap "out of bounds memory fill")
+  | MemoryCopy ->
+      let mem = memory inst in
+      let pop_addrv () =
+        match Memory.idx_type mem with
+        | Types.Idx32 -> Int64.logand (Int64.of_int32 (pop_i32 stack)) 0xffffffffL
+        | Types.Idx64 -> Arch.Ptr.address (pop_i64 stack)
+      in
+      let len = pop_addrv () in
+      let src = pop_addrv () in
+      let dst = pop_addrv () in
+      meter (fun m ->
+          let chunks = max 1 (Int64.to_int (Int64.div len 16L)) in
+          m.loads <- m.loads + chunks;
+          m.stores <- m.stores + chunks;
+          m.load_bytes <- m.load_bytes + Int64.to_int len;
+          m.store_bytes <- m.store_bytes + Int64.to_int len);
+      (try Memory.copy mem ~dst ~src ~len
+       with Memory.Out_of_bounds _ -> trap "out of bounds memory copy")
+  | SegmentNew o -> exec_segment_new inst stack o
+  | SegmentSetTag o -> exec_segment_set_tag inst stack o
+  | SegmentFree o -> exec_segment_free inst stack o
+  | PointerSign -> exec_pointer_sign inst stack
+  | PointerAuth -> exec_pointer_auth inst stack
+
+(* Invoke function index [i] with arguments taken from [stack]. *)
+and invoke_idx (inst : Instance.t) ~depth stack i =
+  if depth > max_call_depth then trap "call stack exhausted";
+  match inst.funcs.(i) with
+  | Host_func { fn; ty; name } ->
+      let args = popn stack (List.length ty.params) in
+      let results =
+        try fn inst args
+        with Invalid_argument msg -> trap "host %s: %s" name msg
+      in
+      List.iter (push stack) results
+  | Wasm_func { func; ty; _ } ->
+      let args = popn stack (List.length ty.params) in
+      let locals =
+        Array.of_list (args @ List.map Values.default func.locals)
+      in
+      let arity = List.length ty.results in
+      let fstack = ref [] in
+      (try eval inst ~depth locals [ arity ] fstack func.body
+       with
+      | Ret vs -> List.iter (push fstack) vs
+      | Branch (_, vs) -> List.iter (push fstack) vs);
+      (* take the results off the callee stack *)
+      let results = popn fstack arity in
+      List.iter (push stack) results
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let instance_counter = ref 0
+
+(** Instantiate a validated module. [imports] supplies host functions by
+    (module, name); missing imports raise {!Instance.Trap}. Data and
+    element segments are applied and the start function runs before the
+    instance is returned, as the spec requires. *)
+let instantiate ?(config = Instance.default_config)
+    ?(imports : (string * string * Instance.host_func) list = [])
+    (m : Ast.module_) : Instance.t =
+  incr instance_counter;
+  let id = !instance_counter in
+  let rng = Random.State.make [| config.seed; id |] in
+  let resolve (im : Ast.import) =
+    match
+      List.find_opt
+        (fun (mo, n, _) ->
+          String.equal mo im.im_module && String.equal n im.im_name)
+        imports
+    with
+    | Some (_, _, fn) ->
+        Host_func
+          { fn; ty = List.nth m.types im.im_type;
+            name = im.im_module ^ "." ^ im.im_name }
+    | None ->
+        raise
+          (Trap
+             (Printf.sprintf "unresolved import %s.%s" im.im_module im.im_name))
+  in
+  let mem = Option.map Memory.create m.memory in
+  let mte =
+    Option.map
+      (fun mem ->
+        Arch.Mte.create ~mode:config.mte_mode
+          (Arch.Tag_memory.create
+             ~size_bytes:(Int64.to_int (Memory.size_bytes mem))))
+      mem
+  in
+  let table =
+    match m.table with
+    | None -> [||]
+    | Some tt -> Array.make (Int64.to_int tt.tbl_limits.min) None
+  in
+  let inst =
+    {
+      id;
+      module_ = m;
+      funcs = [||];
+      table;
+      mem;
+      mte;
+      globals = Array.of_list (List.map (fun (g : Ast.global) -> g.g_init) m.globals);
+      pac_key =
+        (match config.pac_key with
+        | Some k -> k
+        | None ->
+            Arch.Pac.random_key
+              ~rng:(fun () -> Random.State.int64 rng Int64.max_int));
+      pac_modifier = config.pac_modifier;
+      pac_config = config.pac_config;
+      exclude = config.exclude;
+      enforce_tags = config.enforce_tags;
+      rng;
+      meter = config.meter;
+    }
+  in
+  let n_imports = List.length m.imports in
+  let funcs =
+    Array.init
+      (n_imports + List.length m.funcs)
+      (fun i ->
+        if i < n_imports then resolve (List.nth m.imports i)
+        else
+          let f = List.nth m.funcs (i - n_imports) in
+          Wasm_func { inst_id = id; func = f; ty = List.nth m.types f.ftype })
+  in
+  let inst = { inst with funcs } in
+  (* element segments *)
+  List.iter
+    (fun (e : Ast.elem) ->
+      List.iteri
+        (fun j fi ->
+          let pos = Int64.to_int e.e_offset + j in
+          if pos < 0 || pos >= Array.length inst.table then
+            raise (Trap "element segment out of table bounds");
+          inst.table.(pos) <- Some fi)
+        e.e_funcs)
+    m.elems;
+  (* data segments *)
+  List.iter
+    (fun (d : Ast.data) ->
+      match inst.mem with
+      | None -> raise (Trap "data segment without memory")
+      | Some mem -> (
+          try Memory.write_string mem ~addr:d.d_offset d.d_bytes
+          with Memory.Out_of_bounds _ ->
+            raise (Trap "data segment out of memory bounds")))
+    m.datas;
+  (* start function *)
+  Option.iter
+    (fun i ->
+      let stack = ref [] in
+      invoke_idx inst ~depth:0 stack i)
+    m.start;
+  inst
+
+(** Call an exported function by name. *)
+let invoke inst name args =
+  match Instance.exported_func inst name with
+  | None -> raise (Trap (Printf.sprintf "no exported function %S" name))
+  | Some i ->
+      let stack = ref [] in
+      List.iter (push stack) args;
+      invoke_idx inst ~depth:0 stack i;
+      List.rev !stack
+
+(** Call a function by index (used by the libc shims). *)
+let invoke_function inst i args =
+  let stack = ref [] in
+  List.iter (push stack) args;
+  invoke_idx inst ~depth:0 stack i;
+  List.rev !stack

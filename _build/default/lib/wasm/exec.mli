@@ -1,0 +1,35 @@
+(** The interpreter: wasm small-step semantics extended with the Cage
+    rules of paper Fig. 11.
+
+    Loads and stores check allocation tags when the instance was
+    instantiated with [enforce_tags] (Eqs. 1-4); the five Cage
+    instructions implement Eqs. 5-13 ([segment.new] draws a random
+    excluded-set-respecting tag and zeroes the region; [segment.free]
+    verifies ownership — catching double-frees — then retags;
+    [i64.pointer_auth] traps on a bad signature). Execution events are
+    recorded in the instance's {!Wasm.Meter.t} so the Cage lowering
+    layer can price runs under different hardware configurations
+    without re-executing.
+
+    Traps surface as {!Instance.Trap}. *)
+
+val max_call_depth : int
+(** Call-stack limit; exceeding it traps with "call stack exhausted". *)
+
+val instantiate :
+  ?config:Instance.config ->
+  ?imports:(string * string * Instance.host_func) list ->
+  Ast.module_ ->
+  Instance.t
+(** Instantiate a {e validated} module: resolve imports by
+    (module, name), create and zero the memory and its tag space, apply
+    data and element segments, and run the start function.
+    @raise Instance.Trap on unresolved imports, segment range errors, or
+    a trapping start function. *)
+
+val invoke : Instance.t -> string -> Values.t list -> Values.t list
+(** Call an exported function by name.
+    @raise Instance.Trap on traps or a missing export. *)
+
+val invoke_function : Instance.t -> int -> Values.t list -> Values.t list
+(** Call a function by index in the instance's function index space. *)

@@ -1,0 +1,94 @@
+(** Module instances and the store.
+
+    Fig. 11 of the paper augments the wasm store with a per-granule tag
+    map ([taginst]) and a per-instance secret key ([k_s]); both live
+    here. The MTE engine holds the tag map together with the checking
+    mode; the PAC key signs function pointers such that signatures from
+    one instance never validate in another. *)
+
+exception Trap of string
+
+(** A host function receives the calling instance (so WASI-style
+    imports can access its memory) and the arguments; it returns the
+    results or raises {!Trap}. *)
+type host_func = t -> Values.t list -> Values.t list
+
+and func_inst =
+  | Wasm_func of { inst_id : int; func : Ast.func; ty : Types.func_type }
+  | Host_func of { fn : host_func; ty : Types.func_type; name : string }
+
+and t = {
+  id : int;
+  module_ : Ast.module_;
+  funcs : func_inst array;
+  table : int option array;  (** function indices, [| |] if no table *)
+  mem : Memory.t option;
+  mte : Arch.Mte.t option;   (** tag store + checking mode; [None] only
+                                 when the module has no memory *)
+  globals : Values.t array;
+  pac_key : Arch.Pac.key;    (** the per-instance k_s *)
+  pac_modifier : int64;      (** per-instance modifier when several
+                                 instances share a process (§6.3) *)
+  pac_config : Arch.Pac.config;
+  exclude : Arch.Tag.Exclude.t;  (** tags irg-style allocation avoids *)
+  enforce_tags : bool;       (** internal memory safety on/off *)
+  rng : Random.State.t;
+  meter : Meter.t option;
+}
+
+(** Runtime configuration for instantiation, reflecting the Table 3
+    variants. *)
+type config = {
+  enforce_tags : bool;
+      (** check allocation tags on every access (Eqs. 1-4) *)
+  mte_mode : Arch.Mte.mode;
+  exclude : Arch.Tag.Exclude.t;
+      (** Cage reserves tag 0 for guard slots/untagged segments by
+          default; sandbox-combined configs exclude more (§6.4) *)
+  pac_config : Arch.Pac.config;
+  pac_modifier : int64;
+  pac_key : Arch.Pac.key option;
+      (** [Some k] shares a process-wide key (instances are then isolated
+          by distinct modifiers, §6.3); [None] generates a fresh key. *)
+  seed : int;
+  meter : Meter.t option;
+}
+
+let default_config = {
+  enforce_tags = true;
+  mte_mode = Arch.Mte.Sync;
+  exclude = Arch.Tag.Exclude.of_list [ Arch.Tag.zero ];
+  pac_config = Arch.Pac.default_config;
+  pac_modifier = 0L;
+  pac_key = None;
+  seed = 0;
+  meter = None;
+}
+
+let func_type = function
+  | Wasm_func { ty; _ } -> ty
+  | Host_func { ty; _ } -> ty
+
+let memory t =
+  match t.mem with
+  | Some m -> m
+  | None -> raise (Trap "no memory in instance")
+
+let mte t =
+  match t.mte with
+  | Some m -> m
+  | None -> raise (Trap "no memory in instance")
+
+let find_export t name =
+  List.find_map
+    (fun (ex : Ast.export) ->
+      if String.equal ex.ex_name name then Some ex.ex_desc else None)
+    t.module_.exports
+
+let exported_func t name =
+  match find_export t name with
+  | Some (Ast.Func_export i) -> Some i
+  | _ -> None
+
+(** Tags currently in the instance's tag store (diagnostics/tests). *)
+let tag_of_addr t addr = Arch.Tag_memory.get (Arch.Mte.tag_memory (mte t)) addr

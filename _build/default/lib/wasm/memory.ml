@@ -1,0 +1,130 @@
+(** Linear memory instances.
+
+    A flat byte array addressed by 32- or 64-bit indices, growable in
+    64 KiB pages. Every access is bounds-checked here — this is the
+    semantic ground truth; {e how} a runtime enforces it (software
+    checks, guard pages, MTE sandboxing) is a cost-model concern handled
+    by [Cage.Lowering]. *)
+
+type t = {
+  mutable data : Bytes.t;
+  mutable pages : int64;
+  max_pages : int64 option;
+  idx : Types.idx_type;
+}
+
+exception Out_of_bounds of int64 * int
+
+let page_size = Types.page_size
+
+(* Hard cap so tests cannot accidentally allocate huge buffers: 1 GiB. *)
+let implementation_max_pages = 16384L
+
+let create (mt : Types.mem_type) =
+  let pages = mt.mem_limits.min in
+  if pages < 0L || pages > implementation_max_pages then
+    invalid_arg "Memory.create: unsupported initial size";
+  {
+    data = Bytes.make (Int64.to_int (Int64.mul pages page_size)) '\000';
+    pages;
+    max_pages = mt.mem_limits.max;
+    idx = mt.mem_idx;
+  }
+
+let idx_type t = t.idx
+let size_pages t = t.pages
+let size_bytes t = Int64.mul t.pages page_size
+
+let in_bounds t ~addr ~len =
+  addr >= 0L && len >= 0
+  && Int64.add addr (Int64.of_int len) <= size_bytes t
+  && Int64.add addr (Int64.of_int len) >= addr
+
+let check t ~addr ~len =
+  if not (in_bounds t ~addr ~len) then raise (Out_of_bounds (addr, len))
+
+(** Grow by [delta] pages; returns the previous size in pages, or [-1]
+    (as the spec requires) if the grow fails. *)
+let grow t delta =
+  let new_pages = Int64.add t.pages delta in
+  let fits =
+    delta >= 0L
+    && new_pages <= implementation_max_pages
+    && match t.max_pages with None -> true | Some m -> new_pages <= m
+  in
+  if not fits then -1L
+  else begin
+    let old = t.pages in
+    let ndata = Bytes.make (Int64.to_int (Int64.mul new_pages page_size)) '\000' in
+    Bytes.blit t.data 0 ndata 0 (Bytes.length t.data);
+    t.data <- ndata;
+    t.pages <- new_pages;
+    old
+  end
+
+let load_byte t addr =
+  check t ~addr ~len:1;
+  Char.code (Bytes.unsafe_get t.data (Int64.to_int addr))
+
+let store_byte t addr v =
+  check t ~addr ~len:1;
+  Bytes.unsafe_set t.data (Int64.to_int addr) (Char.unsafe_chr (v land 0xff))
+
+(* Little-endian multi-byte accessors. *)
+
+let load_n t addr n =
+  check t ~addr ~len:n;
+  let base = Int64.to_int addr in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (Int64.logor
+           (Int64.shift_left acc 8)
+           (Int64.of_int (Char.code (Bytes.unsafe_get t.data (base + i)))))
+  in
+  go (n - 1) 0L
+
+let store_n t addr n v =
+  check t ~addr ~len:n;
+  let base = Int64.to_int addr in
+  let rec go i v =
+    if i = n then ()
+    else begin
+      Bytes.unsafe_set t.data (base + i)
+        (Char.unsafe_chr (Int64.to_int (Int64.logand v 0xffL)));
+      go (i + 1) (Int64.shift_right_logical v 8)
+    end
+  in
+  go 0 v
+
+let load_i32 t addr = Int64.to_int32 (load_n t addr 4)
+let store_i32 t addr v = store_n t addr 4 (Int64.of_int32 v)
+let load_i64 t addr = load_n t addr 8
+let store_i64 t addr v = store_n t addr 8 v
+
+let load_f32 t addr = Int32.float_of_bits (load_i32 t addr)
+let store_f32 t addr v = store_i32 t addr (Int32.bits_of_float v)
+let load_f64 t addr = Int64.float_of_bits (load_i64 t addr)
+let store_f64 t addr v = store_i64 t addr (Int64.bits_of_float v)
+
+let fill t ~addr ~len v =
+  check t ~addr ~len:(Int64.to_int len);
+  Bytes.fill t.data (Int64.to_int addr) (Int64.to_int len)
+    (Char.chr (v land 0xff))
+
+let copy t ~dst ~src ~len =
+  let len_i = Int64.to_int len in
+  check t ~addr:dst ~len:len_i;
+  check t ~addr:src ~len:len_i;
+  Bytes.blit t.data (Int64.to_int src) t.data (Int64.to_int dst) len_i
+
+(** Read [len] raw bytes (for WASI-style host functions). *)
+let read_string t ~addr ~len =
+  check t ~addr ~len;
+  Bytes.sub_string t.data (Int64.to_int addr) len
+
+(** Write raw bytes (for data segments and host functions). *)
+let write_string t ~addr s =
+  check t ~addr ~len:(String.length s);
+  Bytes.blit_string s 0 t.data (Int64.to_int addr) (String.length s)

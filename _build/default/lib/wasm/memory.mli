@@ -1,0 +1,72 @@
+(** Linear memory instances.
+
+    A flat byte array addressed by 32- or 64-bit indices, growable in
+    64 KiB pages. Every access is bounds-checked here — this is the
+    semantic ground truth; {e how} a production runtime enforces bounds
+    (software checks, guard pages, MTE sandboxing) is a cost-model
+    concern handled by [Cage.Lowering]. *)
+
+type t
+
+exception Out_of_bounds of int64 * int
+(** Raised by accessors on an out-of-range access: (address, length). *)
+
+val page_size : int64
+(** 64 KiB. *)
+
+val implementation_max_pages : int64
+(** Hard cap (1 GiB) so tests cannot accidentally allocate huge
+    buffers. *)
+
+val create : Types.mem_type -> t
+(** Fresh zeroed memory at the type's minimum size.
+    @raise Invalid_argument if the initial size exceeds the
+    implementation cap. *)
+
+val idx_type : t -> Types.idx_type
+val size_pages : t -> int64
+val size_bytes : t -> int64
+
+val in_bounds : t -> addr:int64 -> len:int -> bool
+(** Whether [\[addr, addr+len)] lies within the current memory size
+    (overflow-safe). *)
+
+val grow : t -> int64 -> int64
+(** [grow t delta] adds [delta] pages; returns the previous size in
+    pages, or [-1] if the grow would exceed the declared maximum or the
+    implementation cap (the spec's failure value). *)
+
+(** {1 Sized accessors}
+
+    All little-endian; all raise {!Out_of_bounds} when out of range. *)
+
+val load_byte : t -> int64 -> int
+val store_byte : t -> int64 -> int -> unit
+
+val load_n : t -> int64 -> int -> int64
+(** [load_n t addr n] reads [n] bytes ([1..8]) as an unsigned
+    little-endian value. *)
+
+val store_n : t -> int64 -> int -> int64 -> unit
+(** [store_n t addr n v] writes the low [n] bytes of [v]. *)
+
+val load_i32 : t -> int64 -> int32
+val store_i32 : t -> int64 -> int32 -> unit
+val load_i64 : t -> int64 -> int64
+val store_i64 : t -> int64 -> int64 -> unit
+val load_f32 : t -> int64 -> float
+val store_f32 : t -> int64 -> float -> unit
+val load_f64 : t -> int64 -> float
+val store_f64 : t -> int64 -> float -> unit
+
+val fill : t -> addr:int64 -> len:int64 -> int -> unit
+(** [memory.fill]: set [len] bytes to the given byte value. *)
+
+val copy : t -> dst:int64 -> src:int64 -> len:int64 -> unit
+(** [memory.copy]: overlapping-safe. *)
+
+val read_string : t -> addr:int64 -> len:int -> string
+(** Raw bytes (for WASI-style host functions). *)
+
+val write_string : t -> addr:int64 -> string -> unit
+(** Raw bytes (data segments, host functions). *)

@@ -1,0 +1,78 @@
+(** Execution-event metering.
+
+    The interpreter reports {e semantic events} (one per executed wasm
+    operation, plus allocation-granule counts for the Cage segment
+    instructions). The Cage lowering layer later prices these events as
+    the native instruction mix a Cranelift-with-Cage backend would emit
+    under a given runtime configuration — keeping semantics and cost
+    model cleanly separated. *)
+
+type t = {
+  mutable const : int;       (** numeric constants *)
+  mutable local_access : int;(** local.get/set/tee *)
+  mutable global_access : int;
+  mutable ialu : int;        (** integer add/sub/logic/shift/compare *)
+  mutable imul : int;
+  mutable idiv : int;
+  mutable falu : int;        (** fp add/sub/neg/abs/compares *)
+  mutable fmul : int;
+  mutable fdiv : int;
+  mutable cvt : int;
+  mutable select : int;
+  mutable branch : int;      (** br/br_if/br_table/if/loop back-edges *)
+  mutable call : int;
+  mutable call_indirect : int;
+  mutable return_ : int;
+  mutable loads : int;
+  mutable load_bytes : int;
+  mutable stores : int;
+  mutable store_bytes : int;
+  mutable mem_grow : int;
+  mutable seg_new : int;
+  mutable seg_new_granules : int;  (** granules tagged by segment.new *)
+  mutable seg_set_tag : int;
+  mutable seg_set_tag_granules : int;
+  mutable seg_free : int;
+  mutable seg_free_granules : int;
+  mutable ptr_sign : int;
+  mutable ptr_auth : int;
+}
+
+let create () = {
+  const = 0; local_access = 0; global_access = 0;
+  ialu = 0; imul = 0; idiv = 0; falu = 0; fmul = 0; fdiv = 0; cvt = 0;
+  select = 0; branch = 0; call = 0; call_indirect = 0; return_ = 0;
+  loads = 0; load_bytes = 0; stores = 0; store_bytes = 0; mem_grow = 0;
+  seg_new = 0; seg_new_granules = 0; seg_set_tag = 0;
+  seg_set_tag_granules = 0; seg_free = 0; seg_free_granules = 0;
+  ptr_sign = 0; ptr_auth = 0;
+}
+
+let reset t =
+  t.const <- 0; t.local_access <- 0; t.global_access <- 0;
+  t.ialu <- 0; t.imul <- 0; t.idiv <- 0; t.falu <- 0; t.fmul <- 0;
+  t.fdiv <- 0; t.cvt <- 0; t.select <- 0; t.branch <- 0; t.call <- 0;
+  t.call_indirect <- 0; t.return_ <- 0; t.loads <- 0; t.load_bytes <- 0;
+  t.stores <- 0; t.store_bytes <- 0; t.mem_grow <- 0; t.seg_new <- 0;
+  t.seg_new_granules <- 0; t.seg_set_tag <- 0; t.seg_set_tag_granules <- 0;
+  t.seg_free <- 0; t.seg_free_granules <- 0; t.ptr_sign <- 0; t.ptr_auth <- 0
+
+(** Total executed wasm operations (rough instruction count). *)
+let total t =
+  t.const + t.local_access + t.global_access + t.ialu + t.imul + t.idiv
+  + t.falu + t.fmul + t.fdiv + t.cvt + t.select + t.branch + t.call
+  + t.call_indirect + t.return_ + t.loads + t.stores + t.mem_grow
+  + t.seg_new + t.seg_set_tag + t.seg_free + t.ptr_sign + t.ptr_auth
+
+(** Memory accesses (the unit software bounds checks are paid per). *)
+let mem_accesses t = t.loads + t.stores
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>ops: %d@ loads: %d (%d B)@ stores: %d (%d B)@ calls: %d (+%d \
+     indirect)@ segments: new %d / free %d (%d granules tagged)@ pac: sign \
+     %d / auth %d@]"
+    (total t) t.loads t.load_bytes t.stores t.store_bytes t.call
+    t.call_indirect t.seg_new t.seg_free
+    (t.seg_new_granules + t.seg_free_granules + t.seg_set_tag_granules)
+    t.ptr_sign t.ptr_auth

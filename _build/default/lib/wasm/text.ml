@@ -1,0 +1,796 @@
+(** WAT-style text format: printer (this file, top half) and parser
+    (bottom half).
+
+    The dialect is the flat (non-folded) instruction syntax, extended
+    with the Cage instructions under their paper names ([segment.new],
+    [i64.pointer_sign], ...). The printer's output parses back to an
+    equal module, so [.wat] files are a first-class interchange format
+    for the toolchain ([cagec --emit-wat], [cage_run file.wat]). *)
+
+open Format
+
+let val_type ppf t = pp_print_string ppf (Types.string_of_num_type t)
+
+let block_type ppf = function
+  | Ast.ValBlock None -> ()
+  | Ast.ValBlock (Some t) -> fprintf ppf " (result %a)" val_type t
+
+let memarg ppf (ma : Ast.memarg) =
+  if ma.offset <> 0L then fprintf ppf " offset=%Lu" ma.offset;
+  if ma.align <> 0 then fprintf ppf " align=%d" (1 lsl ma.align)
+
+let iunop = function Ast.Clz -> "clz" | Ctz -> "ctz" | Popcnt -> "popcnt"
+
+let ibinop = function
+  | Ast.Add -> "add" | Sub -> "sub" | Mul -> "mul" | DivS -> "div_s"
+  | DivU -> "div_u" | RemS -> "rem_s" | RemU -> "rem_u" | And -> "and"
+  | Or -> "or" | Xor -> "xor" | Shl -> "shl" | ShrS -> "shr_s"
+  | ShrU -> "shr_u" | Rotl -> "rotl" | Rotr -> "rotr"
+
+let irelop = function
+  | Ast.Eq -> "eq" | Ne -> "ne" | LtS -> "lt_s" | LtU -> "lt_u"
+  | GtS -> "gt_s" | GtU -> "gt_u" | LeS -> "le_s" | LeU -> "le_u"
+  | GeS -> "ge_s" | GeU -> "ge_u"
+
+let funop = function
+  | Ast.Neg -> "neg" | Abs -> "abs" | Ceil -> "ceil" | Floor -> "floor"
+  | Trunc -> "trunc" | Nearest -> "nearest" | Sqrt -> "sqrt"
+
+let fbinop = function
+  | Ast.FAdd -> "add" | FSub -> "sub" | FMul -> "mul" | FDiv -> "div"
+  | FMin -> "min" | FMax -> "max" | Copysign -> "copysign"
+
+let frelop = function
+  | Ast.FEq -> "eq" | FNe -> "ne" | FLt -> "lt" | FGt -> "gt" | FLe -> "le"
+  | FGe -> "ge"
+
+let width = function Ast.W32 -> "i32" | Ast.W64 -> "i64"
+let fwidth = function Ast.W32 -> "f32" | Ast.W64 -> "f64"
+
+let cvtop = function
+  | Ast.I32WrapI64 -> "i32.wrap_i64"
+  | I64ExtendI32S -> "i64.extend_i32_s"
+  | I64ExtendI32U -> "i64.extend_i32_u"
+  | I32TruncF32S -> "i32.trunc_f32_s" | I32TruncF32U -> "i32.trunc_f32_u"
+  | I32TruncF64S -> "i32.trunc_f64_s" | I32TruncF64U -> "i32.trunc_f64_u"
+  | I64TruncF32S -> "i64.trunc_f32_s" | I64TruncF32U -> "i64.trunc_f32_u"
+  | I64TruncF64S -> "i64.trunc_f64_s" | I64TruncF64U -> "i64.trunc_f64_u"
+  | F32ConvertI32S -> "f32.convert_i32_s"
+  | F32ConvertI32U -> "f32.convert_i32_u"
+  | F32ConvertI64S -> "f32.convert_i64_s"
+  | F32ConvertI64U -> "f32.convert_i64_u"
+  | F64ConvertI32S -> "f64.convert_i32_s"
+  | F64ConvertI32U -> "f64.convert_i32_u"
+  | F64ConvertI64S -> "f64.convert_i64_s"
+  | F64ConvertI64U -> "f64.convert_i64_u"
+  | F32DemoteF64 -> "f32.demote_f64"
+  | F64PromoteF32 -> "f64.promote_f32"
+  | I32ReinterpretF32 -> "i32.reinterpret_f32"
+  | I64ReinterpretF64 -> "i64.reinterpret_f64"
+  | F32ReinterpretI32 -> "f32.reinterpret_i32"
+  | F64ReinterpretI64 -> "f64.reinterpret_i64"
+
+let pack_suffix ty pack =
+  ignore ty;
+  match pack with
+  | None -> ""
+  | Some (Ast.Pack8, Ast.SX) -> "8_s"
+  | Some (Ast.Pack8, Ast.ZX) -> "8_u"
+  | Some (Ast.Pack16, Ast.SX) -> "16_s"
+  | Some (Ast.Pack16, Ast.ZX) -> "16_u"
+  | Some (Ast.Pack32, Ast.SX) -> "32_s"
+  | Some (Ast.Pack32, Ast.ZX) -> "32_u"
+
+let store_suffix = function
+  | None -> ""
+  | Some Ast.Pack8 -> "8"
+  | Some Ast.Pack16 -> "16"
+  | Some Ast.Pack32 -> "32"
+
+let rec instr ~indent ppf (ins : Ast.instr) =
+  let pad = String.make indent ' ' in
+  let line fmt = fprintf ppf ("%s" ^^ fmt ^^ "@.") pad in
+  match ins with
+  | Ast.Unreachable -> line "unreachable"
+  | Nop -> line "nop"
+  | Block (bt, body) ->
+      fprintf ppf "%sblock%a@." pad block_type bt;
+      List.iter (instr ~indent:(indent + 2) ppf) body;
+      line "end"
+  | Loop (bt, body) ->
+      fprintf ppf "%sloop%a@." pad block_type bt;
+      List.iter (instr ~indent:(indent + 2) ppf) body;
+      line "end"
+  | If (bt, then_, else_) ->
+      fprintf ppf "%sif%a@." pad block_type bt;
+      List.iter (instr ~indent:(indent + 2) ppf) then_;
+      if else_ <> [] then begin
+        line "else";
+        List.iter (instr ~indent:(indent + 2) ppf) else_
+      end;
+      line "end"
+  | Br n -> line "br %d" n
+  | BrIf n -> line "br_if %d" n
+  | BrTable (ts, d) ->
+      line "br_table %s %d"
+        (String.concat " " (List.map string_of_int ts))
+        d
+  | Return -> line "return"
+  | Call i -> line "call %d" i
+  | CallIndirect ti -> line "call_indirect (type %d)" ti
+  | Drop -> line "drop"
+  | Select -> line "select"
+  | LocalGet i -> line "local.get %d" i
+  | LocalSet i -> line "local.set %d" i
+  | LocalTee i -> line "local.tee %d" i
+  | GlobalGet i -> line "global.get %d" i
+  | GlobalSet i -> line "global.set %d" i
+  | I32Const v -> line "i32.const %ld" v
+  | I64Const v -> line "i64.const %Ld" v
+  | F32Const v -> line "f32.const %h" v
+  | F64Const v -> line "f64.const %h" v
+  | IUnop (w, op) -> line "%s.%s" (width w) (iunop op)
+  | IBinop (w, op) -> line "%s.%s" (width w) (ibinop op)
+  | ITestop w -> line "%s.eqz" (width w)
+  | IRelop (w, op) -> line "%s.%s" (width w) (irelop op)
+  | FUnop (w, op) -> line "%s.%s" (fwidth w) (funop op)
+  | FBinop (w, op) -> line "%s.%s" (fwidth w) (fbinop op)
+  | FRelop (w, op) -> line "%s.%s" (fwidth w) (frelop op)
+  | Cvtop op -> line "%s" (cvtop op)
+  | Load (ty, pack, ma) ->
+      fprintf ppf "%s%s.load%s%a@." pad
+        (Types.string_of_num_type ty)
+        (pack_suffix ty pack) memarg ma
+  | Store (ty, pack, ma) ->
+      fprintf ppf "%s%s.store%s%a@." pad
+        (Types.string_of_num_type ty)
+        (store_suffix pack) memarg ma
+  | MemorySize -> line "memory.size"
+  | MemoryGrow -> line "memory.grow"
+  | MemoryFill -> line "memory.fill"
+  | MemoryCopy -> line "memory.copy"
+  | SegmentNew o -> line "segment.new offset=%Lu" o
+  | SegmentSetTag o -> line "segment.set_tag offset=%Lu" o
+  | SegmentFree o -> line "segment.free offset=%Lu" o
+  | PointerSign -> line "i64.pointer_sign"
+  | PointerAuth -> line "i64.pointer_auth"
+
+(** Render a whole module. *)
+let module_ ppf (m : Ast.module_) =
+  fprintf ppf "(module@.";
+  List.iter
+    (fun (ft : Types.func_type) ->
+      fprintf ppf "  (type (func";
+      if ft.params <> [] then begin
+        fprintf ppf " (param";
+        List.iter (fun t -> fprintf ppf " %a" val_type t) ft.params;
+        fprintf ppf ")"
+      end;
+      if ft.results <> [] then begin
+        fprintf ppf " (result";
+        List.iter (fun t -> fprintf ppf " %a" val_type t) ft.results;
+        fprintf ppf ")"
+      end;
+      fprintf ppf "))@.")
+    m.types;
+  List.iter
+    (fun (im : Ast.import) ->
+      fprintf ppf "  (import \"%s\" \"%s\" (func (type %d)))@." im.im_module
+        im.im_name im.im_type)
+    m.imports;
+  Option.iter
+    (fun (mt : Types.mem_type) ->
+      fprintf ppf "  (memory %s %Ld%s)@."
+        (match mt.mem_idx with Types.Idx64 -> "i64" | Types.Idx32 -> "i32")
+        mt.mem_limits.min
+        (match mt.mem_limits.max with
+        | Some mx -> Printf.sprintf " %Ld" mx
+        | None -> ""))
+    m.memory;
+  Option.iter
+    (fun (tt : Types.table_type) ->
+      fprintf ppf "  (table %Ld funcref)@." tt.tbl_limits.min)
+    m.table;
+  List.iter
+    (fun (g : Ast.global) ->
+      let ty = Types.string_of_num_type g.g_type.Types.g_type in
+      let const =
+        match g.g_init with
+        | Values.I32 v -> Printf.sprintf "i32.const %ld" v
+        | Values.I64 v -> Printf.sprintf "i64.const %Ld" v
+        | Values.F32 v -> Printf.sprintf "f32.const %h" v
+        | Values.F64 v -> Printf.sprintf "f64.const %h" v
+      in
+      if g.g_type.Types.mut then
+        fprintf ppf "  (global (mut %s) (%s))@." ty const
+      else fprintf ppf "  (global %s (%s))@." ty const)
+    m.globals;
+  let _n_imports = List.length m.imports in
+  List.iteri
+    (fun i (f : Ast.func) ->
+      ignore i;
+      fprintf ppf "  (func%s (type %d)"
+        (match f.fname with Some n -> " $" ^ n | None -> "")
+        f.ftype;
+      if f.locals <> [] then begin
+        fprintf ppf " (local";
+        List.iter (fun t -> fprintf ppf " %a" val_type t) f.locals;
+        fprintf ppf ")"
+      end;
+      fprintf ppf "@.";
+      List.iter (instr ~indent:4 ppf) f.body;
+      fprintf ppf "  )@.")
+    m.funcs;
+  List.iter
+    (fun (e : Ast.elem) ->
+      fprintf ppf "  (elem (offset %Ld) func %s)@." e.e_offset
+        (String.concat " " (List.map string_of_int e.e_funcs)))
+    m.elems;
+  List.iter
+    (fun (d : Ast.data) ->
+      let escaped = Buffer.create (String.length d.d_bytes * 2) in
+      String.iter
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | ' ' | '.' | ',' | '-'
+          | '_' | ':' | ';' | '!' | '?' | '+' | '*' | '/' | '=' ->
+              Buffer.add_char escaped c
+          | c -> Buffer.add_string escaped (Printf.sprintf "\\%02x" (Char.code c)))
+        d.d_bytes;
+      fprintf ppf "  (data (offset %Ld) \"%s\")@." d.d_offset
+        (Buffer.contents escaped))
+    m.datas;
+  List.iter
+    (fun (ex : Ast.export) ->
+      match ex.ex_desc with
+      | Ast.Func_export i ->
+          fprintf ppf "  (export \"%s\" (func %d))@." ex.ex_name i
+      | Ast.Mem_export i ->
+          fprintf ppf "  (export \"%s\" (memory %d))@." ex.ex_name i)
+    m.exports;
+  Option.iter (fun i -> fprintf ppf "  (start %d)@." i) m.start;
+  fprintf ppf ")@."
+
+let to_string m = Format.asprintf "%a" module_ m
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let perr fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type tok = LP | RP | Atom of string | Str of string
+
+let tokenize src : tok list =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_atom_char c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '$' | '-' | '+'
+    | '=' | '/' | ':' ->
+        true
+    | _ -> false
+  in
+  while !i < n do
+    (match src.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | ';' when !i + 1 < n && src.[!i + 1] = ';' ->
+        while !i < n && src.[!i] <> '\n' do incr i done
+    | '(' ->
+        toks := LP :: !toks;
+        incr i
+    | ')' ->
+        toks := RP :: !toks;
+        incr i
+    | '"' ->
+        incr i;
+        let buf = Buffer.create 16 in
+        let fin = ref false in
+        while not !fin do
+          if !i >= n then perr "unterminated string";
+          (match src.[!i] with
+          | '"' ->
+              fin := true;
+              incr i
+          | '\\' ->
+              if !i + 2 >= n then perr "bad escape";
+              let hex = String.sub src (!i + 1) 2 in
+              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex)));
+              i := !i + 3
+          | c ->
+              Buffer.add_char buf c;
+              incr i)
+        done;
+        toks := Str (Buffer.contents buf) :: !toks
+    | c when is_atom_char c ->
+        let start = !i in
+        while !i < n && is_atom_char src.[!i] do incr i done;
+        toks := Atom (String.sub src start (!i - start)) :: !toks
+    | c -> perr "unexpected character %C" c)
+  done;
+  List.rev !toks
+
+type pstate = { toks : tok array; mutable pos : int }
+
+let peek_tok p = if p.pos < Array.length p.toks then Some p.toks.(p.pos) else None
+let next_tok p =
+  match peek_tok p with
+  | Some t ->
+      p.pos <- p.pos + 1;
+      t
+  | None -> perr "unexpected end of input"
+
+let expect_lp p = match next_tok p with LP -> () | _ -> perr "expected ("
+let expect_rp p = match next_tok p with RP -> () | _ -> perr "expected )"
+
+let expect_atom p =
+  match next_tok p with Atom a -> a | _ -> perr "expected atom"
+
+let expect_kw p kw =
+  let a = expect_atom p in
+  if a <> kw then perr "expected %s, found %s" kw a
+
+let expect_int p =
+  let a = expect_atom p in
+  try int_of_string a with _ -> perr "expected integer, found %s" a
+
+let expect_i64 p =
+  let a = expect_atom p in
+  try Int64.of_string a with _ -> perr "expected integer, found %s" a
+
+let val_type_of_atom = function
+  | "i32" -> Types.I32
+  | "i64" -> Types.I64
+  | "f32" -> Types.F32
+  | "f64" -> Types.F64
+  | a -> perr "unknown value type %s" a
+
+(* reverse tables built from the printer's naming *)
+let rev_table names_of ops = List.map (fun op -> (names_of op, op)) ops
+
+let ibinops =
+  rev_table ibinop
+    [ Ast.Add; Sub; Mul; DivS; DivU; RemS; RemU; And; Or; Xor; Shl; ShrS;
+      ShrU; Rotl; Rotr ]
+
+let irelops =
+  rev_table irelop
+    [ Ast.Eq; Ne; LtS; LtU; GtS; GtU; LeS; LeU; GeS; GeU ]
+
+let iunops = rev_table iunop [ Ast.Clz; Ctz; Popcnt ]
+
+let fbinops =
+  rev_table fbinop [ Ast.FAdd; FSub; FMul; FDiv; FMin; FMax; Copysign ]
+
+let frelops = rev_table frelop [ Ast.FEq; FNe; FLt; FGt; FLe; FGe ]
+
+let funops =
+  rev_table funop [ Ast.Neg; Abs; Ceil; Floor; Trunc; Nearest; Sqrt ]
+
+let cvtops =
+  rev_table cvtop
+    [ Ast.I32WrapI64; I64ExtendI32S; I64ExtendI32U; I32TruncF32S;
+      I32TruncF32U; I32TruncF64S; I32TruncF64U; I64TruncF32S; I64TruncF32U;
+      I64TruncF64S; I64TruncF64U; F32ConvertI32S; F32ConvertI32U;
+      F32ConvertI64S; F32ConvertI64U; F64ConvertI32S; F64ConvertI32U;
+      F64ConvertI64S; F64ConvertI64U; F32DemoteF64; F64PromoteF32;
+      I32ReinterpretF32; I64ReinterpretF64; F32ReinterpretI32;
+      F64ReinterpretI64 ]
+
+(* optional "(result t)" annotation *)
+let parse_block_type p : Ast.block_type =
+  match (peek_tok p, if p.pos + 1 < Array.length p.toks then Some p.toks.(p.pos + 1) else None) with
+  | Some LP, Some (Atom "result") ->
+      expect_lp p;
+      expect_kw p "result";
+      let t = val_type_of_atom (expect_atom p) in
+      expect_rp p;
+      Ast.ValBlock (Some t)
+  | _ -> Ast.ValBlock None
+
+let parse_memarg p : Ast.memarg =
+  let offset = ref 0L in
+  let align = ref 0 in
+  let rec go () =
+    match peek_tok p with
+    | Some (Atom a) when String.length a > 7 && String.sub a 0 7 = "offset=" ->
+        ignore (next_tok p);
+        offset := Int64.of_string (String.sub a 7 (String.length a - 7));
+        go ()
+    | Some (Atom a) when String.length a > 6 && String.sub a 0 6 = "align=" ->
+        ignore (next_tok p);
+        let bytes = int_of_string (String.sub a 6 (String.length a - 6)) in
+        let rec log2 n acc = if n <= 1 then acc else log2 (n / 2) (acc + 1) in
+        align := log2 bytes 0;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  { Ast.offset = !offset; align = !align }
+
+let parse_seg_offset p : int64 =
+  match peek_tok p with
+  | Some (Atom a) when String.length a > 7 && String.sub a 0 7 = "offset=" ->
+      ignore (next_tok p);
+      Int64.of_string (String.sub a 7 (String.length a - 7))
+  | _ -> 0L
+
+let is_int_atom a =
+  a <> "" && (match Int64.of_string_opt a with Some _ -> true | None -> false)
+
+(* Parse instructions until one of [stops]; the stop atom is consumed
+   and returned. *)
+let rec parse_instrs p ~stops : Ast.instr list * string =
+  let rec go acc =
+    match peek_tok p with
+    | Some (Atom a) when List.mem a stops ->
+        ignore (next_tok p);
+        (List.rev acc, a)
+    | Some RP when List.mem ")" stops -> (List.rev acc, ")")
+    | Some _ -> go (parse_instr p :: acc)
+    | None -> perr "unexpected end of instruction stream"
+  in
+  go []
+
+and parse_instr p : Ast.instr =
+  let a = expect_atom p in
+  match a with
+  | "unreachable" -> Ast.Unreachable
+  | "nop" -> Ast.Nop
+  | "block" ->
+      let bt = parse_block_type p in
+      let body, _ = parse_instrs p ~stops:[ "end" ] in
+      Ast.Block (bt, body)
+  | "loop" ->
+      let bt = parse_block_type p in
+      let body, _ = parse_instrs p ~stops:[ "end" ] in
+      Ast.Loop (bt, body)
+  | "if" ->
+      let bt = parse_block_type p in
+      let then_, stop = parse_instrs p ~stops:[ "end"; "else" ] in
+      let else_ =
+        if stop = "else" then fst (parse_instrs p ~stops:[ "end" ]) else []
+      in
+      Ast.If (bt, then_, else_)
+  | "br" -> Ast.Br (expect_int p)
+  | "br_if" -> Ast.BrIf (expect_int p)
+  | "br_table" ->
+      (* all following integer atoms; the last is the default *)
+      let rec nums acc =
+        match peek_tok p with
+        | Some (Atom a) when is_int_atom a ->
+            ignore (next_tok p);
+            nums (int_of_string a :: acc)
+        | _ -> List.rev acc
+      in
+      (match nums [] with
+      | [] -> perr "br_table needs at least a default"
+      | ns ->
+          let rec split = function
+            | [ d ] -> ([], d)
+            | x :: tl ->
+                let ts, d = split tl in
+                (x :: ts, d)
+            | [] -> assert false
+          in
+          let ts, d = split ns in
+          Ast.BrTable (ts, d))
+  | "return" -> Ast.Return
+  | "call" -> Ast.Call (expect_int p)
+  | "call_indirect" ->
+      expect_lp p;
+      expect_kw p "type";
+      let ti = expect_int p in
+      expect_rp p;
+      Ast.CallIndirect ti
+  | "drop" -> Ast.Drop
+  | "select" -> Ast.Select
+  | "local.get" -> Ast.LocalGet (expect_int p)
+  | "local.set" -> Ast.LocalSet (expect_int p)
+  | "local.tee" -> Ast.LocalTee (expect_int p)
+  | "global.get" -> Ast.GlobalGet (expect_int p)
+  | "global.set" -> Ast.GlobalSet (expect_int p)
+  | "memory.size" -> Ast.MemorySize
+  | "memory.grow" -> Ast.MemoryGrow
+  | "memory.fill" -> Ast.MemoryFill
+  | "memory.copy" -> Ast.MemoryCopy
+  | "segment.new" -> Ast.SegmentNew (parse_seg_offset p)
+  | "segment.set_tag" -> Ast.SegmentSetTag (parse_seg_offset p)
+  | "segment.free" -> Ast.SegmentFree (parse_seg_offset p)
+  | "i64.pointer_sign" -> Ast.PointerSign
+  | "i64.pointer_auth" -> Ast.PointerAuth
+  | "i32.const" -> Ast.I32Const (Int64.to_int32 (expect_i64 p))
+  | "i64.const" -> Ast.I64Const (expect_i64 p)
+  | "f32.const" ->
+      Ast.F32Const (Values.to_f32 (float_of_string (expect_atom p)))
+  | "f64.const" -> Ast.F64Const (float_of_string (expect_atom p))
+  | a when List.assoc_opt a cvtops <> None ->
+      Ast.Cvtop (List.assoc a cvtops)
+  | a -> (
+      (* "<ty>.<op>" forms *)
+      match String.index_opt a '.' with
+      | None -> perr "unknown instruction %s" a
+      | Some dot -> (
+          let tys = String.sub a 0 dot in
+          let opn = String.sub a (dot + 1) (String.length a - dot - 1) in
+          let mem_ty () =
+            match tys with
+            | "i32" -> Types.I32
+            | "i64" -> Types.I64
+            | "f32" -> Types.F32
+            | "f64" -> Types.F64
+            | t -> perr "unknown type prefix %s" t
+          in
+          match (tys, opn) with
+          | ("i32" | "i64"), "eqz" ->
+              Ast.ITestop (if tys = "i32" then Ast.W32 else Ast.W64)
+          | ("i32" | "i64"), _ when List.mem_assoc opn ibinops ->
+              Ast.IBinop
+                ((if tys = "i32" then Ast.W32 else Ast.W64),
+                 List.assoc opn ibinops)
+          | ("i32" | "i64"), _ when List.mem_assoc opn irelops ->
+              Ast.IRelop
+                ((if tys = "i32" then Ast.W32 else Ast.W64),
+                 List.assoc opn irelops)
+          | ("i32" | "i64"), _ when List.mem_assoc opn iunops ->
+              Ast.IUnop
+                ((if tys = "i32" then Ast.W32 else Ast.W64),
+                 List.assoc opn iunops)
+          | ("f32" | "f64"), _ when List.mem_assoc opn fbinops ->
+              Ast.FBinop
+                ((if tys = "f32" then Ast.W32 else Ast.W64),
+                 List.assoc opn fbinops)
+          | ("f32" | "f64"), _ when List.mem_assoc opn frelops ->
+              Ast.FRelop
+                ((if tys = "f32" then Ast.W32 else Ast.W64),
+                 List.assoc opn frelops)
+          | ("f32" | "f64"), _ when List.mem_assoc opn funops ->
+              Ast.FUnop
+                ((if tys = "f32" then Ast.W32 else Ast.W64),
+                 List.assoc opn funops)
+          | _, _
+            when String.length opn >= 4 && String.sub opn 0 4 = "load" -> (
+              let suffix = String.sub opn 4 (String.length opn - 4) in
+              let ma = parse_memarg p in
+              match suffix with
+              | "" -> Ast.Load (mem_ty (), None, ma)
+              | "8_s" -> Ast.Load (mem_ty (), Some (Ast.Pack8, Ast.SX), ma)
+              | "8_u" -> Ast.Load (mem_ty (), Some (Ast.Pack8, Ast.ZX), ma)
+              | "16_s" -> Ast.Load (mem_ty (), Some (Ast.Pack16, Ast.SX), ma)
+              | "16_u" -> Ast.Load (mem_ty (), Some (Ast.Pack16, Ast.ZX), ma)
+              | "32_s" -> Ast.Load (mem_ty (), Some (Ast.Pack32, Ast.SX), ma)
+              | "32_u" -> Ast.Load (mem_ty (), Some (Ast.Pack32, Ast.ZX), ma)
+              | s -> perr "unknown load suffix %s" s)
+          | _, _
+            when String.length opn >= 5 && String.sub opn 0 5 = "store" -> (
+              let suffix = String.sub opn 5 (String.length opn - 5) in
+              let ma = parse_memarg p in
+              match suffix with
+              | "" -> Ast.Store (mem_ty (), None, ma)
+              | "8" -> Ast.Store (mem_ty (), Some Ast.Pack8, ma)
+              | "16" -> Ast.Store (mem_ty (), Some Ast.Pack16, ma)
+              | "32" -> Ast.Store (mem_ty (), Some Ast.Pack32, ma)
+              | s -> perr "unknown store suffix %s" s)
+          | _ -> perr "unknown instruction %s" a))
+
+(* (type (func (param ...) (result ...))) — already past "(type" *)
+let parse_functype_body p : Types.func_type =
+  expect_lp p;
+  expect_kw p "func";
+  let params = ref [] in
+  let results = ref [] in
+  let rec clauses () =
+    match peek_tok p with
+    | Some LP ->
+        expect_lp p;
+        let kw = expect_atom p in
+        let rec tys acc =
+          match peek_tok p with
+          | Some (Atom a) ->
+              ignore (next_tok p);
+              tys (val_type_of_atom a :: acc)
+          | _ -> List.rev acc
+        in
+        let ts = tys [] in
+        expect_rp p;
+        (match kw with
+        | "param" -> params := !params @ ts
+        | "result" -> results := !results @ ts
+        | k -> perr "unexpected %s in functype" k);
+        clauses ()
+    | _ -> ()
+  in
+  clauses ();
+  expect_rp p;
+  { Types.params = !params; results = !results }
+
+(** Parse a module in the dialect {!module_} prints. *)
+let parse (src : string) : Ast.module_ =
+  let p = { toks = Array.of_list (tokenize src); pos = 0 } in
+  expect_lp p;
+  expect_kw p "module";
+  let m = ref Ast.empty_module in
+  let rec fields () =
+    match peek_tok p with
+    | Some RP ->
+        ignore (next_tok p)
+    | Some LP ->
+        expect_lp p;
+        let kw = expect_atom p in
+        (match kw with
+        | "type" ->
+            let ft = parse_functype_body p in
+            m := { !m with Ast.types = !m.Ast.types @ [ ft ] };
+            expect_rp p
+        | "import" ->
+            let im_module =
+              match next_tok p with Str s -> s | _ -> perr "import module"
+            in
+            let im_name =
+              match next_tok p with Str s -> s | _ -> perr "import name"
+            in
+            expect_lp p;
+            expect_kw p "func";
+            expect_lp p;
+            expect_kw p "type";
+            let im_type = expect_int p in
+            expect_rp p;
+            expect_rp p;
+            expect_rp p;
+            m := { !m with Ast.imports = !m.Ast.imports @ [ { Ast.im_module; im_name; im_type } ] }
+        | "memory" ->
+            let idx =
+              match expect_atom p with
+              | "i64" -> Types.Idx64
+              | "i32" -> Types.Idx32
+              | a -> perr "memory index type %s" a
+            in
+            let min = expect_i64 p in
+            let max =
+              match peek_tok p with
+              | Some (Atom a) when is_int_atom a ->
+                  ignore (next_tok p);
+                  Some (Int64.of_string a)
+              | _ -> None
+            in
+            expect_rp p;
+            m :=
+              { !m with
+                Ast.memory =
+                  Some { Types.mem_idx = idx;
+                         mem_limits = { Types.min; max } } }
+        | "table" ->
+            let n = expect_i64 p in
+            expect_kw p "funcref";
+            expect_rp p;
+            m :=
+              { !m with
+                Ast.table =
+                  Some { Types.tbl_limits = { Types.min = n; max = Some n } } }
+        | "global" ->
+            let mut, gty =
+              match next_tok p with
+              | LP ->
+                  expect_kw p "mut";
+                  let t = val_type_of_atom (expect_atom p) in
+                  expect_rp p;
+                  (true, t)
+              | Atom a -> (false, val_type_of_atom a)
+              | _ -> perr "global type"
+            in
+            expect_lp p;
+            let init =
+              match parse_instr p with
+              | Ast.I32Const v -> Values.I32 v
+              | Ast.I64Const v -> Values.I64 v
+              | Ast.F32Const v -> Values.F32 v
+              | Ast.F64Const v -> Values.F64 v
+              | _ -> perr "global initialiser must be a constant"
+            in
+            expect_rp p;
+            expect_rp p;
+            m :=
+              { !m with
+                Ast.globals =
+                  !m.Ast.globals
+                  @ [ { Ast.g_type = { Types.mut; g_type = gty };
+                        g_init = init } ] }
+        | "func" ->
+            let fname =
+              match peek_tok p with
+              | Some (Atom a) when String.length a > 0 && a.[0] = '$' ->
+                  ignore (next_tok p);
+                  Some (String.sub a 1 (String.length a - 1))
+              | _ -> None
+            in
+            expect_lp p;
+            expect_kw p "type";
+            let ftype = expect_int p in
+            expect_rp p;
+            let locals =
+              match (peek_tok p, if p.pos + 1 < Array.length p.toks then Some p.toks.(p.pos + 1) else None) with
+              | Some LP, Some (Atom "local") ->
+                  expect_lp p;
+                  expect_kw p "local";
+                  let rec tys acc =
+                    match peek_tok p with
+                    | Some (Atom a) ->
+                        ignore (next_tok p);
+                        tys (val_type_of_atom a :: acc)
+                    | _ -> List.rev acc
+                  in
+                  let ts = tys [] in
+                  expect_rp p;
+                  ts
+              | _ -> []
+            in
+            let body, _ = parse_instrs p ~stops:[ ")" ] in
+            expect_rp p;
+            m :=
+              { !m with
+                Ast.funcs =
+                  !m.Ast.funcs @ [ { Ast.ftype; locals; body; fname } ] }
+        | "elem" ->
+            expect_lp p;
+            expect_kw p "offset";
+            let off = expect_i64 p in
+            expect_rp p;
+            expect_kw p "func";
+            let rec idxs acc =
+              match peek_tok p with
+              | Some (Atom a) when is_int_atom a ->
+                  ignore (next_tok p);
+                  idxs (int_of_string a :: acc)
+              | _ -> List.rev acc
+            in
+            let fs = idxs [] in
+            expect_rp p;
+            m :=
+              { !m with
+                Ast.elems =
+                  !m.Ast.elems @ [ { Ast.e_offset = off; e_funcs = fs } ] }
+        | "data" ->
+            expect_lp p;
+            expect_kw p "offset";
+            let off = expect_i64 p in
+            expect_rp p;
+            let bytes =
+              match next_tok p with Str s -> s | _ -> perr "data bytes"
+            in
+            expect_rp p;
+            m :=
+              { !m with
+                Ast.datas =
+                  !m.Ast.datas @ [ { Ast.d_offset = off; d_bytes = bytes } ] }
+        | "export" ->
+            let name =
+              match next_tok p with Str s -> s | _ -> perr "export name"
+            in
+            expect_lp p;
+            let kind = expect_atom p in
+            let idx = expect_int p in
+            expect_rp p;
+            expect_rp p;
+            let desc =
+              match kind with
+              | "func" -> Ast.Func_export idx
+              | "memory" -> Ast.Mem_export idx
+              | k -> perr "unsupported export kind %s" k
+            in
+            m :=
+              { !m with
+                Ast.exports =
+                  !m.Ast.exports @ [ { Ast.ex_name = name; ex_desc = desc } ] }
+        | "start" ->
+            let i = expect_int p in
+            expect_rp p;
+            m := { !m with Ast.start = Some i }
+        | k -> perr "unknown module field %s" k);
+        fields ()
+    | _ -> perr "expected module field or )"
+  in
+  fields ();
+  !m

@@ -1,0 +1,452 @@
+(** Module validation.
+
+    Implements the standard WebAssembly validation algorithm (operand
+    stack of possibly-unknown types plus a control-frame stack), extended
+    with the Cage typing rules of paper Fig. 10:
+
+    {v
+    segment.new o     : [i64 i64] -> [i64]      (requires memory, wasm64)
+    segment.set_tag o : [i64 i64 i64] -> []
+    segment.free o    : [i64 i64] -> []
+    i64.pointer_sign  : [i64] -> [i64]
+    i64.pointer_auth  : [i64] -> [i64]
+    v}
+
+    Cage instructions are rejected unless the [cage] feature is enabled,
+    and additionally require the module's memory to use 64-bit indices
+    (the extension builds on memory64, §4.2). *)
+
+exception Invalid of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+type op = Known of Types.val_type | Unknown
+
+type frame = {
+  label_types : Types.val_type list;  (** types br to this label expects *)
+  end_types : Types.val_type list;
+  height : int;
+  mutable unreachable : bool;
+}
+
+type ctx = {
+  m : Ast.module_;
+  cage : bool;
+  locals : Types.val_type array;
+  ret : Types.val_type list;
+  mutable ops : op list;
+  mutable ctrls : frame list;
+}
+
+let push ctx t = ctx.ops <- Known t :: ctx.ops
+let push_unknown ctx = ctx.ops <- Unknown :: ctx.ops
+
+let pop_any ctx =
+  match ctx.ctrls with
+  | [] -> error "control stack empty"
+  | frame :: _ ->
+      if List.length ctx.ops = frame.height then
+        if frame.unreachable then Unknown
+        else error "operand stack underflow"
+      else begin
+        match ctx.ops with
+        | [] -> error "operand stack underflow"
+        | o :: rest ->
+            ctx.ops <- rest;
+            o
+      end
+
+let pop ctx t =
+  match pop_any ctx with
+  | Unknown -> ()
+  | Known t' ->
+      if t' <> t then
+        error "type mismatch: expected %s, got %s"
+          (Types.string_of_num_type t)
+          (Types.string_of_num_type t')
+
+let pop_list ctx ts = List.iter (pop ctx) (List.rev ts)
+let push_list ctx ts = List.iter (push ctx) ts
+
+let push_frame ctx ~label_types ~end_types =
+  ctx.ctrls <-
+    { label_types; end_types; height = List.length ctx.ops;
+      unreachable = false }
+    :: ctx.ctrls
+
+let pop_frame ctx =
+  match ctx.ctrls with
+  | [] -> error "control stack empty"
+  | frame :: rest ->
+      pop_list ctx frame.end_types;
+      if List.length ctx.ops <> frame.height then
+        error "values left on stack at end of block";
+      ctx.ctrls <- rest;
+      frame
+
+let set_unreachable ctx =
+  match ctx.ctrls with
+  | [] -> error "control stack empty"
+  | frame :: _ ->
+      (* drop operands down to the frame height *)
+      let rec drop ops n = if n <= 0 then ops else
+          match ops with [] -> [] | _ :: tl -> drop tl (n - 1)
+      in
+      ctx.ops <- drop ctx.ops (List.length ctx.ops - frame.height);
+      frame.unreachable <- true
+
+let label_types ctx n =
+  match List.nth_opt ctx.ctrls n with
+  | Some f -> f.label_types
+  | None -> error "branch depth %d out of range" n
+
+let block_types : Ast.block_type -> Types.val_type list * Types.val_type list
+    = function
+  | Ast.ValBlock None -> ([], [])
+  | Ast.ValBlock (Some t) -> ([], [ t ])
+
+let memory ctx =
+  match ctx.m.memory with
+  | Some mt -> mt
+  | None -> error "instruction requires a memory"
+
+let addr_ty ctx = Types.addr_type (memory ctx).mem_idx
+
+let require_cage ctx name =
+  if not ctx.cage then error "%s requires the cage feature" name;
+  if (memory ctx).mem_idx <> Types.Idx64 then
+    error "%s requires a 64-bit (memory64) memory" name
+
+let check_align (ma : Ast.memarg) ~natural =
+  if ma.align < 0 || (1 lsl ma.align) > natural then
+    error "alignment 2^%d larger than natural %d" ma.align natural;
+  if ma.offset < 0L then error "negative memarg offset"
+
+let num_size : Types.num_type -> int = function
+  | Types.I32 | Types.F32 -> 4
+  | Types.I64 | Types.F64 -> 8
+
+let pack_bytes : Ast.pack_size -> int = function
+  | Ast.Pack8 -> 1
+  | Ast.Pack16 -> 2
+  | Ast.Pack32 -> 4
+
+let width_ty : Ast.width -> Types.val_type = function
+  | Ast.W32 -> Types.I32
+  | Ast.W64 -> Types.I64
+
+let fwidth_ty : Ast.width -> Types.val_type = function
+  | Ast.W32 -> Types.F32
+  | Ast.W64 -> Types.F64
+
+let cvt_sig : Ast.cvtop -> Types.val_type * Types.val_type = function
+  | I32WrapI64 -> (Types.I64, Types.I32)
+  | I64ExtendI32S | I64ExtendI32U -> (Types.I32, Types.I64)
+  | I32TruncF32S | I32TruncF32U -> (Types.F32, Types.I32)
+  | I32TruncF64S | I32TruncF64U -> (Types.F64, Types.I32)
+  | I64TruncF32S | I64TruncF32U -> (Types.F32, Types.I64)
+  | I64TruncF64S | I64TruncF64U -> (Types.F64, Types.I64)
+  | F32ConvertI32S | F32ConvertI32U -> (Types.I32, Types.F32)
+  | F32ConvertI64S | F32ConvertI64U -> (Types.I64, Types.F32)
+  | F64ConvertI32S | F64ConvertI32U -> (Types.I32, Types.F64)
+  | F64ConvertI64S | F64ConvertI64U -> (Types.I64, Types.F64)
+  | F32DemoteF64 -> (Types.F64, Types.F32)
+  | F64PromoteF32 -> (Types.F32, Types.F64)
+  | I32ReinterpretF32 -> (Types.F32, Types.I32)
+  | I64ReinterpretF64 -> (Types.F64, Types.I64)
+  | F32ReinterpretI32 -> (Types.I32, Types.F32)
+  | F64ReinterpretI64 -> (Types.I64, Types.F64)
+
+let func_type ctx i =
+  match List.nth_opt ctx.m.types i with
+  | Some ft -> ft
+  | None -> error "type index %d out of range" i
+
+let type_of_func ctx i =
+  let ni = Ast.num_imports ctx.m in
+  if i < ni then func_type ctx (List.nth ctx.m.imports i).im_type
+  else
+    match List.nth_opt ctx.m.funcs (i - ni) with
+    | Some f -> func_type ctx f.ftype
+    | None -> error "function index %d out of range" i
+
+let local_ty ctx i =
+  if i < 0 || i >= Array.length ctx.locals then
+    error "local index %d out of range" i
+  else ctx.locals.(i)
+
+let global_ty ctx i =
+  match List.nth_opt ctx.m.globals i with
+  | Some g -> g.g_type
+  | None -> error "global index %d out of range" i
+
+let rec instr ctx (ins : Ast.instr) =
+  match ins with
+  | Unreachable -> set_unreachable ctx
+  | Nop -> ()
+  | Block (bt, body) ->
+      let ins_t, outs = block_types bt in
+      pop_list ctx ins_t;
+      push_frame ctx ~label_types:outs ~end_types:outs;
+      push_list ctx ins_t;
+      seq ctx body;
+      let f = pop_frame ctx in
+      push_list ctx f.end_types
+  | Loop (bt, body) ->
+      let ins_t, outs = block_types bt in
+      pop_list ctx ins_t;
+      (* br to a loop jumps to its start: label types are the inputs *)
+      push_frame ctx ~label_types:ins_t ~end_types:outs;
+      push_list ctx ins_t;
+      seq ctx body;
+      let f = pop_frame ctx in
+      push_list ctx f.end_types
+  | If (bt, then_, else_) ->
+      pop ctx Types.I32;
+      let ins_t, outs = block_types bt in
+      pop_list ctx ins_t;
+      push_frame ctx ~label_types:outs ~end_types:outs;
+      push_list ctx ins_t;
+      seq ctx then_;
+      let f = pop_frame ctx in
+      push_frame ctx ~label_types:outs ~end_types:outs;
+      push_list ctx ins_t;
+      seq ctx else_;
+      ignore (pop_frame ctx);
+      push_list ctx f.end_types
+  | Br n ->
+      pop_list ctx (label_types ctx n);
+      set_unreachable ctx
+  | BrIf n ->
+      pop ctx Types.I32;
+      let ts = label_types ctx n in
+      pop_list ctx ts;
+      push_list ctx ts
+  | BrTable (ns, default) ->
+      pop ctx Types.I32;
+      let ts = label_types ctx default in
+      List.iter
+        (fun n ->
+          if label_types ctx n <> ts then
+            error "br_table label type mismatch")
+        ns;
+      pop_list ctx ts;
+      set_unreachable ctx
+  | Return ->
+      pop_list ctx ctx.ret;
+      set_unreachable ctx
+  | Call i ->
+      let ft = type_of_func ctx i in
+      pop_list ctx ft.params;
+      push_list ctx ft.results
+  | CallIndirect ti ->
+      if ctx.m.table = None then error "call_indirect requires a table";
+      let ft = func_type ctx ti in
+      pop ctx Types.I32;
+      pop_list ctx ft.params;
+      push_list ctx ft.results
+  | Drop -> ignore (pop_any ctx)
+  | Select -> (
+      pop ctx Types.I32;
+      let a = pop_any ctx in
+      let b = pop_any ctx in
+      match (a, b) with
+      | Known x, Known y when x <> y -> error "select type mismatch"
+      | Known x, _ | _, Known x -> push ctx x
+      | Unknown, Unknown -> push_unknown ctx)
+  | LocalGet i -> push ctx (local_ty ctx i)
+  | LocalSet i -> pop ctx (local_ty ctx i)
+  | LocalTee i ->
+      pop ctx (local_ty ctx i);
+      push ctx (local_ty ctx i)
+  | GlobalGet i -> push ctx (global_ty ctx i).g_type
+  | GlobalSet i ->
+      let gt = global_ty ctx i in
+      if not gt.mut then error "global %d is immutable" i;
+      pop ctx gt.g_type
+  | I32Const _ -> push ctx Types.I32
+  | I64Const _ -> push ctx Types.I64
+  | F32Const _ -> push ctx Types.F32
+  | F64Const _ -> push ctx Types.F64
+  | IUnop (w, _) | ITestop w ->
+      pop ctx (width_ty w);
+      push ctx (match ins with ITestop _ -> Types.I32 | _ -> width_ty w)
+  | IBinop (w, _) ->
+      pop ctx (width_ty w);
+      pop ctx (width_ty w);
+      push ctx (width_ty w)
+  | IRelop (w, _) ->
+      pop ctx (width_ty w);
+      pop ctx (width_ty w);
+      push ctx Types.I32
+  | FUnop (w, _) ->
+      pop ctx (fwidth_ty w);
+      push ctx (fwidth_ty w)
+  | FBinop (w, _) ->
+      pop ctx (fwidth_ty w);
+      pop ctx (fwidth_ty w);
+      push ctx (fwidth_ty w)
+  | FRelop (w, _) ->
+      pop ctx (fwidth_ty w);
+      pop ctx (fwidth_ty w);
+      push ctx Types.I32
+  | Cvtop op ->
+      let src, dst = cvt_sig op in
+      pop ctx src;
+      push ctx dst
+  | Load (ty, pack, ma) ->
+      let natural =
+        match pack with
+        | None -> num_size ty
+        | Some (p, _) -> pack_bytes p
+      in
+      check_align ma ~natural;
+      (match pack with
+      | Some _ when ty <> Types.I32 && ty <> Types.I64 ->
+          error "packed load of float type"
+      | _ -> ());
+      pop ctx (addr_ty ctx);
+      push ctx ty
+  | Store (ty, pack, ma) ->
+      let natural =
+        match pack with None -> num_size ty | Some p -> pack_bytes p
+      in
+      check_align ma ~natural;
+      (match pack with
+      | Some _ when ty <> Types.I32 && ty <> Types.I64 ->
+          error "packed store of float type"
+      | _ -> ());
+      pop ctx ty;
+      pop ctx (addr_ty ctx)
+  | MemorySize -> push ctx (addr_ty ctx)
+  | MemoryGrow ->
+      pop ctx (addr_ty ctx);
+      push ctx (addr_ty ctx)
+  | MemoryFill ->
+      let a = addr_ty ctx in
+      pop ctx a; pop ctx Types.I32; pop ctx a
+  | MemoryCopy ->
+      let a = addr_ty ctx in
+      pop ctx a; pop ctx a; pop ctx a
+  | SegmentNew o ->
+      require_cage ctx "segment.new";
+      if o < 0L then error "segment.new: negative offset";
+      pop ctx Types.I64;
+      pop ctx Types.I64;
+      push ctx Types.I64
+  | SegmentSetTag o ->
+      require_cage ctx "segment.set_tag";
+      if o < 0L then error "segment.set_tag: negative offset";
+      pop ctx Types.I64;
+      pop ctx Types.I64;
+      pop ctx Types.I64
+  | SegmentFree o ->
+      require_cage ctx "segment.free";
+      if o < 0L then error "segment.free: negative offset";
+      pop ctx Types.I64;
+      pop ctx Types.I64
+  | PointerSign ->
+      require_cage ctx "i64.pointer_sign";
+      pop ctx Types.I64;
+      push ctx Types.I64
+  | PointerAuth ->
+      require_cage ctx "i64.pointer_auth";
+      pop ctx Types.I64;
+      push ctx Types.I64
+
+and seq ctx = List.iter (instr ctx)
+
+let validate_func (m : Ast.module_) ~cage (f : Ast.func) =
+  let ft =
+    match List.nth_opt m.types f.ftype with
+    | Some ft -> ft
+    | None -> error "function type index %d out of range" f.ftype
+  in
+  let ctx =
+    {
+      m;
+      cage;
+      locals = Array.of_list (ft.params @ f.locals);
+      ret = ft.results;
+      ops = [];
+      ctrls = [];
+    }
+  in
+  push_frame ctx ~label_types:ft.results ~end_types:ft.results;
+  (try seq ctx f.body
+   with Invalid msg ->
+     error "in function %s: %s"
+       (Option.value f.fname ~default:"<anon>")
+       msg);
+  ignore (pop_frame ctx)
+
+let validate_module (m : Ast.module_) ~cage =
+  (* memory limits *)
+  Option.iter
+    (fun (mt : Types.mem_type) ->
+      let range =
+        match mt.mem_idx with
+        | Types.Idx32 -> 65536L
+        | Types.Idx64 -> Int64.shift_left 1L 48
+      in
+      if not (Types.limits_valid mt.mem_limits ~range) then
+        error "invalid memory limits")
+    m.memory;
+  (* globals *)
+  List.iter
+    (fun (g : Ast.global) ->
+      if Values.type_of g.g_init <> g.g_type.Types.g_type then
+        error "global initialiser type mismatch")
+    m.globals;
+  (* imports reference valid types *)
+  List.iter
+    (fun (im : Ast.import) ->
+      if List.nth_opt m.types im.im_type = None then
+        error "import %s.%s: type index out of range" im.im_module im.im_name)
+    m.imports;
+  (* element segments *)
+  let nfuncs = Ast.num_imports m + List.length m.funcs in
+  List.iter
+    (fun (e : Ast.elem) ->
+      if m.table = None then error "element segment without a table";
+      List.iter
+        (fun fi ->
+          if fi < 0 || fi >= nfuncs then
+            error "element segment: function index %d out of range" fi)
+        e.e_funcs)
+    m.elems;
+  (* data segments *)
+  List.iter
+    (fun (d : Ast.data) ->
+      if m.memory = None then error "data segment without a memory";
+      if d.d_offset < 0L then error "data segment: negative offset")
+    m.datas;
+  (* start function *)
+  Option.iter
+    (fun i ->
+      let ctx =
+        { m; cage; locals = [||]; ret = []; ops = []; ctrls = [] }
+      in
+      let ft = type_of_func ctx i in
+      if ft.params <> [] || ft.results <> [] then
+        error "start function must have type [] -> []")
+    m.start;
+  (* exports *)
+  List.iter
+    (fun (ex : Ast.export) ->
+      match ex.ex_desc with
+      | Ast.Func_export i ->
+          if i < 0 || i >= nfuncs then
+            error "export %s: function index out of range" ex.ex_name
+      | Ast.Mem_export i ->
+          if i <> 0 || m.memory = None then
+            error "export %s: memory index out of range" ex.ex_name)
+    m.exports;
+  List.iter (validate_func m ~cage) m.funcs
+
+(** Validate a module. [cage] enables the Cage extension instructions
+    (default true, as this toolchain exists to exercise them). *)
+let validate ?(cage = true) m =
+  match validate_module m ~cage with
+  | () -> Ok ()
+  | exception Invalid msg -> Error msg

@@ -1,0 +1,26 @@
+(** Module validation.
+
+    The standard WebAssembly validation algorithm (operand-type stack
+    with unknowns plus a control-frame stack), extended with the Cage
+    typing rules of paper Fig. 10:
+
+    {v
+    segment.new o     : [i64 i64] -> [i64]      (requires memory, wasm64)
+    segment.set_tag o : [i64 i64 i64] -> []
+    segment.free o    : [i64 i64] -> []
+    i64.pointer_sign  : [i64] -> [i64]
+    i64.pointer_auth  : [i64] -> [i64]
+    v}
+
+    Cage instructions are rejected unless the [cage] feature is enabled,
+    and additionally require the module's memory to use 64-bit indices
+    (the extension builds on memory64, paper §4.2). *)
+
+exception Invalid of string
+(** Raised internally; {!validate} catches it and returns [Error]. *)
+
+val validate : ?cage:bool -> Ast.module_ -> (unit, string) result
+(** Validate a module: memory/table limits, global initialisers,
+    import/export/element/start indices, and every function body under
+    its declared type. [cage] (default [true]) enables the extension
+    instructions. *)

@@ -1,0 +1,137 @@
+(** Runtime values and the numeric helpers the interpreter needs.
+
+    [F32] values are stored as OCaml floats but rounded through a 32-bit
+    representation after every operation, so f32 arithmetic is faithful
+    to single precision. *)
+
+type t = I32 of int32 | I64 of int64 | F32 of float | F64 of float
+
+let type_of : t -> Types.val_type = function
+  | I32 _ -> Types.I32
+  | I64 _ -> Types.I64
+  | F32 _ -> Types.F32
+  | F64 _ -> Types.F64
+
+(** The zero value of a type — wasm locals default to it. *)
+let default : Types.val_type -> t = function
+  | Types.I32 -> I32 0l
+  | Types.I64 -> I64 0L
+  | Types.F32 -> F32 0.0
+  | Types.F64 -> F64 0.0
+
+let equal a b =
+  match (a, b) with
+  | I32 x, I32 y -> Int32.equal x y
+  | I64 x, I64 y -> Int64.equal x y
+  | F32 x, F32 y | F64 x, F64 y ->
+      (* bit equality so NaN = NaN for testing purposes *)
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> false
+
+let pp ppf = function
+  | I32 v -> Format.fprintf ppf "i32:%ld" v
+  | I64 v -> Format.fprintf ppf "i64:%Ld" v
+  | F32 v -> Format.fprintf ppf "f32:%h" v
+  | F64 v -> Format.fprintf ppf "f64:%h" v
+
+(** Round a float through single precision. *)
+let to_f32 v = Int32.float_of_bits (Int32.bits_of_float v)
+
+(** {1 Integer helpers} *)
+
+(* OCaml's [Int32]/[Int64] division traps on [min_int / -1]; wasm defines
+   signed overflow in division as a trap too, so callers check first. *)
+
+let i32_shift_amount n = Int32.to_int (Int32.logand n 31l)
+let i64_shift_amount n = Int64.to_int (Int64.logand n 63L)
+
+let rotl32 x n =
+  let n = i32_shift_amount n in
+  if n = 0 then x
+  else
+    Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let rotr32 x n =
+  let n = i32_shift_amount n in
+  if n = 0 then x
+  else
+    Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+let rotl64 x n =
+  let n = i64_shift_amount n in
+  if n = 0 then x
+  else
+    Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let rotr64 x n =
+  let n = i64_shift_amount n in
+  if n = 0 then x
+  else
+    Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
+
+let clz32 x =
+  if Int32.equal x 0l then 32
+  else
+    let rec go n mask =
+      if Int32.logand x mask <> 0l then n
+      else go (n + 1) (Int32.shift_right_logical mask 1)
+    in
+    go 0 Int32.min_int
+
+let ctz32 x =
+  if Int32.equal x 0l then 32
+  else
+    let rec go n mask =
+      if Int32.logand x mask <> 0l then n
+      else go (n + 1) (Int32.shift_left mask 1)
+    in
+    go 0 1l
+
+let popcnt32 x =
+  let rec go x acc =
+    if Int32.equal x 0l then acc
+    else
+      go
+        (Int32.shift_right_logical x 1)
+        (acc + Int32.to_int (Int32.logand x 1l))
+  in
+  go x 0
+
+let clz64 x =
+  if Int64.equal x 0L then 64
+  else
+    let rec go n mask =
+      if Int64.logand x mask <> 0L then n
+      else go (n + 1) (Int64.shift_right_logical mask 1)
+    in
+    go 0 Int64.min_int
+
+let ctz64 x =
+  if Int64.equal x 0L then 64
+  else
+    let rec go n mask =
+      if Int64.logand x mask <> 0L then n
+      else go (n + 1) (Int64.shift_left mask 1)
+    in
+    go 0 1L
+
+let popcnt64 x =
+  let rec go x acc =
+    if Int64.equal x 0L then acc
+    else
+      go
+        (Int64.shift_right_logical x 1)
+        (acc + Int64.to_int (Int64.logand x 1L))
+  in
+  go x 0
+
+(** Unsigned comparison for int32. *)
+let u32_lt a b = Int32.unsigned_compare a b < 0
+
+let u32_gt a b = Int32.unsigned_compare a b > 0
+let u32_le a b = Int32.unsigned_compare a b <= 0
+let u32_ge a b = Int32.unsigned_compare a b >= 0
+let u64_lt a b = Int64.unsigned_compare a b < 0
+let u64_gt a b = Int64.unsigned_compare a b > 0
+let u64_le a b = Int64.unsigned_compare a b <= 0
+let u64_ge a b = Int64.unsigned_compare a b >= 0

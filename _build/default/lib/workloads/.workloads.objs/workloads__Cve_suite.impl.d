@@ -1,0 +1,1 @@
+lib/workloads/cve_suite.ml: Cage Libc List Printf Wasm

@@ -1,0 +1,1 @@
+lib/workloads/fuzzgen.ml: Array Buffer Int64 List Printf Random

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Arch Cage Cpu_model Insn Libc List Mte Printf Timing Wasm

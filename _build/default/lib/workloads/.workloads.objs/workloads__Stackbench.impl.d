@@ -1,0 +1,1 @@
+lib/workloads/stackbench.ml: List String

@@ -1,0 +1,218 @@
+(** Table 2: re-creations of real memory-safety CVEs.
+
+    Each entry distils the root cause of a published CVE into a MiniC
+    program whose bug fires deterministically. The paper's point (§3)
+    is that WASM's sandbox does {e not} stop these — they corrupt or
+    leak data inside the instance — while Cage's segments do. The suite
+    runs every program under baseline wasm64 (expected: silent
+    corruption or leak) and under Cage-mem-safety (expected: trap). *)
+
+type entry = {
+  cve : string;
+  cause : string;            (** Table 2 "Cause" column *)
+  wasm_mitigated : string;   (** Table 2 "Mitigated in WASM" column *)
+  description : string;
+  source : string;
+  expect_baseline : [ `Returns of int32 | `Corrupts ];
+      (** what the unprotected run does *)
+}
+
+let entries : entry list =
+  [
+    {
+      cve = "CVE-2023-4863";
+      cause = "Out-of-bounds";
+      wasm_mitigated = "No";
+      description =
+        "libwebp: Huffman table overflow — attacker-controlled loop \
+         writes past a heap buffer, corrupting the adjacent allocation.";
+      source =
+        {|
+          int main() {
+            char *table = (char *)malloc(32);
+            char *secret = (char *)malloc(16);
+            secret[0] = 42;
+            int attacker_len = 52;   /* crafted header claims more codes */
+            for (int i = 0; i < attacker_len; i++) { table[i] = 7; }
+            return secret[0];        /* 42 if intact, 7 if corrupted */
+          }
+        |};
+      expect_baseline = `Corrupts;
+    };
+    {
+      cve = "CVE-2014-0160";
+      cause = "Out-of-bounds";
+      wasm_mitigated = "No";
+      description =
+        "Heartbleed: attacker-controlled length makes the reply copy \
+         read far past the request buffer, leaking adjacent heap data.";
+      source =
+        {|
+          int main() {
+            char *request = (char *)malloc(16);
+            char *key = (char *)malloc(32);
+            for (int i = 0; i < 16; i++) { request[i] = 1; }
+            for (int i = 0; i < 32; i++) { key[i] = 77; }
+            int claimed_len = 64;    /* the lie in the heartbeat header */
+            char *reply = (char *)malloc(64);
+            for (int i = 0; i < claimed_len; i++) {
+              reply[i] = request[i]; /* reads beyond the request */
+            }
+            int leaked = 0;
+            for (int i = 16; i < claimed_len; i++) {
+              if (reply[i] == 77) { leaked = 1; }
+            }
+            return leaked;           /* 1: secret bytes leaked */
+          }
+        |};
+      expect_baseline = `Corrupts;
+    };
+    {
+      cve = "CVE-2021-3999";
+      cause = "Out-of-bounds";
+      wasm_mitigated = "Partially";
+      description =
+        "glibc getcwd: off-by-one buffer underflow — a write at index \
+         -1 lands in the allocator metadata just before the chunk.";
+      source =
+        {|
+          int main() {
+            char *buf = (char *)malloc(16);
+            buf[-1] = 0;             /* the off-by-one underflow */
+            return (int)buf[-1];
+          }
+        |};
+      expect_baseline = `Corrupts;
+    };
+    {
+      cve = "CVE-2018-14550";
+      cause = "Out-of-bounds";
+      wasm_mitigated = "No";
+      description =
+        "libpng pnm2png: unbounded string copy into a fixed stack \
+         buffer — the classic stack smash.";
+      source =
+        {|
+          int main() {
+            char token[16];
+            char header[64];
+            for (int i = 0; i < 64; i++) { header[i] = 99; }
+            /* the "file" provides a longer token than the buffer */
+            char *input = "this-token-is-way-longer-than-sixteen-bytes";
+            strcpy(token, input);
+            return header[0];        /* stomped on overflow */
+          }
+        |};
+      expect_baseline = `Corrupts;
+    };
+    {
+      cve = "CVE-2021-22940";
+      cause = "Use-after-free";
+      wasm_mitigated = "No";
+      description =
+        "Node.js TLS: a session object is used after its buffer was \
+         released and reallocated for attacker data.";
+      source =
+        {|
+          struct Session { long id; long secret; };
+          int main() {
+            struct Session *s = (struct Session *)malloc(16);
+            s->id = 1; s->secret = 1234;
+            free(s);
+            /* allocator reuses the chunk for attacker-controlled data */
+            long *attacker = (long *)malloc(16);
+            attacker[0] = 666; attacker[1] = 666;
+            return (int)s->secret;   /* dangling read sees 666 */
+          }
+        |};
+      expect_baseline = `Corrupts;
+    };
+    {
+      cve = "CVE-2021-33574";
+      cause = "Use-after-free";
+      wasm_mitigated = "No";
+      description =
+        "glibc mq_notify: the notification thread dereferences a \
+         message-queue attribute structure freed by the caller.";
+      source =
+        {|
+          struct Attr { long flags; long (*handler)(); };
+          long safe_handler() { return 1; }
+          int main() {
+            struct Attr *a = (struct Attr *)malloc(16);
+            a->flags = 0;
+            a->handler = safe_handler;
+            free(a);
+            long f = a->flags;       /* use after free */
+            return (int)f;
+          }
+        |};
+      expect_baseline = `Corrupts;
+    };
+    {
+      cve = "CVE-2020-1752";
+      cause = "Use-after-free";
+      wasm_mitigated = "No";
+      description =
+        "glibc glob: a directory-entry string is referenced after the \
+         backing buffer was freed during error handling.";
+      source =
+        {|
+          int main() {
+            char *name = (char *)malloc(24);
+            strcpy(name, "entry");
+            char *alias = name;      /* second reference */
+            free(name);
+            return (int)alias[0];    /* dangling read */
+          }
+        |};
+      expect_baseline = `Corrupts;
+    };
+    {
+      cve = "CVE-2019-11932";
+      cause = "Double-free";
+      wasm_mitigated = "Partially";
+      description =
+        "WhatsApp GIF parser: rewinding the decoder frees the same \
+         frame buffer twice, corrupting the allocator free list.";
+      source =
+        {|
+          int main() {
+            char *frame = (char *)malloc(128);
+            free(frame);
+            free(frame);             /* the double free */
+            return 0;
+          }
+        |};
+      expect_baseline = `Corrupts;
+    };
+  ]
+
+type verdict = {
+  v_entry : entry;
+  v_baseline : string;  (** observed behaviour without Cage *)
+  v_cage : string;      (** observed behaviour with Cage *)
+  v_caught : bool;      (** Cage trapped the bug *)
+}
+
+(** Execute one entry under both configurations. *)
+let evaluate (e : entry) : verdict =
+  let run cfg =
+    match Libc.Run.run ~cfg e.source with
+    | r -> `Ret (Libc.Run.ret_i32 r)
+    | exception Wasm.Instance.Trap msg -> `Trap msg
+  in
+  let baseline = run Cage.Config.baseline_wasm64 in
+  let cage = run Cage.Config.mem_safety in
+  let show = function
+    | `Ret v -> Printf.sprintf "ran to completion (returned %ld)" v
+    | `Trap m -> Printf.sprintf "trapped: %s" m
+  in
+  {
+    v_entry = e;
+    v_baseline = show baseline;
+    v_cage = show cage;
+    v_caught = (match cage with `Trap _ -> true | `Ret _ -> false);
+  }
+
+let evaluate_all () = List.map evaluate entries

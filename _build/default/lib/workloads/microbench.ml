@@ -1,0 +1,242 @@
+(** Microbenchmarks backing the paper's architectural analysis:
+    Table 1 (instruction throughput/latency), Fig. 4 (MTE mode overhead
+    on memset), Table 4 / Fig. 16 (tagged-memory initialisation
+    variants), Fig. 15 (static vs dynamic vs authenticated calls) and
+    the §7.2 startup experiment. *)
+
+open Arch
+
+let mib = 1024.0 *. 1024.0
+let memset_bytes = 128.0 *. mib
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type insn_row = {
+  ir_insn : string;
+  ir_results : (string * float * float option) list;
+      (** core name, throughput, latency (None for tag stores) *)
+}
+
+(** Measure every Table 1 instruction on every core through the pipeline
+    simulator, exactly as the paper does (independent stream for
+    throughput, dependent chain for latency). *)
+let table1 () : insn_row list =
+  List.map
+    (fun kind ->
+      {
+        ir_insn = Insn.kind_to_string kind;
+        ir_results =
+          List.map
+            (fun cpu ->
+              let tp = Timing.measured_throughput cpu kind in
+              let lat =
+                if Insn.has_latency kind then
+                  Some (Timing.measured_latency cpu kind)
+                else None
+              in
+              (cpu.Cpu_model.name, tp, lat))
+            Cpu_model.tensor_g3;
+      })
+    Insn.table1_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: memset under MTE modes                                      *)
+(* ------------------------------------------------------------------ *)
+
+type memset_row = {
+  ms_core : string;
+  ms_off : float;    (** seconds, MTE disabled *)
+  ms_sync : float;
+  ms_async : float;
+}
+
+let fig4 () : memset_row list =
+  List.map
+    (fun cpu ->
+      let t mode = Timing.memset_seconds cpu ~mode ~bytes:memset_bytes in
+      {
+        ms_core = cpu.Cpu_model.name;
+        ms_off = t Mte.Disabled;
+        ms_sync = t Mte.Sync;
+        ms_async = t Mte.Async;
+      })
+    Cpu_model.tensor_g3
+
+(* ------------------------------------------------------------------ *)
+(* Table 4 / Fig. 16: initialising tagged memory                       *)
+(* ------------------------------------------------------------------ *)
+
+type tag_variant = {
+  tv_name : string;
+  tv_granule : int;     (** bytes per instruction *)
+  tv_sets_zero : bool;
+  tv_memset : bool;     (** followed by a separate memset pass *)
+  tv_insn : Insn.kind option;  (** tag-store instruction, None = memset only *)
+}
+
+(** The Table 4 variants, in the paper's order. *)
+let table4_variants =
+  [
+    { tv_name = "memset"; tv_granule = 16; tv_sets_zero = false;
+      tv_memset = true; tv_insn = None };
+    { tv_name = "stg"; tv_granule = 16; tv_sets_zero = false;
+      tv_memset = false; tv_insn = Some Insn.Stg };
+    { tv_name = "st2g"; tv_granule = 32; tv_sets_zero = false;
+      tv_memset = false; tv_insn = Some Insn.St2g };
+    { tv_name = "stgp"; tv_granule = 16; tv_sets_zero = true;
+      tv_memset = false; tv_insn = Some Insn.Stgp };
+    { tv_name = "stzg"; tv_granule = 16; tv_sets_zero = true;
+      tv_memset = false; tv_insn = Some Insn.Stzg };
+    { tv_name = "st2zg"; tv_granule = 32; tv_sets_zero = true;
+      tv_memset = false; tv_insn = Some Insn.St2zg };
+    { tv_name = "stg+memset"; tv_granule = 16; tv_sets_zero = true;
+      tv_memset = true; tv_insn = Some Insn.Stg };
+    { tv_name = "st2g+memset"; tv_granule = 32; tv_sets_zero = true;
+      tv_memset = true; tv_insn = Some Insn.St2g };
+  ]
+
+(** Time one variant over [bytes] of cold memory with synchronous MTE,
+    as in Fig. 16. Tag-setting stores are exempt from tag checks (the
+    paper's explanation for stzg beating memset); a separate memset pass
+    pays the checked-store penalty. *)
+let variant_seconds cpu (v : tag_variant) ~bytes =
+  let tag_pass =
+    match v.tv_insn with
+    | None -> 0.0
+    | Some kind ->
+        let insns = bytes /. float_of_int v.tv_granule in
+        let data =
+          float_of_int (Insn.data_bytes_written kind) *. insns
+        in
+        Timing.stream_seconds cpu ~mode:Mte.Sync ~unchecked_bytes:data
+          ~tag_granules:(bytes /. 16.0)
+          ~insn_mix:[ (kind, insns) ]
+          ()
+  in
+  let memset_pass =
+    if v.tv_memset then Timing.memset_seconds cpu ~mode:Mte.Sync ~bytes
+    else 0.0
+  in
+  tag_pass +. memset_pass
+
+type fig16_row = { f16_core : string; f16_times : (string * float) list }
+
+let fig16 () : fig16_row list =
+  List.map
+    (fun cpu ->
+      {
+        f16_core = cpu.Cpu_model.name;
+        f16_times =
+          List.map
+            (fun v -> (v.tv_name, variant_seconds cpu v ~bytes:memset_bytes))
+            table4_variants;
+      })
+    Cpu_model.tensor_g3
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 15: static vs dynamic vs authenticated calls                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's modified 2mm: the innermost multiply-accumulate is moved
+   into a function invoked statically or through a vtable-style
+   pointer, so the call/dispatch cost is visible against the tiny
+   callee (the paper measures 15-22 % for dynamic dispatch). *)
+let call_bench ~dynamic =
+  let n = 16 in
+  Printf.sprintf
+    {|
+double *dalloc(long n) { return (double *)malloc(n * 8); }
+
+double *g_a; double *g_b; double *g_c;
+int g_n = %d;
+
+double mac(double acc, double x, double y) { return acc + x * y; }
+
+int main() {
+  int n = g_n;
+  g_a = dalloc((long)n * n);
+  g_b = dalloc((long)n * n);
+  g_c = dalloc((long)n * n);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      g_a[i * n + j] = (double)(i * j %% 7) / 7.0;
+      g_b[i * n + j] = (double)((i + j) %% 5) / 5.0;
+      g_c[i * n + j] = 0.0;
+    }
+%s
+  for (int rep = 0; rep < 2; rep++)
+    for (int i = 0; i < n; i++)
+      for (int j = 0; j < n; j++) {
+        double acc = 0.0;
+        for (int kk = 0; kk < n; kk++)
+          acc = %s;
+        g_c[i * n + j] += acc;
+      }
+  double s = 0.0;
+  for (int i = 0; i < n * n; i++) { s += g_c[i]; }
+  return (int)s;
+}
+|}
+    n
+    (if dynamic then
+       "  double (*step)(double, double, double) = mac;"
+     else "")
+    (if dynamic then "step(acc, g_a[i * g_n + kk], g_b[kk * g_n + j])"
+     else "mac(acc, g_a[i * g_n + kk], g_b[kk * g_n + j])")
+
+type fig15_row = {
+  f15_core : string;
+  f15_static : float;
+  f15_dynamic : float;
+  f15_dynamic_auth : float;
+}
+
+let fig15 () : fig15_row list =
+  let measure ~dynamic ~cfg =
+    let meter = Wasm.Meter.create () in
+    let src = call_bench ~dynamic in
+    let r = Libc.Run.run ~cfg ~meter src in
+    ignore r.Libc.Run.values;
+    meter
+  in
+  let m_static = measure ~dynamic:false ~cfg:Cage.Config.baseline_wasm64 in
+  let m_dynamic = measure ~dynamic:true ~cfg:Cage.Config.baseline_wasm64 in
+  let m_auth = measure ~dynamic:true ~cfg:Cage.Config.ptr_auth in
+  List.map
+    (fun cpu ->
+      {
+        f15_core = cpu.Cpu_model.name;
+        f15_static =
+          Cage.Lowering.seconds cpu Cage.Config.baseline_wasm64 m_static;
+        f15_dynamic =
+          Cage.Lowering.seconds cpu Cage.Config.baseline_wasm64 m_dynamic;
+        f15_dynamic_auth =
+          Cage.Lowering.seconds cpu Cage.Config.ptr_auth m_auth;
+      })
+    Cpu_model.tensor_g3
+
+(* ------------------------------------------------------------------ *)
+(* §7.2 startup                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type startup_row = {
+  su_core : string;
+  su_baseline : float;  (** instantiate 128 MiB + call empty export *)
+  su_cage : float;      (** same with MTE sandboxing (memory tagging) *)
+}
+
+let startup () : startup_row list =
+  List.map
+    (fun cpu ->
+      {
+        su_core = cpu.Cpu_model.name;
+        su_baseline =
+          Cage.Lowering.startup_seconds cpu Cage.Config.baseline_wasm64
+            ~mem_bytes:memset_bytes;
+        su_cage =
+          Cage.Lowering.startup_seconds cpu Cage.Config.full
+            ~mem_bytes:memset_bytes;
+      })
+    Cpu_model.tensor_g3

@@ -1,0 +1,824 @@
+(** PolyBench/C 3.2 kernels in MiniC — the paper's Fig. 14 workload.
+
+    Each kernel is a faithful translation of the PolyBench reference
+    code at a reduced ("mini") problem size, with matrices allocated
+    through the libc allocator (so the Cage configurations exercise the
+    hardened heap) and flattened to 1-D with explicit index arithmetic
+    (MiniC has no variable-length arrays). Every kernel returns a
+    checksum so the differential tests can confirm all six Table 3
+    configurations compute identical results. *)
+
+type kernel = {
+  k_name : string;
+  k_source : string;
+  k_flops : string;  (** dominant operation mix, for documentation *)
+}
+
+(* Common helpers embedded in every kernel. *)
+let common = {|
+double *dalloc(long n) { return (double *)malloc(n * 8); }
+
+int checksum(double *a, long n) {
+  double s = 0.0;
+  for (long i = 0; i < n; i++) {
+    double v = a[i];
+    if (v != v) { v = 0.5; }  /* NaN-safe */
+    if (v < 0.0) { v = 0.0 - v; }
+    /* keep the magnitude bounded so all configs agree bit-for-bit */
+    while (v > 1000000.0) { v = v / 1000000.0; }
+    s = s + v;
+  }
+  long bits = (long)(s * 1048576.0);
+  return (int)(bits % 1000003);
+}
+|}
+
+let k name ?(flops = "fp-mul/add") body =
+  { k_name = name; k_source = common ^ body; k_flops = flops }
+
+let n = 20 (* mini problem size *)
+let tsteps = 6
+
+let def_n = Printf.sprintf "int n = %d;\n" n
+let def_t = Printf.sprintf "int tsteps = %d;\n" tsteps
+
+(* ------------------------------------------------------------- *)
+
+let gemm = k "gemm" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *b = dalloc((long)n * n);
+  double *c = dalloc((long)n * n);
+  double alpha = 1.5; double beta = 1.2;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = (double)(i * j % 7) / 7.0;
+      b[i * n + j] = (double)((i + j) % 13) / 13.0;
+      c[i * n + j] = (double)((i - j) % 5) / 5.0;
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      c[i * n + j] *= beta;
+      for (int kk = 0; kk < n; kk++)
+        c[i * n + j] += alpha * a[i * n + kk] * b[kk * n + j];
+    }
+  int r = checksum(c, (long)n * n);
+  free(a); free(b); free(c);
+  return r;
+}
+|})
+
+let two_mm = k "2mm" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *b = dalloc((long)n * n);
+  double *c = dalloc((long)n * n);
+  double *d = dalloc((long)n * n);
+  double *tmp = dalloc((long)n * n);
+  double alpha = 1.5; double beta = 1.2;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = (double)(i * j % 9) / 9.0;
+      b[i * n + j] = (double)(i + j) / (double)n;
+      c[i * n + j] = (double)(i * (j + 3) % 11) / 11.0;
+      d[i * n + j] = (double)(i - j) / (double)n;
+      tmp[i * n + j] = 0.0;
+    }
+  /* tmp = alpha * A * B */
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      for (int kk = 0; kk < n; kk++)
+        tmp[i * n + j] += alpha * a[i * n + kk] * b[kk * n + j];
+  /* D = tmp * C + beta * D */
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      d[i * n + j] *= beta;
+      for (int kk = 0; kk < n; kk++)
+        d[i * n + j] += tmp[i * n + kk] * c[kk * n + j];
+    }
+  int r = checksum(d, (long)n * n);
+  free(a); free(b); free(c); free(d); free(tmp);
+  return r;
+}
+|})
+
+let three_mm = k "3mm" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *b = dalloc((long)n * n);
+  double *c = dalloc((long)n * n);
+  double *d = dalloc((long)n * n);
+  double *e = dalloc((long)n * n);
+  double *f = dalloc((long)n * n);
+  double *g = dalloc((long)n * n);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = (double)(i * j % 5) / 5.0;
+      b[i * n + j] = (double)(i + j + 1) / (double)n;
+      c[i * n + j] = (double)(i * (j + 2) % 7) / 7.0;
+      d[i * n + j] = (double)(i - j) / (double)n;
+      e[i * n + j] = 0.0;
+      f[i * n + j] = 0.0;
+      g[i * n + j] = 0.0;
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      for (int kk = 0; kk < n; kk++)
+        e[i * n + j] += a[i * n + kk] * b[kk * n + j];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      for (int kk = 0; kk < n; kk++)
+        f[i * n + j] += c[i * n + kk] * d[kk * n + j];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      for (int kk = 0; kk < n; kk++)
+        g[i * n + j] += e[i * n + kk] * f[kk * n + j];
+  int r = checksum(g, (long)n * n);
+  free(a); free(b); free(c); free(d); free(e); free(f); free(g);
+  return r;
+}
+|})
+
+let atax = k "atax" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *x = dalloc(n);
+  double *y = dalloc(n);
+  double *tmp = dalloc(n);
+  for (int i = 0; i < n; i++) {
+    x[i] = 1.0 + (double)i / (double)n;
+    y[i] = 0.0;
+    tmp[i] = 0.0;
+    for (int j = 0; j < n; j++)
+      a[i * n + j] = (double)((i + j) % 11) / 11.0;
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++)
+      tmp[i] += a[i * n + j] * x[j];
+    for (int j = 0; j < n; j++)
+      y[j] += a[i * n + j] * tmp[i];
+  }
+  int r = checksum(y, n);
+  free(a); free(x); free(y); free(tmp);
+  return r;
+}
+|})
+
+let bicg = k "bicg" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *s = dalloc(n);
+  double *q = dalloc(n);
+  double *p = dalloc(n);
+  double *r = dalloc(n);
+  for (int i = 0; i < n; i++) {
+    p[i] = (double)(i % 7) / 7.0;
+    r[i] = (double)(i % 5) / 5.0;
+    s[i] = 0.0;
+    q[i] = 0.0;
+    for (int j = 0; j < n; j++)
+      a[i * n + j] = (double)(i * (j + 1) % 9) / 9.0;
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      s[j] += r[i] * a[i * n + j];
+      q[i] += a[i * n + j] * p[j];
+    }
+  }
+  int res = checksum(s, n) + checksum(q, n);
+  free(a); free(s); free(q); free(p); free(r);
+  return res;
+}
+|})
+
+let mvt = k "mvt" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *x1 = dalloc(n);
+  double *x2 = dalloc(n);
+  double *y1 = dalloc(n);
+  double *y2 = dalloc(n);
+  for (int i = 0; i < n; i++) {
+    x1[i] = (double)(i % 3) / 3.0;
+    x2[i] = (double)(i % 4) / 4.0;
+    y1[i] = (double)(i % 5) / 5.0;
+    y2[i] = (double)(i % 6) / 6.0;
+    for (int j = 0; j < n; j++)
+      a[i * n + j] = (double)(i * j % 13) / 13.0;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      x1[i] += a[i * n + j] * y1[j];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      x2[i] += a[j * n + i] * y2[j];
+  int r = checksum(x1, n) + checksum(x2, n);
+  free(a); free(x1); free(x2); free(y1); free(y2);
+  return r;
+}
+|})
+
+let gesummv = k "gesummv" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *b = dalloc((long)n * n);
+  double *x = dalloc(n);
+  double *y = dalloc(n);
+  double *tmp = dalloc(n);
+  double alpha = 1.3; double beta = 0.7;
+  for (int i = 0; i < n; i++) {
+    x[i] = (double)(i % 9) / 9.0;
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = (double)(i * j % 7) / 7.0;
+      b[i * n + j] = (double)((i + 2 * j) % 5) / 5.0;
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (int j = 0; j < n; j++) {
+      tmp[i] += a[i * n + j] * x[j];
+      y[i] += b[i * n + j] * x[j];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+  int r = checksum(y, n);
+  free(a); free(b); free(x); free(y); free(tmp);
+  return r;
+}
+|})
+
+let gemver = k "gemver" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *u1 = dalloc(n); double *v1 = dalloc(n);
+  double *u2 = dalloc(n); double *v2 = dalloc(n);
+  double *w = dalloc(n); double *x = dalloc(n);
+  double *y = dalloc(n); double *z = dalloc(n);
+  double alpha = 1.5; double beta = 1.2;
+  for (int i = 0; i < n; i++) {
+    u1[i] = (double)i / (double)n;
+    u2[i] = (double)(i + 1) / (double)n / 2.0;
+    v1[i] = (double)(i + 2) / (double)n / 4.0;
+    v2[i] = (double)(i + 3) / (double)n / 6.0;
+    y[i] = (double)(i + 4) / (double)n / 8.0;
+    z[i] = (double)(i + 5) / (double)n / 9.0;
+    x[i] = 0.0; w[i] = 0.0;
+    for (int j = 0; j < n; j++)
+      a[i * n + j] = (double)(i * j % 11) / 11.0;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      a[i * n + j] += u1[i] * v1[j] + u2[i] * v2[j];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      x[i] += beta * a[j * n + i] * y[j];
+  for (int i = 0; i < n; i++)
+    x[i] += z[i];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      w[i] += alpha * a[i * n + j] * x[j];
+  int r = checksum(w, n);
+  free(a); free(u1); free(v1); free(u2); free(v2);
+  free(w); free(x); free(y); free(z);
+  return r;
+}
+|})
+
+let syrk = k "syrk" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *c = dalloc((long)n * n);
+  double alpha = 1.5; double beta = 1.2;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = (double)(i * j % 9) / 9.0;
+      c[i * n + j] = (double)((i + j) % 7) / 7.0;
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      c[i * n + j] *= beta;
+      for (int kk = 0; kk < n; kk++)
+        c[i * n + j] += alpha * a[i * n + kk] * a[j * n + kk];
+    }
+  int r = checksum(c, (long)n * n);
+  free(a); free(c);
+  return r;
+}
+|})
+
+let syr2k = k "syr2k" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *b = dalloc((long)n * n);
+  double *c = dalloc((long)n * n);
+  double alpha = 1.5; double beta = 1.2;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = (double)(i * j % 9) / 9.0;
+      b[i * n + j] = (double)((i + j) % 11) / 11.0;
+      c[i * n + j] = (double)((2 * i + j) % 7) / 7.0;
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      c[i * n + j] *= beta;
+      for (int kk = 0; kk < n; kk++)
+        c[i * n + j] += alpha * a[i * n + kk] * b[j * n + kk]
+                      + alpha * b[i * n + kk] * a[j * n + kk];
+    }
+  int r = checksum(c, (long)n * n);
+  free(a); free(b); free(c);
+  return r;
+}
+|})
+
+let trmm = k "trmm" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *b = dalloc((long)n * n);
+  double alpha = 1.5;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = (double)(i * j % 9) / 9.0;
+      b[i * n + j] = (double)((i + j) % 13) / 13.0;
+    }
+  for (int i = 1; i < n; i++)
+    for (int j = 0; j < n; j++)
+      for (int kk = 0; kk < i; kk++)
+        b[i * n + j] += alpha * a[i * n + kk] * b[j * n + kk];
+  int r = checksum(b, (long)n * n);
+  free(a); free(b);
+  return r;
+}
+|})
+
+let symm = k "symm" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *b = dalloc((long)n * n);
+  double *c = dalloc((long)n * n);
+  double alpha = 1.5; double beta = 1.2;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = (double)(i * j % 9) / 9.0;
+      b[i * n + j] = (double)((i + j) % 11) / 11.0;
+      c[i * n + j] = (double)((i - j) % 7) / 7.0;
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      double acc = 0.0;
+      for (int kk = 0; kk < i; kk++) {
+        c[kk * n + j] += alpha * a[i * n + kk] * b[i * n + j];
+        acc += b[kk * n + j] * a[i * n + kk];
+      }
+      c[i * n + j] = beta * c[i * n + j]
+                   + alpha * a[i * n + i] * b[i * n + j] + alpha * acc;
+    }
+  int r = checksum(c, (long)n * n);
+  free(a); free(b); free(c);
+  return r;
+}
+|})
+
+let cholesky = k "cholesky" ~flops:"fp-div/sqrt" ({|
+double my_sqrt(double x) {
+  if (x <= 0.0) { return 0.0; }
+  double g = x;
+  for (int it = 0; it < 30; it++) { g = 0.5 * (g + x / g); }
+  return g;
+}
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *p = dalloc(n);
+  /* symmetric positive definite-ish input */
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++)
+      a[i * n + j] = (double)((i * j) % 7) / 70.0;
+    a[i * n + i] = (double)n;
+  }
+  for (int i = 0; i < n; i++) {
+    double x = a[i * n + i];
+    for (int j = 0; j <= i - 1; j++)
+      x = x - a[i * n + j] * a[i * n + j];
+    p[i] = 1.0 / my_sqrt(x);
+    for (int j = i + 1; j < n; j++) {
+      double y = a[i * n + j];
+      for (int kk = 0; kk <= i - 1; kk++)
+        y = y - a[j * n + kk] * a[i * n + kk];
+      a[j * n + i] = y * p[i];
+    }
+  }
+  int r = checksum(a, (long)n * n) + checksum(p, n);
+  free(a); free(p);
+  return r;
+}
+|})
+
+let lu = k "lu" ~flops:"fp-div" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++)
+      a[i * n + j] = (double)((i * j) % 13) / 13.0 + 0.1;
+    a[i * n + i] += (double)n;
+  }
+  for (int kk = 0; kk < n; kk++) {
+    for (int j = kk + 1; j < n; j++)
+      a[kk * n + j] = a[kk * n + j] / a[kk * n + kk];
+    for (int i = kk + 1; i < n; i++)
+      for (int j = kk + 1; j < n; j++)
+        a[i * n + j] -= a[i * n + kk] * a[kk * n + j];
+  }
+  int r = checksum(a, (long)n * n);
+  free(a);
+  return r;
+}
+|})
+
+let trisolv = k "trisolv" ~flops:"fp-div" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *x = dalloc(n);
+  double *c = dalloc(n);
+  for (int i = 0; i < n; i++) {
+    c[i] = (double)(i % 9) / 9.0 + 1.0;
+    x[i] = 0.0;
+    for (int j = 0; j < n; j++)
+      a[i * n + j] = (double)((i + j) % 5) / 5.0 + 0.01;
+    a[i * n + i] = (double)n;
+  }
+  for (int i = 0; i < n; i++) {
+    x[i] = c[i];
+    for (int j = 0; j < i; j++)
+      x[i] -= a[i * n + j] * x[j];
+    x[i] = x[i] / a[i * n + i];
+  }
+  int r = checksum(x, n);
+  free(a); free(x); free(c);
+  return r;
+}
+|})
+
+let durbin = k "durbin" ({|
+int main() {
+|} ^ def_n ^ {|
+  double *r = dalloc(n);
+  double *y = dalloc(n);
+  double *z = dalloc(n);
+  for (int i = 0; i < n; i++) { r[i] = 1.0 / (double)(i + 2); }
+  y[0] = 0.0 - r[0];
+  double beta = 1.0;
+  double alpha = 0.0 - r[0];
+  for (int kk = 1; kk < n; kk++) {
+    beta = (1.0 - alpha * alpha) * beta;
+    double sum = 0.0;
+    for (int i = 0; i < kk; i++)
+      sum += r[kk - i - 1] * y[i];
+    alpha = 0.0 - (r[kk] + sum) / beta;
+    for (int i = 0; i < kk; i++)
+      z[i] = y[i] + alpha * y[kk - i - 1];
+    for (int i = 0; i < kk; i++)
+      y[i] = z[i];
+    y[kk] = alpha;
+  }
+  int res = checksum(y, n);
+  free(r); free(y); free(z);
+  return res;
+}
+|})
+
+let jacobi_1d = k "jacobi-1d" ({|
+int main() {
+|} ^ def_n ^ def_t ^ {|
+  int big = n * 8;
+  double *a = dalloc(big);
+  double *b = dalloc(big);
+  for (int i = 0; i < big; i++) {
+    a[i] = ((double)i + 2.0) / (double)big;
+    b[i] = ((double)i + 3.0) / (double)big;
+  }
+  for (int t = 0; t < tsteps; t++) {
+    for (int i = 1; i < big - 1; i++)
+      b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1]);
+    for (int i = 1; i < big - 1; i++)
+      a[i] = b[i];
+  }
+  int r = checksum(a, big);
+  free(a); free(b);
+  return r;
+}
+|})
+
+let jacobi_2d = k "jacobi-2d" ({|
+int main() {
+|} ^ def_n ^ def_t ^ {|
+  double *a = dalloc((long)n * n);
+  double *b = dalloc((long)n * n);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = ((double)i * (j + 2) + 2.0) / (double)n;
+      b[i * n + j] = ((double)i * (j + 3) + 3.0) / (double)n;
+    }
+  for (int t = 0; t < tsteps; t++) {
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        b[i * n + j] = 0.2 * (a[i * n + j] + a[i * n + j - 1]
+                              + a[i * n + j + 1] + a[(i + 1) * n + j]
+                              + a[(i - 1) * n + j]);
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        a[i * n + j] = b[i * n + j];
+  }
+  int r = checksum(a, (long)n * n);
+  free(a); free(b);
+  return r;
+}
+|})
+
+let seidel_2d = k "seidel-2d" ({|
+int main() {
+|} ^ def_n ^ def_t ^ {|
+  double *a = dalloc((long)n * n);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      a[i * n + j] = ((double)i * (j + 2) + 2.0) / (double)n;
+  for (int t = 0; t < tsteps; t++)
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        a[i * n + j] = (a[(i - 1) * n + j - 1] + a[(i - 1) * n + j]
+                        + a[(i - 1) * n + j + 1] + a[i * n + j - 1]
+                        + a[i * n + j] + a[i * n + j + 1]
+                        + a[(i + 1) * n + j - 1] + a[(i + 1) * n + j]
+                        + a[(i + 1) * n + j + 1]) / 9.0;
+  int r = checksum(a, (long)n * n);
+  free(a);
+  return r;
+}
+|})
+
+let fdtd_2d = k "fdtd-2d" ({|
+int main() {
+|} ^ def_n ^ def_t ^ {|
+  double *ex = dalloc((long)n * n);
+  double *ey = dalloc((long)n * n);
+  double *hz = dalloc((long)n * n);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      ex[i * n + j] = ((double)i * (j + 1)) / (double)n;
+      ey[i * n + j] = ((double)i * (j + 2)) / (double)n;
+      hz[i * n + j] = ((double)i * (j + 3)) / (double)n;
+    }
+  for (int t = 0; t < tsteps; t++) {
+    for (int j = 0; j < n; j++)
+      ey[j] = (double)t;
+    for (int i = 1; i < n; i++)
+      for (int j = 0; j < n; j++)
+        ey[i * n + j] -= 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
+    for (int i = 0; i < n; i++)
+      for (int j = 1; j < n; j++)
+        ex[i * n + j] -= 0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
+    for (int i = 0; i < n - 1; i++)
+      for (int j = 0; j < n - 1; j++)
+        hz[i * n + j] -= 0.7 * (ex[i * n + j + 1] - ex[i * n + j]
+                                + ey[(i + 1) * n + j] - ey[i * n + j]);
+  }
+  int r = checksum(hz, (long)n * n);
+  free(ex); free(ey); free(hz);
+  return r;
+}
+|})
+
+let floyd_warshall = k "floyd-warshall" ~flops:"int-add/cmp" ({|
+int main() {
+|} ^ def_n ^ {|
+  long *path = (long *)malloc((long)n * n * 8);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      path[i * n + j] = (long)((i * j) % 7 + 1) + (i == j ? 0 : 11);
+  for (int kk = 0; kk < n; kk++)
+    for (int i = 0; i < n; i++)
+      for (int j = 0; j < n; j++) {
+        long via = path[i * n + kk] + path[kk * n + j];
+        if (via < path[i * n + j]) { path[i * n + j] = via; }
+      }
+  long s = 0;
+  for (int i = 0; i < n * n; i++) { s += path[i]; }
+  free(path);
+  return (int)(s % 100003);
+}
+|})
+
+let doitgen = k "doitgen" ({|
+int main() {
+  int nr = 8; int nq = 8; int np = 8;
+  double *a = dalloc((long)nr * nq * np);
+  double *c4 = dalloc((long)np * np);
+  double *sum = dalloc((long)nr * nq * np);
+  for (int i = 0; i < nr; i++)
+    for (int j = 0; j < nq; j++)
+      for (int p = 0; p < np; p++)
+        a[(i * nq + j) * np + p] = (double)((i * j + p) % 7) / 7.0;
+  for (int i = 0; i < np; i++)
+    for (int j = 0; j < np; j++)
+      c4[i * np + j] = (double)(i * j % 5) / 5.0;
+  for (int r = 0; r < nr; r++)
+    for (int q = 0; q < nq; q++) {
+      for (int p = 0; p < np; p++) {
+        sum[(r * nq + q) * np + p] = 0.0;
+        for (int s = 0; s < np; s++)
+          sum[(r * nq + q) * np + p] += a[(r * nq + q) * np + s] * c4[s * np + p];
+      }
+      for (int p = 0; p < np; p++)
+        a[(r * nq + q) * np + p] = sum[(r * nq + q) * np + p];
+    }
+  int res = checksum(a, (long)nr * nq * np);
+  free(a); free(c4); free(sum);
+  return res;
+}
+|})
+
+let covariance = k "covariance" ({|
+int main() {
+|} ^ def_n ^ {|
+  int m = n;
+  double *data = dalloc((long)n * m);
+  double *cov = dalloc((long)m * m);
+  double *mean = dalloc(m);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < m; j++)
+      data[i * m + j] = (double)(i * j % 17) / 17.0;
+  for (int j = 0; j < m; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < n; i++)
+      mean[j] += data[i * m + j];
+    mean[j] = mean[j] / (double)n;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < m; j++)
+      data[i * m + j] -= mean[j];
+  for (int i = 0; i < m; i++)
+    for (int j = i; j < m; j++) {
+      double acc = 0.0;
+      for (int kk = 0; kk < n; kk++)
+        acc += data[kk * m + i] * data[kk * m + j];
+      acc = acc / (double)(n - 1);
+      cov[i * m + j] = acc;
+      cov[j * m + i] = acc;
+    }
+  int r = checksum(cov, (long)m * m);
+  free(data); free(cov); free(mean);
+  return r;
+}
+|})
+
+let gramschmidt = k "gramschmidt" ~flops:"fp-div/sqrt" ({|
+double gs_sqrt(double x) {
+  if (x <= 0.0) { return 0.0; }
+  double g = x;
+  for (int it = 0; it < 30; it++) { g = 0.5 * (g + x / g); }
+  return g;
+}
+int main() {
+|} ^ def_n ^ {|
+  double *a = dalloc((long)n * n);
+  double *r = dalloc((long)n * n);
+  double *q = dalloc((long)n * n);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = (double)((i * 37 + j * 53) % 23) / 23.0
+                   + (i == j ? 2.0 : 0.0);
+      r[i * n + j] = 0.0;
+      q[i * n + j] = 0.0;
+    }
+  for (int kk = 0; kk < n; kk++) {
+    double nrm = 0.0;
+    for (int i = 0; i < n; i++)
+      nrm += a[i * n + kk] * a[i * n + kk];
+    r[kk * n + kk] = gs_sqrt(nrm);
+    for (int i = 0; i < n; i++)
+      q[i * n + kk] = a[i * n + kk] / r[kk * n + kk];
+    for (int j = kk + 1; j < n; j++) {
+      r[kk * n + j] = 0.0;
+      for (int i = 0; i < n; i++)
+        r[kk * n + j] += q[i * n + kk] * a[i * n + j];
+      for (int i = 0; i < n; i++)
+        a[i * n + j] -= q[i * n + kk] * r[kk * n + j];
+    }
+  }
+  int res = checksum(r, (long)n * n) + checksum(q, (long)n * n);
+  free(a); free(r); free(q);
+  return res;
+}
+|})
+
+let adi = k "adi" ~flops:"fp-div" ({|
+int main() {
+|} ^ def_n ^ def_t ^ {|
+  double *x = dalloc((long)n * n);
+  double *a = dalloc((long)n * n);
+  double *b = dalloc((long)n * n);
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      x[i * n + j] = ((double)i * (j + 1) + 1.0) / (double)n;
+      a[i * n + j] = ((double)(i + n) * (j + 2) + 2.0) / (double)n / 10.0;
+      b[i * n + j] = 1.0 + ((double)i * (j + 3) + 3.0) / (double)n / 10.0;
+    }
+  for (int t = 0; t < tsteps; t++) {
+    /* column sweep */
+    for (int i1 = 0; i1 < n; i1++)
+      for (int i2 = 1; i2 < n; i2++) {
+        x[i1 * n + i2] = x[i1 * n + i2]
+          - x[i1 * n + i2 - 1] * a[i1 * n + i2] / b[i1 * n + i2 - 1];
+        b[i1 * n + i2] = b[i1 * n + i2]
+          - a[i1 * n + i2] * a[i1 * n + i2] / b[i1 * n + i2 - 1];
+      }
+    /* back substitution */
+    for (int i1 = 0; i1 < n; i1++)
+      for (int i2 = 0; i2 < n - 2; i2++)
+        x[i1 * n + n - i2 - 2] = (x[i1 * n + n - 2 - i2]
+          - x[i1 * n + n - 2 - i2 - 1] * a[i1 * n + n - i2 - 3])
+          / b[i1 * n + n - 3 - i2];
+    /* row sweep */
+    for (int i1 = 1; i1 < n; i1++)
+      for (int i2 = 0; i2 < n; i2++) {
+        x[i1 * n + i2] = x[i1 * n + i2]
+          - x[(i1 - 1) * n + i2] * a[i1 * n + i2] / b[(i1 - 1) * n + i2];
+        b[i1 * n + i2] = b[i1 * n + i2]
+          - a[i1 * n + i2] * a[i1 * n + i2] / b[(i1 - 1) * n + i2];
+      }
+    for (int i1 = 0; i1 < n - 2; i1++)
+      for (int i2 = 0; i2 < n; i2++)
+        x[(n - 2 - i1) * n + i2] = (x[(n - 2 - i1) * n + i2]
+          - x[(n - i1 - 3) * n + i2] * a[(n - 3 - i1) * n + i2])
+          / b[(n - 2 - i1) * n + i2];
+  }
+  int r = checksum(x, (long)n * n);
+  free(x); free(a); free(b);
+  return r;
+}
+|})
+
+let dynprog = k "dynprog" ~flops:"int/fp-add" ({|
+int main() {
+  int len = 12;
+  double *c = dalloc((long)len * len);
+  double *w = dalloc((long)len * len);
+  double *sum_c = dalloc((long)len * len * len);
+  double out = 0.0;
+  for (int i = 0; i < len; i++)
+    for (int j = 0; j < len; j++)
+      w[i * len + j] = (double)((i + j) % 9) / 9.0;
+  for (int iter = 0; iter < 4; iter++) {
+    for (int i = 0; i <= len - 1; i++)
+      for (int j = 0; j <= len - 1; j++)
+        c[i * len + j] = 0.0;
+    for (int i = 0; i <= len - 2; i++) {
+      for (int j = i + 1; j <= len - 1; j++) {
+        sum_c[(i * len + j) * len + i] = 0.0;
+        for (int kk = i + 1; kk <= j - 1; kk++)
+          sum_c[(i * len + j) * len + kk] =
+            sum_c[(i * len + j) * len + kk - 1]
+            + c[i * len + kk] + c[kk * len + j];
+        if (j - 1 >= i + 1) {
+          c[i * len + j] = sum_c[(i * len + j) * len + j - 1] + w[i * len + j];
+        } else {
+          c[i * len + j] = w[i * len + j];
+        }
+      }
+    }
+    out += c[0 * len + len - 1];
+  }
+  double digest[1];
+  digest[0] = out;
+  int r = checksum(digest, 1);
+  free(c); free(w); free(sum_c);
+  return r;
+}
+|})
+
+(** The benchmark suite, in a stable reporting order. *)
+let all : kernel list =
+  [
+    two_mm; three_mm; adi; atax; bicg; cholesky; covariance; doitgen;
+    durbin; dynprog; fdtd_2d; floyd_warshall; gemm; gemver; gesummv;
+    gramschmidt; jacobi_1d; jacobi_2d; lu; mvt; seidel_2d; symm; syr2k;
+    syrk; trisolv; trmm;
+  ]
+
+let find name = List.find_opt (fun x -> String.equal x.k_name name) all
+let names = List.map (fun x -> x.k_name) all

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Arch Cpu_model Float Insn Int64 List Mte Pac Printf Ptr QCheck QCheck_alcotest Random Tag Tag_memory Timing

@@ -1,0 +1,1 @@
+test/test_binary.ml: Alcotest Ast Astring Binary Cage Exec Float Int64 Libc List Minic QCheck QCheck_alcotest String Text Types Validate Values Wasm Workloads

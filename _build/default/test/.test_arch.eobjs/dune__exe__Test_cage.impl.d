@@ -1,0 +1,1 @@
+test/test_cage.ml: Alcotest Arch Array Cage Config Float Int64 List Lowering Printf Process QCheck QCheck_alcotest Sandbox Wasm

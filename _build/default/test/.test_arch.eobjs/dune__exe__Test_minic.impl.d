@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Astring Cage Int32 Libc List Minic Printf QCheck QCheck_alcotest Wasm Workloads

@@ -1,0 +1,1 @@
+test/test_wasm.ml: Alcotest Array Ast Astring Exec Float Instance Int32 Int64 List Meter Printf QCheck QCheck_alcotest Random Types Validate Values Wasm

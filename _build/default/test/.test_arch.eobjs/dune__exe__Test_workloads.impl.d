@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Arch Astring Cage Float Harness Libc List Option Printf Wasm Workloads

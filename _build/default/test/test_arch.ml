@@ -1,0 +1,589 @@
+(* Tests for the AArch64 MTE/PAC substrate. *)
+
+open Arch
+
+let tag = Alcotest.testable Tag.pp Tag.equal
+
+(* ------------------------------------------------------------------ *)
+(* Tag                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_tag_of_int_wraps () =
+  Alcotest.(check tag) "16 wraps to 0" Tag.zero (Tag.of_int 16);
+  Alcotest.(check tag) "17 wraps to 1" (Tag.of_int_exn 1) (Tag.of_int 17);
+  Alcotest.(check tag) "-1 masks to 15" (Tag.of_int_exn 15) (Tag.of_int (-1))
+
+let test_tag_of_int_exn_rejects () =
+  Alcotest.check_raises "16 rejected"
+    (Invalid_argument "Tag.of_int_exn: tag out of range") (fun () ->
+      ignore (Tag.of_int_exn 16));
+  Alcotest.check_raises "-1 rejected"
+    (Invalid_argument "Tag.of_int_exn: tag out of range") (fun () ->
+      ignore (Tag.of_int_exn (-1)))
+
+let test_tag_add_wraps () =
+  Alcotest.(check tag) "15+1 = 0" Tag.zero (Tag.add (Tag.of_int 15) 1);
+  Alcotest.(check tag) "7+8 = 15" (Tag.of_int 15) (Tag.add (Tag.of_int 7) 8)
+
+let test_exclude_basics () =
+  let ex = Tag.Exclude.of_list [ Tag.zero; Tag.of_int 5 ] in
+  Alcotest.(check bool) "0 excluded" true (Tag.Exclude.mem ex Tag.zero);
+  Alcotest.(check bool) "5 excluded" true (Tag.Exclude.mem ex (Tag.of_int 5));
+  Alcotest.(check bool) "1 allowed" false (Tag.Exclude.mem ex (Tag.of_int 1));
+  Alcotest.(check int) "14 allowed" 14 (Tag.Exclude.count_allowed ex)
+
+let test_exclude_mask_roundtrip () =
+  let mask = 0b1010_0000_0000_0001 in
+  Alcotest.(check int) "mask roundtrip" mask
+    Tag.Exclude.(to_mask (of_mask mask))
+
+let test_next_allowed_skips_excluded () =
+  let ex = Tag.Exclude.of_list [ Tag.zero; Tag.of_int 2 ] in
+  Alcotest.(check tag) "1 -> 3 skipping 2" (Tag.of_int 3)
+    (Tag.next_allowed ex (Tag.of_int 1));
+  Alcotest.(check tag) "15 -> 1 skipping 0" (Tag.of_int 1)
+    (Tag.next_allowed ex (Tag.of_int 15))
+
+let test_next_allowed_all_excluded () =
+  Alcotest.(check tag) "all excluded yields zero" Tag.zero
+    (Tag.next_allowed Tag.Exclude.all (Tag.of_int 3))
+
+let test_irg_respects_exclusion () =
+  let ex = Tag.Exclude.of_list [ Tag.zero ] in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 200 do
+    let t = Tag.irg ex ~rng:(fun n -> Random.State.int rng n) in
+    Alcotest.(check bool) "irg never zero when excluded" false (Tag.is_zero t)
+  done
+
+let test_irg_all_excluded_is_zero () =
+  Alcotest.(check tag) "irg under full exclusion" Tag.zero
+    (Tag.irg Tag.Exclude.all ~rng:(fun _ -> 0))
+
+let prop_irg_uniform_over_allowed =
+  QCheck.Test.make ~name:"irg only generates allowed tags" ~count:500
+    QCheck.(pair (int_bound 0xfffe) small_int)
+    (fun (mask, seed) ->
+      let ex = Tag.Exclude.of_mask mask in
+      let rng = Random.State.make [| seed |] in
+      let t = Tag.irg ex ~rng:(fun n -> Random.State.int rng n) in
+      (not (Tag.Exclude.mem ex t)) || Tag.is_zero t)
+
+let prop_next_allowed_never_excluded =
+  QCheck.Test.make ~name:"next_allowed avoids exclusion set" ~count:500
+    QCheck.(pair (int_bound 0x7fff) (int_bound 15))
+    (fun (mask, t0) ->
+      (* mask < 0x8000 leaves tag 15 allowed, so some tag is allowed *)
+      let ex = Tag.Exclude.of_mask mask in
+      not (Tag.Exclude.mem ex (Tag.next_allowed ex (Tag.of_int t0))))
+
+(* ------------------------------------------------------------------ *)
+(* Ptr                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ptr_tag_roundtrip () =
+  let p = 0x0000_7fff_dead_bee0L in
+  let tagged = Ptr.with_tag p (Tag.of_int 9) in
+  Alcotest.(check tag) "tag read back" (Tag.of_int 9) (Ptr.tag tagged);
+  Alcotest.(check int64) "address preserved" p (Ptr.address tagged)
+
+let test_ptr_offset_preserves_tag () =
+  let p = Ptr.with_tag 0x1000L (Tag.of_int 5) in
+  let q = Ptr.offset p 0x230L in
+  Alcotest.(check tag) "tag preserved" (Tag.of_int 5) (Ptr.tag q);
+  Alcotest.(check int64) "address moved" 0x1230L (Ptr.address q)
+
+let test_ptr_offset_wraps_48_bits () =
+  let p = 0xffff_ffff_ffffL in
+  Alcotest.(check int64) "wraps in 48-bit space" 0L
+    (Ptr.address (Ptr.offset p 1L))
+
+let test_ptr_mask_external () =
+  let p = Ptr.with_tag 0x4000L (Tag.of_int 0xf) in
+  Alcotest.(check tag) "all tag bits cleared" Tag.zero
+    (Ptr.tag (Ptr.mask_external_only p))
+
+let test_ptr_mask_combined () =
+  (* bit 56 cleared, bits 57-59 preserved: tag 0b1111 -> 0b1110 *)
+  let p = Ptr.with_tag 0x4000L (Tag.of_int 0xf) in
+  Alcotest.(check tag) "only bit 56 cleared" (Tag.of_int 0b1110)
+    (Ptr.tag (Ptr.mask_combined p));
+  let q = Ptr.with_tag 0x4000L (Tag.of_int 0b0110) in
+  Alcotest.(check tag) "already-clear bit unchanged" (Tag.of_int 0b0110)
+    (Ptr.tag (Ptr.mask_combined q))
+
+let test_pac_field_widths () =
+  Alcotest.(check int) "10 bits with MTE" 10
+    (Ptr.pac_bits { Ptr.mte_enabled = true });
+  Alcotest.(check int) "14 bits without MTE" 14
+    (Ptr.pac_bits { Ptr.mte_enabled = false })
+
+let test_pac_field_mte_keeps_tag () =
+  let layout = { Ptr.mte_enabled = true } in
+  let p = Ptr.with_tag 0x1234L (Tag.of_int 7) in
+  let signed = Ptr.with_pac_field layout p 0x3ff in
+  Alcotest.(check tag) "MTE tag untouched by PAC field" (Tag.of_int 7)
+    (Ptr.tag signed);
+  Alcotest.(check int) "field read back" 0x3ff (Ptr.pac_field layout signed);
+  Alcotest.(check int64) "address untouched" 0x1234L (Ptr.address signed)
+
+let prop_pac_field_roundtrip =
+  QCheck.Test.make ~name:"pac field pack/unpack roundtrip" ~count:1000
+    QCheck.(triple int64 (int_bound 0x3fff) bool)
+    (fun (p, v, mte) ->
+      let layout = { Ptr.mte_enabled = mte } in
+      let v = v land ((1 lsl Ptr.pac_bits layout) - 1) in
+      Ptr.pac_field layout (Ptr.with_pac_field layout p v) = v)
+
+let prop_ptr_tag_roundtrip =
+  QCheck.Test.make ~name:"ptr tag pack/unpack roundtrip" ~count:1000
+    QCheck.(pair int64 (int_bound 15))
+    (fun (p, t) ->
+      Tag.equal (Ptr.tag (Ptr.with_tag p (Tag.of_int t))) (Tag.of_int t))
+
+(* ------------------------------------------------------------------ *)
+(* Tag_memory                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_tagmem_fresh_is_zero () =
+  let tm = Tag_memory.create ~size_bytes:256 in
+  Alcotest.(check (option tag)) "fresh memory zero-tagged" (Some Tag.zero)
+    (Tag_memory.region_tag tm ~addr:0L ~len:256L)
+
+let test_tagmem_set_get () =
+  let tm = Tag_memory.create ~size_bytes:256 in
+  (match Tag_memory.set_region tm ~addr:32L ~len:64L (Tag.of_int 3) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check tag) "inside region" (Tag.of_int 3) (Tag_memory.get tm 64L);
+  Alcotest.(check tag) "before region" Tag.zero (Tag_memory.get tm 16L);
+  Alcotest.(check tag) "after region" Tag.zero (Tag_memory.get tm 96L)
+
+let test_tagmem_region_tag_mixed () =
+  let tm = Tag_memory.create ~size_bytes:256 in
+  ignore (Tag_memory.set_region tm ~addr:0L ~len:16L (Tag.of_int 1));
+  Alcotest.(check (option tag)) "mixed region has no single tag" None
+    (Tag_memory.region_tag tm ~addr:0L ~len:32L)
+
+let test_tagmem_rejects_unaligned () =
+  let tm = Tag_memory.create ~size_bytes:256 in
+  (match Tag_memory.set_region tm ~addr:8L ~len:16L (Tag.of_int 1) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unaligned set_region accepted");
+  match Tag_memory.set_region tm ~addr:16L ~len:8L (Tag.of_int 1) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-multiple length accepted"
+
+let test_tagmem_rejects_oob () =
+  let tm = Tag_memory.create ~size_bytes:64 in
+  match Tag_memory.set_region tm ~addr:48L ~len:32L (Tag.of_int 1) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-bounds set_region accepted"
+
+let test_tagmem_matches () =
+  let tm = Tag_memory.create ~size_bytes:256 in
+  ignore (Tag_memory.set_region tm ~addr:16L ~len:32L (Tag.of_int 5));
+  Alcotest.(check bool) "match inside" true
+    (Tag_memory.matches tm ~addr:20L ~len:8L (Tag.of_int 5));
+  Alcotest.(check bool) "mismatch straddling boundary" false
+    (Tag_memory.matches tm ~addr:40L ~len:16L (Tag.of_int 5));
+  Alcotest.(check bool) "oob never matches" false
+    (Tag_memory.matches tm ~addr:250L ~len:16L Tag.zero)
+
+let test_tagmem_zero_len_checks_granule () =
+  let tm = Tag_memory.create ~size_bytes:64 in
+  ignore (Tag_memory.set_region tm ~addr:16L ~len:16L (Tag.of_int 2));
+  Alcotest.(check bool) "len=0 checks containing granule" true
+    (Tag_memory.matches tm ~addr:24L ~len:0L (Tag.of_int 2))
+
+let test_tagmem_grow_preserves () =
+  let tm = Tag_memory.create ~size_bytes:64 in
+  ignore (Tag_memory.set_region tm ~addr:16L ~len:16L (Tag.of_int 7));
+  let tm' = Tag_memory.grow tm ~new_size_bytes:128 in
+  Alcotest.(check tag) "old tag preserved" (Tag.of_int 7)
+    (Tag_memory.get tm' 16L);
+  Alcotest.(check tag) "new space zero" Tag.zero (Tag_memory.get tm' 100L)
+
+let test_tagmem_storage_overhead () =
+  (* 4 bits per 16 bytes = 1/32 of memory: the 3.125 % of §7.3 *)
+  let tm = Tag_memory.create ~size_bytes:(128 * 1024 * 1024) in
+  Alcotest.(check int) "tag storage is 1/32 of memory"
+    (128 * 1024 * 1024 / 32)
+    (Tag_memory.tag_storage_bytes tm)
+
+let prop_tagmem_set_then_matches =
+  QCheck.Test.make ~name:"set_region then matches over same range" ~count:300
+    QCheck.(triple (int_bound 15) (int_bound 15) (int_bound 15))
+    (fun (g0, glen, t) ->
+      let tm = Tag_memory.create ~size_bytes:512 in
+      let addr = Int64.of_int (g0 * 16) in
+      let len = Int64.of_int ((glen + 1) * 16) in
+      if Int64.add addr len > 512L then QCheck.assume_fail ()
+      else
+        match Tag_memory.set_region tm ~addr ~len (Tag.of_int t) with
+        | Ok () -> Tag_memory.matches tm ~addr ~len (Tag.of_int t)
+        | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Mte                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let setup_mte ?(mode = Mte.Sync) () =
+  let tm = Tag_memory.create ~size_bytes:256 in
+  ignore (Tag_memory.set_region tm ~addr:64L ~len:32L (Tag.of_int 4));
+  (tm, Mte.create ~mode tm)
+
+let test_mte_allows_matching () =
+  let _, mte = setup_mte () in
+  let p = Ptr.with_tag 64L (Tag.of_int 4) in
+  match Mte.check mte Load ~ptr:p ~len:8L with
+  | Allowed -> ()
+  | _ -> Alcotest.fail "matching access faulted"
+
+let test_mte_sync_faults_mismatch () =
+  let _, mte = setup_mte () in
+  let p = Ptr.with_tag 64L (Tag.of_int 5) in
+  match Mte.check mte Store ~ptr:p ~len:8L with
+  | Faulted f ->
+      Alcotest.(check tag) "pointer tag recorded" (Tag.of_int 5) f.ptr_tag;
+      Alcotest.(check (option tag)) "memory tag recorded" (Some (Tag.of_int 4))
+        f.mem_tag
+  | _ -> Alcotest.fail "sync mismatch did not fault"
+
+let test_mte_disabled_allows_everything () =
+  let _, mte = setup_mte ~mode:Mte.Disabled () in
+  let p = Ptr.with_tag 64L (Tag.of_int 9) in
+  match Mte.check mte Store ~ptr:p ~len:8L with
+  | Allowed -> ()
+  | _ -> Alcotest.fail "disabled MTE checked tags"
+
+let test_mte_async_defers () =
+  let _, mte = setup_mte ~mode:Mte.Async () in
+  let p = Ptr.with_tag 64L (Tag.of_int 9) in
+  (match Mte.check mte Store ~ptr:p ~len:8L with
+  | Deferred _ -> ()
+  | _ -> Alcotest.fail "async mismatch not deferred");
+  Alcotest.(check bool) "TFSR set" true (Mte.pending_fault mte <> None);
+  (match Mte.context_switch mte with
+  | Some _ -> ()
+  | None -> Alcotest.fail "context switch lost the fault");
+  Alcotest.(check bool) "TFSR cleared" true (Mte.pending_fault mte = None)
+
+let test_mte_asymmetric () =
+  let _, mte = setup_mte ~mode:Mte.Asymmetric () in
+  let p = Ptr.with_tag 64L (Tag.of_int 9) in
+  (match Mte.check mte Load ~ptr:p ~len:8L with
+  | Deferred _ -> ()
+  | _ -> Alcotest.fail "asymmetric load should be async");
+  match Mte.check mte Store ~ptr:p ~len:8L with
+  | Faulted _ -> ()
+  | _ -> Alcotest.fail "asymmetric store should be sync"
+
+let test_mte_async_keeps_first_fault () =
+  let _, mte = setup_mte ~mode:Mte.Async () in
+  let p1 = Ptr.with_tag 64L (Tag.of_int 9) in
+  let p2 = Ptr.with_tag 80L (Tag.of_int 10) in
+  ignore (Mte.check mte Store ~ptr:p1 ~len:8L);
+  ignore (Mte.check mte Store ~ptr:p2 ~len:8L);
+  match Mte.pending_fault mte with
+  | Some f -> Alcotest.(check int64) "first fault kept" 64L f.fault_addr
+  | None -> Alcotest.fail "no pending fault"
+
+let test_mte_oob_is_mismatch () =
+  let _, mte = setup_mte () in
+  let p = Ptr.with_tag 1024L Tag.zero in
+  match Mte.check mte Load ~ptr:p ~len:8L with
+  | Faulted f -> Alcotest.(check (option tag)) "no memory tag" None f.mem_tag
+  | _ -> Alcotest.fail "out-of-range access allowed"
+
+(* ------------------------------------------------------------------ *)
+(* Pac                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let key_a = Pac.key_of_int64s 0x0123456789abcdefL 0xfedcba9876543210L
+let key_b = Pac.key_of_int64s 0x1111111111111111L 0x2222222222222222L
+
+let test_pac_sign_auth_roundtrip () =
+  let cfg = Pac.default_config in
+  let p = 0x0000_0000_1234_5678L in
+  let signed = Pac.sign cfg key_a ~modifier:0L p in
+  match Pac.auth cfg key_a ~modifier:0L signed with
+  | Valid p' -> Alcotest.(check int64) "roundtrip" p p'
+  | _ -> Alcotest.fail "valid signature rejected"
+
+let test_pac_wrong_key_traps () =
+  let cfg = Pac.default_config in
+  let signed = Pac.sign cfg key_a ~modifier:0L 0x1234L in
+  match Pac.auth cfg key_b ~modifier:0L signed with
+  | Invalid_trap -> ()
+  | Valid _ -> Alcotest.fail "wrong key accepted"
+  | Invalid_poisoned _ -> Alcotest.fail "FPAC config should trap"
+
+let test_pac_wrong_modifier_traps () =
+  let cfg = Pac.default_config in
+  let signed = Pac.sign cfg key_a ~modifier:7L 0x1234L in
+  match Pac.auth cfg key_a ~modifier:8L signed with
+  | Invalid_trap -> ()
+  | _ -> Alcotest.fail "wrong modifier accepted"
+
+let test_pac_no_fpac_poisons () =
+  let cfg = { Pac.default_config with fpac = false } in
+  let signed = Pac.sign cfg key_a ~modifier:0L 0x1234L in
+  match Pac.auth cfg key_b ~modifier:0L signed with
+  | Invalid_poisoned p ->
+      Alcotest.(check bool) "poison marker set" true (Pac.is_poisoned cfg p);
+      Alcotest.(check int64) "address survives" 0x1234L (Ptr.address p)
+  | Invalid_trap -> Alcotest.fail "non-FPAC config trapped"
+  | Valid _ -> Alcotest.fail "wrong key accepted"
+
+let test_pac_strip () =
+  let cfg = Pac.default_config in
+  let signed = Pac.sign cfg key_a ~modifier:0L 0x1234L in
+  Alcotest.(check int64) "xpacd strips without auth" 0x1234L
+    (Pac.strip cfg signed)
+
+let test_pac_tampered_address_traps () =
+  let cfg = Pac.default_config in
+  let signed = Pac.sign cfg key_a ~modifier:0L 0x1234L in
+  let tampered = Ptr.offset signed 16L in
+  match Pac.auth cfg key_a ~modifier:0L tampered with
+  | Invalid_trap -> ()
+  | _ -> Alcotest.fail "tampered pointer accepted"
+
+let test_pac_preserves_mte_tag () =
+  let cfg = Pac.default_config in
+  let p = Ptr.with_tag 0x1234L (Tag.of_int 6) in
+  let signed = Pac.sign cfg key_a ~modifier:0L p in
+  Alcotest.(check tag) "tag outside PAC field" (Tag.of_int 6) (Ptr.tag signed);
+  match Pac.auth cfg key_a ~modifier:0L signed with
+  | Valid p' -> Alcotest.(check tag) "tag after auth" (Tag.of_int 6) (Ptr.tag p')
+  | _ -> Alcotest.fail "valid signature rejected"
+
+let prop_pac_roundtrip =
+  QCheck.Test.make ~name:"pac sign/auth roundtrip for any pointer" ~count:500
+    QCheck.(pair int64 int64)
+    (fun (p0, modifier) ->
+      let cfg = Pac.default_config in
+      (* canonical userspace pointer: metadata cleared *)
+      let p = Ptr.address p0 in
+      match Pac.auth cfg key_a ~modifier (Pac.sign cfg key_a ~modifier p) with
+      | Valid p' -> Int64.equal p p'
+      | _ -> false)
+
+let prop_pac_cross_key_rejected =
+  QCheck.Test.make ~name:"cross-key auth almost surely rejected" ~count:300
+    QCheck.int64
+    (fun p0 ->
+      let cfg = Pac.default_config in
+      let p = Ptr.address p0 in
+      let signed = Pac.sign cfg key_a ~modifier:0L p in
+      (* 10-bit signature: chance collision 1/1024; accept deterministic
+         collisions, reject only wrong behaviour *)
+      match Pac.auth cfg key_b ~modifier:0L signed with
+      | Invalid_trap -> true
+      | Valid _ -> (
+          match Pac.auth cfg key_b ~modifier:0L signed with
+          | Valid _ -> true
+          | _ -> false)
+      | Invalid_poisoned _ -> false)
+
+let test_pac_mac_avalanche () =
+  (* flipping one input bit flips many output bits on average *)
+  let total = ref 0 in
+  let n = 256 in
+  for i = 0 to n - 1 do
+    let v = Int64.of_int (i * 977) in
+    let h0 = Pac.mac key_a ~modifier:0L v in
+    let h1 = Pac.mac key_a ~modifier:0L (Int64.logxor v 1L) in
+    let diff = Int64.logxor h0 h1 in
+    let rec popcount x acc =
+      if Int64.equal x 0L then acc
+      else
+        popcount
+          (Int64.shift_right_logical x 1)
+          (acc + Int64.to_int (Int64.logand x 1L))
+    in
+    total := !total + popcount diff 0
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "avalanche mean %.1f in [24, 40]" mean)
+    true
+    (mean > 24.0 && mean < 40.0)
+
+(* ------------------------------------------------------------------ *)
+(* Timing: Table 1 recovery                                            *)
+(* ------------------------------------------------------------------ *)
+
+let close ~tol a b = Float.abs (a -. b) /. Float.max a b < tol
+
+let test_timing_recovers_table1_throughput () =
+  List.iter
+    (fun cpu ->
+      List.iter
+        (fun kind ->
+          let expect = (cpu.Cpu_model.perf kind).tp in
+          let expect = Float.min expect cpu.issue_width in
+          let got = Timing.measured_throughput cpu kind in
+          if not (close ~tol:0.05 expect got) then
+            Alcotest.failf "%s %s: throughput %.2f, expected %.2f"
+              cpu.Cpu_model.name (Insn.kind_to_string kind) got expect)
+        Insn.table1_kinds)
+    Cpu_model.tensor_g3
+
+let test_timing_recovers_table1_latency () =
+  List.iter
+    (fun cpu ->
+      List.iter
+        (fun kind ->
+          if Insn.has_latency kind then begin
+            let expect = (cpu.Cpu_model.perf kind).lat in
+            let got = Timing.measured_latency cpu kind in
+            if not (close ~tol:0.05 expect got) then
+              Alcotest.failf "%s %s: latency %.2f, expected %.2f"
+                cpu.Cpu_model.name (Insn.kind_to_string kind) got expect
+          end)
+        Insn.table1_kinds)
+    Cpu_model.tensor_g3
+
+let test_timing_inorder_serialises () =
+  (* On the in-order core a long-latency op blocks younger independent
+     work; on the out-of-order cores it does not. *)
+  let stream =
+    [ Insn.make ~dst:0 Insn.Irg; Insn.make ~dst:1 ~srcs:[ 0 ] Insn.Autda ]
+    @ Insn.independent Insn.Alu 64
+  in
+  let ooo = (Timing.run Cpu_model.cortex_x3 stream).cycles in
+  let ino = (Timing.run Cpu_model.cortex_a510 stream).cycles in
+  Alcotest.(check bool) "in-order slower than out-of-order" true (ino > ooo)
+
+let test_timing_mte_sync_memset_overhead () =
+  (* Fig. 4 shape: sync costs more than async costs more than disabled. *)
+  List.iter
+    (fun cpu ->
+      let t mode =
+        Timing.memset_seconds cpu ~mode ~bytes:(128.0 *. 1024.0 *. 1024.0)
+      in
+      let off = t Mte.Disabled and sync = t Mte.Sync and async = t Mte.Async in
+      Alcotest.(check bool)
+        (cpu.Cpu_model.name ^ ": sync > async")
+        true (sync > async);
+      Alcotest.(check bool)
+        (cpu.Cpu_model.name ^ ": async > disabled")
+        true (async > off);
+      let sync_ovh = (sync -. off) /. off in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: sync overhead %.1f%% within Fig.4 range"
+           cpu.Cpu_model.name (100.0 *. sync_ovh))
+        true
+        (sync_ovh > 0.10 && sync_ovh < 0.35))
+    Cpu_model.tensor_g3
+
+let test_timing_memset_faster_on_faster_core () =
+  let bytes = 128.0 *. 1024.0 *. 1024.0 in
+  let x3 = Timing.memset_seconds Cpu_model.cortex_x3 ~mode:Mte.Disabled ~bytes in
+  let a510 =
+    Timing.memset_seconds Cpu_model.cortex_a510 ~mode:Mte.Disabled ~bytes
+  in
+  Alcotest.(check bool) "X3 beats A510" true (x3 < a510)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_irg_uniform_over_allowed; prop_next_allowed_never_excluded;
+      prop_pac_field_roundtrip; prop_ptr_tag_roundtrip;
+      prop_tagmem_set_then_matches; prop_pac_roundtrip;
+      prop_pac_cross_key_rejected;
+    ]
+
+let () =
+  Alcotest.run "arch"
+    [
+      ( "tag",
+        [
+          Alcotest.test_case "of_int wraps" `Quick test_tag_of_int_wraps;
+          Alcotest.test_case "of_int_exn rejects" `Quick
+            test_tag_of_int_exn_rejects;
+          Alcotest.test_case "add wraps" `Quick test_tag_add_wraps;
+          Alcotest.test_case "exclude basics" `Quick test_exclude_basics;
+          Alcotest.test_case "exclude mask roundtrip" `Quick
+            test_exclude_mask_roundtrip;
+          Alcotest.test_case "next_allowed skips" `Quick
+            test_next_allowed_skips_excluded;
+          Alcotest.test_case "next_allowed all excluded" `Quick
+            test_next_allowed_all_excluded;
+          Alcotest.test_case "irg respects exclusion" `Quick
+            test_irg_respects_exclusion;
+          Alcotest.test_case "irg all excluded" `Quick
+            test_irg_all_excluded_is_zero;
+        ] );
+      ( "ptr",
+        [
+          Alcotest.test_case "tag roundtrip" `Quick test_ptr_tag_roundtrip;
+          Alcotest.test_case "offset preserves tag" `Quick
+            test_ptr_offset_preserves_tag;
+          Alcotest.test_case "offset wraps 48 bits" `Quick
+            test_ptr_offset_wraps_48_bits;
+          Alcotest.test_case "mask external" `Quick test_ptr_mask_external;
+          Alcotest.test_case "mask combined" `Quick test_ptr_mask_combined;
+          Alcotest.test_case "pac field widths" `Quick test_pac_field_widths;
+          Alcotest.test_case "pac field keeps tag" `Quick
+            test_pac_field_mte_keeps_tag;
+        ] );
+      ( "tag_memory",
+        [
+          Alcotest.test_case "fresh is zero" `Quick test_tagmem_fresh_is_zero;
+          Alcotest.test_case "set/get" `Quick test_tagmem_set_get;
+          Alcotest.test_case "mixed region" `Quick test_tagmem_region_tag_mixed;
+          Alcotest.test_case "rejects unaligned" `Quick
+            test_tagmem_rejects_unaligned;
+          Alcotest.test_case "rejects oob" `Quick test_tagmem_rejects_oob;
+          Alcotest.test_case "matches" `Quick test_tagmem_matches;
+          Alcotest.test_case "zero-len granule" `Quick
+            test_tagmem_zero_len_checks_granule;
+          Alcotest.test_case "grow preserves" `Quick test_tagmem_grow_preserves;
+          Alcotest.test_case "storage overhead 1/32" `Quick
+            test_tagmem_storage_overhead;
+        ] );
+      ( "mte",
+        [
+          Alcotest.test_case "allows matching" `Quick test_mte_allows_matching;
+          Alcotest.test_case "sync faults" `Quick test_mte_sync_faults_mismatch;
+          Alcotest.test_case "disabled allows" `Quick
+            test_mte_disabled_allows_everything;
+          Alcotest.test_case "async defers" `Quick test_mte_async_defers;
+          Alcotest.test_case "asymmetric" `Quick test_mte_asymmetric;
+          Alcotest.test_case "async keeps first" `Quick
+            test_mte_async_keeps_first_fault;
+          Alcotest.test_case "oob is mismatch" `Quick test_mte_oob_is_mismatch;
+        ] );
+      ( "pac",
+        [
+          Alcotest.test_case "sign/auth roundtrip" `Quick
+            test_pac_sign_auth_roundtrip;
+          Alcotest.test_case "wrong key traps" `Quick test_pac_wrong_key_traps;
+          Alcotest.test_case "wrong modifier traps" `Quick
+            test_pac_wrong_modifier_traps;
+          Alcotest.test_case "no-FPAC poisons" `Quick test_pac_no_fpac_poisons;
+          Alcotest.test_case "strip" `Quick test_pac_strip;
+          Alcotest.test_case "tampered address traps" `Quick
+            test_pac_tampered_address_traps;
+          Alcotest.test_case "preserves MTE tag" `Quick
+            test_pac_preserves_mte_tag;
+          Alcotest.test_case "mac avalanche" `Quick test_pac_mac_avalanche;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "recovers Table 1 throughput" `Quick
+            test_timing_recovers_table1_throughput;
+          Alcotest.test_case "recovers Table 1 latency" `Quick
+            test_timing_recovers_table1_latency;
+          Alcotest.test_case "in-order serialises" `Quick
+            test_timing_inorder_serialises;
+          Alcotest.test_case "Fig.4 memset overheads" `Quick
+            test_timing_mte_sync_memset_overhead;
+          Alcotest.test_case "memset core ordering" `Quick
+            test_timing_memset_faster_on_faster_core;
+        ] );
+      ("arch-properties", qtests);
+    ]

@@ -1,0 +1,292 @@
+(* Tests for the evaluation workloads and the experiment harness:
+   PolyBench differential checks, the CVE suite's verdicts, the
+   microbenchmark shapes (Table 1 / Fig. 4 / Fig. 15 / Fig. 16), tag
+   collisions and the sandbox experiments. *)
+
+let tc name f = Alcotest.test_case name f
+let quick name f = tc name `Quick f
+let slow name f = tc name `Slow f
+
+(* ------------------------------------------------------------------ *)
+(* PolyBench                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernel_inventory () =
+  Alcotest.(check int) "26 kernels" 26 (List.length Workloads.Polybench.all);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true
+        (Workloads.Polybench.find name <> None))
+    [ "2mm"; "3mm"; "gemm"; "lu"; "jacobi-2d"; "floyd-warshall" ]
+
+let test_kernels_deterministic () =
+  (* same kernel, two runs: identical checksum (no hidden nondeterminism) *)
+  let k = Option.get (Workloads.Polybench.find "gemm") in
+  let run () =
+    Libc.Run.ret_i32 (Libc.Run.run ~cfg:Cage.Config.full k.k_source)
+  in
+  Alcotest.(check int32) "deterministic" (run ()) (run ())
+
+let test_kernels_nonzero_checksums () =
+  (* a zero checksum usually means the kernel silently computed nothing *)
+  List.iter
+    (fun (k : Workloads.Polybench.kernel) ->
+      let v =
+        Libc.Run.ret_i32 (Libc.Run.run ~cfg:Cage.Config.baseline_wasm64 k.k_source)
+      in
+      Alcotest.(check bool) (k.k_name ^ " nonzero") true (v <> 0l))
+    Workloads.Polybench.all
+
+let test_kernels_all_configs_agree () =
+  (* the full differential sweep is the core soundness check of Fig. 14:
+     run a representative subset across all six configurations *)
+  List.iter
+    (fun name ->
+      let k = Option.get (Workloads.Polybench.find name) in
+      let vals =
+        List.map
+          (fun cfg -> Libc.Run.ret_i32 (Libc.Run.run ~cfg k.k_source))
+          Cage.Config.table3
+      in
+      match vals with
+      | first :: rest ->
+          List.iter
+            (fun v -> Alcotest.(check int32) (name ^ " agrees") first v)
+            rest
+      | [] -> ())
+    [ "atax"; "durbin"; "lu"; "floyd-warshall" ]
+
+let test_kernel_meters_populated () =
+  let k = Option.get (Workloads.Polybench.find "gemm") in
+  let meter = Wasm.Meter.create () in
+  ignore (Libc.Run.run ~cfg:Cage.Config.full ~meter k.k_source);
+  Alcotest.(check bool) "loads recorded" true (meter.Wasm.Meter.loads > 1000);
+  Alcotest.(check bool) "fmuls recorded" true (meter.Wasm.Meter.fmul > 1000);
+  Alcotest.(check bool) "allocations recorded" true (meter.Wasm.Meter.seg_new >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* CVE suite (Table 2)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cve_suite_complete () =
+  Alcotest.(check int) "8 CVEs" 8 (List.length Workloads.Cve_suite.entries);
+  let causes =
+    List.sort_uniq compare
+      (List.map (fun (e : Workloads.Cve_suite.entry) -> e.cause)
+         Workloads.Cve_suite.entries)
+  in
+  Alcotest.(check (list string)) "all three causes present"
+    [ "Double-free"; "Out-of-bounds"; "Use-after-free" ]
+    causes
+
+let test_cve_all_caught () =
+  List.iter
+    (fun (v : Workloads.Cve_suite.verdict) ->
+      Alcotest.(check bool) (v.v_entry.cve ^ " caught by Cage") true v.v_caught;
+      Alcotest.(check bool)
+        (v.v_entry.cve ^ " missed by baseline")
+        true
+        (Astring.String.is_infix ~affix:"ran to completion" v.v_baseline))
+    (Workloads.Cve_suite.evaluate_all ())
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1_covers_all_insns () =
+  let rows = Workloads.Microbench.table1 () in
+  Alcotest.(check int) "16 instructions" 16 (List.length rows);
+  List.iter
+    (fun (r : Workloads.Microbench.insn_row) ->
+      Alcotest.(check int) (r.ir_insn ^ " on 3 cores") 3
+        (List.length r.ir_results);
+      List.iter
+        (fun (_, tp, _) ->
+          Alcotest.(check bool) (r.ir_insn ^ " throughput positive") true
+            (tp > 0.0))
+        r.ir_results)
+    rows
+
+let test_fig4_ordering () =
+  List.iter
+    (fun (r : Workloads.Microbench.memset_row) ->
+      Alcotest.(check bool) (r.ms_core ^ " sync slowest") true
+        (r.ms_sync > r.ms_async && r.ms_async > r.ms_off))
+    (Workloads.Microbench.fig4 ())
+
+let test_fig15_shape () =
+  List.iter
+    (fun (r : Workloads.Microbench.fig15_row) ->
+      let dyn = (r.f15_dynamic /. r.f15_static) -. 1.0 in
+      let auth = (r.f15_dynamic_auth /. r.f15_dynamic) -. 1.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s dynamic overhead %.1f%% in [8, 30]" r.f15_core
+           (100.0 *. dyn))
+        true
+        (dyn > 0.08 && dyn < 0.30);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s auth overhead %.1f%% small" r.f15_core
+           (100.0 *. auth))
+        true
+        (auth >= 0.0 && auth < 0.08))
+    (Workloads.Microbench.fig15 ())
+
+let test_fig16_shape () =
+  List.iter
+    (fun (r : Workloads.Microbench.fig16_row) ->
+      let t name = List.assoc name r.f16_times in
+      (* zeroing variants skip the tag check: never slower than memset *)
+      Alcotest.(check bool) (r.f16_core ^ " stzg <= memset") true
+        (t "stzg" <= t "memset");
+      Alcotest.(check bool) (r.f16_core ^ " stgp <= memset") true
+        (t "stgp" <= t "memset");
+      (* tag-only passes touch 1/32 of the data: far faster *)
+      Alcotest.(check bool) (r.f16_core ^ " stg < memset") true
+        (t "stg" < t "memset");
+      (* two passes cost more than one *)
+      Alcotest.(check bool) (r.f16_core ^ " stg+memset > memset") true
+        (t "stg+memset" > t "memset"))
+    (Workloads.Microbench.fig16 ())
+
+let test_startup_hidden () =
+  List.iter
+    (fun (r : Workloads.Microbench.startup_row) ->
+      let d = (r.su_cage -. r.su_baseline) /. r.su_baseline in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s startup delta %.1f%% hidden" r.su_core
+           (100.0 *. d))
+        true
+        (d >= 0.0 && d < 0.10))
+    (Workloads.Microbench.startup ())
+
+(* ------------------------------------------------------------------ *)
+(* Harness experiments                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_collision_probabilities () =
+  List.iter
+    (fun (r : Harness.Experiment.collision_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.3f near %.3f" r.cr_label r.cr_measured
+           r.cr_theory)
+        true
+        (Float.abs (r.cr_measured -. r.cr_theory) < 0.01))
+    (Harness.Experiment.tag_collisions ~trials:50_000 ())
+
+let test_escape_experiment () =
+  match Harness.Experiment.sandbox_escape () with
+  | [ sw; mte ] ->
+      Alcotest.(check bool) "software bounds escape" true sw.er_escaped;
+      Alcotest.(check bool) "mte stops it" false mte.er_escaped
+  | _ -> Alcotest.fail "expected two strategies"
+
+let test_capacity () =
+  Alcotest.(check int) "15 sandboxes" 15 (Harness.Experiment.sandbox_capacity ())
+
+let test_guard_slot_always_catches () =
+  Alcotest.(check (float 0.01)) "100% caught" 1.0
+    (Harness.Experiment.guard_slot_ablation ~seeds:16 ())
+
+let test_mte_mode_matrix () =
+  let rows = Harness.Experiment.mte_modes () in
+  let find m =
+    List.find (fun r -> r.Harness.Experiment.md_mode = m) rows
+  in
+  let sync = find Arch.Mte.Sync in
+  let asymm = find Arch.Mte.Asymmetric in
+  let async = find Arch.Mte.Async in
+  let off = find Arch.Mte.Disabled in
+  Alcotest.(check bool) "sync detects before damage" true
+    (sync.md_detected && sync.md_before_damage);
+  Alcotest.(check bool) "asymmetric write checked sync" true
+    (asymm.md_detected && asymm.md_before_damage);
+  Alcotest.(check bool) "async detects after the fact" true
+    (async.md_detected && not async.md_before_damage);
+  Alcotest.(check bool) "disabled misses it" false off.md_detected;
+  Alcotest.(check bool) "async cheaper than sync" true
+    (async.md_polybench_cost < 0.0)
+
+let test_fig14_small_subset () =
+  (* a 2-kernel fig14 run: shapes must hold even on the subset *)
+  let kernels =
+    List.filter
+      (fun (k : Workloads.Polybench.kernel) ->
+        List.mem k.k_name [ "atax"; "bicg" ])
+      Workloads.Polybench.all
+  in
+  let cells, detail = Harness.Experiment.fig14 ~kernels () in
+  Alcotest.(check int) "5 configs x 3 cores" 15 (List.length cells);
+  Alcotest.(check bool) "detail populated" true (List.length detail > 0);
+  (* mem-safety slower than wasm64, sandboxing faster, on every core *)
+  List.iter
+    (fun (c : Harness.Experiment.fig14_cell) ->
+      match c.fc_config with
+      | "Cage-mem-safety" ->
+          Alcotest.(check bool) (c.fc_core ^ " mem-safety overhead > 0") true
+            (c.fc_mean > 0.0)
+      | "Cage-sandboxing" ->
+          Alcotest.(check bool) (c.fc_core ^ " sandboxing speedup") true
+            (c.fc_mean < 0.0)
+      | _ -> ())
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz generator sanity                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzzgen_deterministic () =
+  let a = Workloads.Fuzzgen.generate ~seed:123 in
+  let b = Workloads.Fuzzgen.generate ~seed:123 in
+  Alcotest.(check string) "same source" (Workloads.Fuzzgen.render a)
+    (Workloads.Fuzzgen.render b);
+  Alcotest.(check int32) "same reference"
+    (Workloads.Fuzzgen.reference a)
+    (Workloads.Fuzzgen.reference b)
+
+let test_fuzzgen_varied () =
+  let srcs =
+    List.init 10 (fun s ->
+        Workloads.Fuzzgen.render (Workloads.Fuzzgen.generate ~seed:s))
+  in
+  Alcotest.(check bool) "programs differ" true
+    (List.length (List.sort_uniq compare srcs) > 5)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "polybench",
+        [
+          quick "inventory" test_kernel_inventory;
+          quick "deterministic" test_kernels_deterministic;
+          slow "nonzero checksums" test_kernels_nonzero_checksums;
+          slow "configs agree" test_kernels_all_configs_agree;
+          quick "meters populated" test_kernel_meters_populated;
+        ] );
+      ( "cve-suite",
+        [
+          quick "complete" test_cve_suite_complete;
+          slow "all caught" test_cve_all_caught;
+        ] );
+      ( "microbench",
+        [
+          quick "table1 coverage" test_table1_covers_all_insns;
+          quick "fig4 ordering" test_fig4_ordering;
+          slow "fig15 shape" test_fig15_shape;
+          quick "fig16 shape" test_fig16_shape;
+          quick "startup hidden" test_startup_hidden;
+        ] );
+      ( "harness",
+        [
+          quick "collision probabilities" test_collision_probabilities;
+          quick "escape experiment" test_escape_experiment;
+          quick "capacity" test_capacity;
+          quick "guard slots" test_guard_slot_always_catches;
+          quick "mte mode matrix" test_mte_mode_matrix;
+          slow "fig14 subset" test_fig14_small_subset;
+        ] );
+      ( "fuzzgen",
+        [
+          quick "deterministic" test_fuzzgen_deterministic;
+          quick "varied" test_fuzzgen_varied;
+        ] );
+    ]
