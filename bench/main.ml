@@ -358,6 +358,108 @@ let run_modes () =
     "  (sync/asymmetric trap before the write lands; async detects at the      next context switch; the paper uses sync, Sec 6.3)@."
 
 (* ------------------------------------------------------------------ *)
+(* Checked bulk fast path (BENCH_memfast.json)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Compares the unified checked-access layer's bulk shape (one span tag
+   check + one memset/memmove) against the per-byte shape the runtime
+   used to have (one tag check and one store per byte). Results land in
+   BENCH_memfast.json so the fast path is tracked across revisions. *)
+let run_memfast () =
+  Harness.Report.title (!ppf_ref)
+    "Checked memset/memcpy fast path vs per-byte scalar loop";
+  let mem =
+    Wasm.Memory.create
+      { Wasm.Types.mem_idx = Wasm.Types.Idx64;
+        mem_limits = { Wasm.Types.min = 4L; max = Some 4L } }
+  in
+  let bytes = 65536 in
+  let len = Int64.of_int bytes in
+  let tm =
+    Arch.Tag_memory.create
+      ~size_bytes:(Int64.to_int (Wasm.Memory.size_bytes mem))
+  in
+  let tag = Arch.Tag.of_int 5 in
+  (match Arch.Tag_memory.set_region tm ~addr:0L ~len tag with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let iters = 400 in
+  let time f =
+    f ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters
+  in
+  (* per-byte shape: one tag check and one store per byte *)
+  let scalar_memset () =
+    for i = 0 to bytes - 1 do
+      let addr = Int64.of_int i in
+      if not (Arch.Tag_memory.matches tm ~addr ~len:1L tag) then
+        failwith "tag mismatch";
+      Wasm.Memory.store_byte mem addr 0xab
+    done
+  in
+  (* checked-layer shape: one span tag check, then one memset *)
+  let checked_memset () =
+    if not (Arch.Tag_memory.matches tm ~addr:0L ~len tag) then
+      failwith "tag mismatch";
+    Wasm.Memory.fill mem ~addr:0L ~len 0xab
+  in
+  let half = Int64.of_int (bytes / 2) in
+  let scalar_memcpy () =
+    for i = 0 to (bytes / 2) - 1 do
+      let src = Int64.of_int i and dst = Int64.of_int ((bytes / 2) + i) in
+      if not (Arch.Tag_memory.matches tm ~addr:src ~len:1L tag) then
+        failwith "tag mismatch";
+      if not (Arch.Tag_memory.matches tm ~addr:dst ~len:1L tag) then
+        failwith "tag mismatch";
+      Wasm.Memory.store_byte mem dst (Wasm.Memory.load_byte mem src)
+    done
+  in
+  let checked_memcpy () =
+    if not (Arch.Tag_memory.matches tm ~addr:0L ~len:half tag) then
+      failwith "tag mismatch";
+    if not (Arch.Tag_memory.matches tm ~addr:half ~len:half tag) then
+      failwith "tag mismatch";
+    Wasm.Memory.copy mem ~dst:half ~src:0L ~len:half
+  in
+  let t_scalar_set = time scalar_memset in
+  let t_checked_set = time checked_memset in
+  let t_scalar_cpy = time scalar_memcpy in
+  let t_checked_cpy = time checked_memcpy in
+  let speedup_set = t_scalar_set /. t_checked_set in
+  let speedup_cpy = t_scalar_cpy /. t_checked_cpy in
+  Harness.Report.table (!ppf_ref)
+    ~header:[ "primitive"; "per-byte loop"; "checked bulk"; "speedup" ]
+    [
+      [ "memset 64 KiB"; Harness.Report.seconds t_scalar_set;
+        Harness.Report.seconds t_checked_set;
+        Printf.sprintf "%.1fx" speedup_set ];
+      [ "memcpy 32 KiB"; Harness.Report.seconds t_scalar_cpy;
+        Harness.Report.seconds t_checked_cpy;
+        Printf.sprintf "%.1fx" speedup_cpy ];
+    ];
+  let oc = open_out "BENCH_memfast.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"memset_bytes\": %d,\n\
+    \  \"scalar_memset_s\": %.9f,\n\
+    \  \"checked_memset_s\": %.9f,\n\
+    \  \"memset_speedup\": %.2f,\n\
+    \  \"scalar_memcpy_s\": %.9f,\n\
+    \  \"checked_memcpy_s\": %.9f,\n\
+    \  \"memcpy_speedup\": %.2f\n\
+     }\n"
+    bytes t_scalar_set t_checked_set speedup_set t_scalar_cpy t_checked_cpy
+    speedup_cpy;
+  close_out oc;
+  Format.fprintf (!ppf_ref)
+    "  wrote BENCH_memfast.json (target: checked memset >= 3x the per-byte \
+     loop)@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benches (one per table/figure)                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -495,13 +597,14 @@ let experiments =
     ("ablation", run_ablation);
     ("modes", run_modes);
     ("escape", run_escape);
+    ("memfast", run_memfast);
     ("bechamel", run_bechamel);
   ]
 
 let default_order =
   [
     "table1"; "fig4"; "fig14"; "fig15"; "fig16"; "table2"; "mem"; "startup";
-    "collision"; "ablation"; "modes"; "escape"; "bechamel";
+    "collision"; "ablation"; "modes"; "escape"; "memfast"; "bechamel";
   ]
 
 let () =

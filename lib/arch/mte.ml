@@ -79,9 +79,15 @@ let check t access ~ptr ~len =
 
 let pending_fault t = t.pending
 
-let context_switch t =
+(** Drain the sticky TFSR: return the first deferred fault (if any) and
+    clear it. Runtimes call this at synchronization points — function
+    returns, host-call boundaries, context switches — which is where
+    Async/Asymmetric deferred faults are architecturally reported. *)
+let take_pending t =
   let f = t.pending in
   t.pending <- None;
   f
+
+let context_switch = take_pending
 
 let checks_performed t = t.checks

@@ -56,9 +56,15 @@ val check : t -> access -> ptr:Ptr.t -> len:int64 -> verdict
 val pending_fault : t -> fault option
 (** The recorded asynchronous fault, if any (TFSR set). *)
 
+val take_pending : t -> fault option
+(** Drain the sticky TFSR: return the first deferred fault (if any) and
+    clear it. Runtimes call this at synchronization points — function
+    returns, host-call boundaries, context switches — which is where
+    Async/Asymmetric deferred faults are architecturally reported. *)
+
 val context_switch : t -> fault option
 (** What the kernel does on context switch: returns and clears the
-    pending asynchronous fault. *)
+    pending asynchronous fault (alias of {!take_pending}). *)
 
 val checks_performed : t -> int
 (** Number of tag checks performed so far (for cost accounting). *)

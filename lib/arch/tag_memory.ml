@@ -67,22 +67,40 @@ let matches t ~addr ~len tag =
   let len = Int64.max len 1L in
   if not (in_bounds t ~addr ~len) then false
   else begin
-    let first, last = granule_range ~addr ~len in
+    let first = granule_of_addr addr in
+    let last = granule_of_addr (Int64.sub (Int64.add addr len) 1L) in
     let want = Tag.to_int tag in
-    let rec go g =
-      if g > last then true
-      else if Char.code (Bytes.get t.tags g) <> want then false
-      else go (g + 1)
-    in
-    go first
+    (* Fast path: a scalar access (<= 16 bytes, the overwhelmingly
+       common case) touches one granule — one byte compare, no loop.
+       [in_bounds] above guarantees the granule indices are valid, so
+       unsafe_get cannot read out of range. *)
+    if first = last then Char.code (Bytes.unsafe_get t.tags first) = want
+    else begin
+      let ok = ref true in
+      let g = ref first in
+      while !ok && !g <= last do
+        if Char.code (Bytes.unsafe_get t.tags !g) <> want then ok := false
+        else incr g
+      done;
+      !ok
+    end
   end
 
+(** Extend the tag PA space in place. When the granule count is
+    unchanged (e.g. [memory.grow 0], or a sub-granule size bump) the
+    existing buffer is reused — no allocation, no copy. *)
 let grow t ~new_size_bytes =
   if new_size_bytes < t.size then
     invalid_arg "Tag_memory.grow: cannot shrink";
-  let tags = Bytes.make (granules_for new_size_bytes) '\000' in
-  Bytes.blit t.tags 0 tags 0 (Bytes.length t.tags);
-  { tags; size = new_size_bytes }
+  let old_granules = Bytes.length t.tags in
+  let new_granules = granules_for new_size_bytes in
+  if new_granules > old_granules then begin
+    let tags = Bytes.make new_granules '\000' in
+    Bytes.blit t.tags 0 tags 0 old_granules;
+    t.tags <- tags
+  end;
+  t.size <- new_size_bytes;
+  t
 
 let iteri t ~f =
   Bytes.iteri (fun i c -> f i (Tag.of_int (Char.code c))) t.tags

@@ -50,8 +50,10 @@ val matches : t -> addr:int64 -> len:int64 -> Tag.t -> bool
     match. [len <= 0] is treated as a 1-byte access. *)
 
 val grow : t -> new_size_bytes:int -> t
-(** A tag space for an enlarged memory, preserving existing tags and
-    zero-tagging the fresh granules (used on [memory.grow]). *)
+(** Enlarge the tag space in place, preserving existing tags and
+    zero-tagging the fresh granules (used on [memory.grow]); returns the
+    same [t] for convenience. A grow that does not add granules reuses
+    the existing tag storage untouched. *)
 
 val iteri : t -> f:(int -> Tag.t -> unit) -> unit
 (** Iterate over granules in address order; the [int] is the granule

@@ -61,6 +61,15 @@ let expansion (cfg : Config.t) (m : Wasm.Meter.t) : (Insn.kind * float) list =
       (Insn.Load, loads);
       (Insn.Store, stores);
       (Insn.Alu, 0.5 *. accesses);
+      (* bulk fill/copy setup: pointer resolve, length/bounds compare,
+         dispatch into the memset/memmove stub — the streamed traffic
+         itself is already metered as 16-byte-chunk loads/stores *)
+      (Insn.Alu, 2.0 *. f m.bulk_fill);
+      (Insn.Cmp, f m.bulk_fill);
+      (Insn.Branch, f m.bulk_fill);
+      (Insn.Alu, 3.0 *. f m.bulk_copy);
+      (Insn.Cmp, 2.0 *. f m.bulk_copy);
+      (Insn.Branch, f m.bulk_copy);
     ]
   in
   (* The sandbox checks themselves (cmp+branch, or the Fig. 13 mask

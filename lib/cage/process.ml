@@ -45,3 +45,19 @@ let spawn ?meter ?imports t m =
   inst
 
 let instance_count t = List.length t.instances
+
+(** Kernel-style TFSR inspection across the process (paper §4.2): at a
+    context switch the kernel reads every thread's sticky tag-fault
+    state. Drains each instance's pending deferred fault and returns
+    them as (instance id, fault) pairs in spawn order — empty when no
+    Async/Asymmetric mismatch occurred since the last poll. *)
+let poll_deferred_faults t =
+  List.filter_map
+    (fun (inst : Wasm.Instance.t) ->
+      match inst.Wasm.Instance.mte with
+      | None -> None
+      | Some mte ->
+          Option.map
+            (fun f -> (inst.Wasm.Instance.id, f))
+            (Arch.Mte.take_pending mte))
+    t.instances

@@ -24,3 +24,9 @@ val spawn :
     sandbox capacity. *)
 
 val instance_count : t -> int
+
+val poll_deferred_faults : t -> (int * Arch.Mte.fault) list
+(** Kernel-style TFSR inspection across the process (paper §4.2): drain
+    every instance's sticky deferred tag fault, returning
+    (instance id, fault) pairs in spawn order. Empty when no
+    Async/Asymmetric mismatch occurred since the last poll. *)

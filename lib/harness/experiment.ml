@@ -442,7 +442,13 @@ let mte_modes () : mode_row list =
                  true, false)
             | None -> ("completed; violation unnoticed", false, false))
         | exception Wasm.Instance.Trap msg ->
-            ("trapped immediately: " ^ msg, true, true)
+            (* The interpreter drains the sticky TFSR at synchronization
+               points (function returns / host calls) and reports deferred
+               Async/Asymmetric faults as traps prefixed "deferred": those
+               are detections *after* the damaging access took effect. *)
+            if String.starts_with ~prefix:"deferred" msg then
+              ("deferred trap at sync point: " ^ msg, true, false)
+            else ("trapped immediately: " ^ msg, true, true)
       in
       {
         md_mode = mode;

@@ -1,0 +1,111 @@
+(** The unified checked memory-access layer.
+
+    Every memory access the interpreter performs — scalar loads and
+    stores (Eqs. 1-4 of the paper) {e and} the bulk-memory operations
+    [memory.fill]/[memory.copy] — funnels through this module: one
+    place that does the bounds check, the MTE allocation-tag check, and
+    the event metering, in that order. Bulk operations used to strip
+    the pointer tag and skip tag checking entirely, silently bypassing
+    the paper's safety claim; here they are checked per granule span
+    with exactly the scalar rules (Sync traps before the transfer,
+    Async/Asymmetric record the sticky deferred fault that the
+    interpreter drains at synchronization points). *)
+
+open Instance
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+(* Bits 48-55 of a 64-bit address are checked by the MMU even with TBI
+   enabled (the tag lives in 56-59, ignored bits are 56-63); a pointer
+   carrying PAC-signature bits there is non-canonical and faults. This
+   is what makes "signed pointers cannot access memory" true. *)
+let noncanonical_mask = 0x00ff_0000_0000_0000L
+
+(** Resolve an address operand to (effective address, logical tag).
+    The tag is NOT stripped: it is what the access is checked with. *)
+let resolve_addr (idx : Values.t) (offset : int64) =
+  match idx with
+  | Values.I32 i ->
+      (Int64.add (Int64.logand (Int64.of_int32 i) 0xffffffffL) offset,
+       Arch.Tag.zero)
+  | Values.I64 p ->
+      if Int64.logand p noncanonical_mask <> 0L then
+        trap "non-canonical address 0x%Lx" p;
+      (Int64.add (Arch.Ptr.address p) offset, Arch.Ptr.tag p)
+  | v -> trap "bad address operand %a" Values.pp v
+
+(* The single tag-check entry point. [Deferred] faults are already
+   latched in the engine's sticky TFSR by [Mte.check]; the interpreter
+   drains them at synchronization points (see [Exec]). The "deferred"
+   prefix below is the marker those drain sites use. *)
+let check_tags (inst : Instance.t) access ~addr ~tag ~len =
+  if inst.enforce_tags then
+    match inst.mte with
+    | None -> ()
+    | Some mte -> (
+        let ptr = Arch.Ptr.with_tag addr tag in
+        match Arch.Mte.check mte access ~ptr ~len with
+        | Arch.Mte.Allowed | Arch.Mte.Deferred _ -> ()
+        | Arch.Mte.Faulted f -> trap "%a" Arch.Mte.pp_fault f)
+
+(** Bounds + tag check + metering for a scalar load of [len] bytes. *)
+let load (inst : Instance.t) mem ~addr ~tag ~len =
+  if not (Memory.in_bounds mem ~addr ~len) then
+    trap "out of bounds memory access";
+  check_tags inst Arch.Mte.Load ~addr ~tag ~len:(Int64.of_int len);
+  match inst.meter with
+  | Some m ->
+      m.Meter.loads <- m.Meter.loads + 1;
+      m.Meter.load_bytes <- m.Meter.load_bytes + len
+  | None -> ()
+
+(** Bounds + tag check + metering for a scalar store of [len] bytes. *)
+let store (inst : Instance.t) mem ~addr ~tag ~len =
+  if not (Memory.in_bounds mem ~addr ~len) then
+    trap "out of bounds memory access";
+  check_tags inst Arch.Mte.Store ~addr ~tag ~len:(Int64.of_int len);
+  match inst.meter with
+  | Some m ->
+      m.Meter.stores <- m.Meter.stores + 1;
+      m.Meter.store_bytes <- m.Meter.store_bytes + len
+  | None -> ()
+
+(* A bulk transfer is priced as 16-byte-chunk traffic (the stp/ldp
+   stream a memmove compiles to); a zero-length op still costs its
+   setup, hence [max 1]. *)
+let bulk_chunks len = max 1 (Int64.to_int (Int64.div len 16L))
+
+let meter_bulk_load (inst : Instance.t) ~len =
+  match inst.meter with
+  | Some m ->
+      m.Meter.loads <- m.Meter.loads + bulk_chunks len;
+      m.Meter.load_bytes <- m.Meter.load_bytes + Int64.to_int len
+  | None -> ()
+
+let meter_bulk_store (inst : Instance.t) ~len =
+  match inst.meter with
+  | Some m ->
+      m.Meter.stores <- m.Meter.stores + bulk_chunks len;
+      m.Meter.store_bytes <- m.Meter.store_bytes + Int64.to_int len
+  | None -> ()
+
+(* Bounds + tag check for one side of a bulk operation. A zero-length
+   transfer touches no memory: the spec requires only that the address
+   itself be in bounds (the boundary address is legal), and no granule
+   is tag-checked. *)
+let bulk_check (inst : Instance.t) mem access ~what ~addr ~tag ~len =
+  if not (Memory.in_bounds64 mem ~addr ~len) then
+    trap "out of bounds %s" what;
+  if len > 0L then check_tags inst access ~addr ~tag ~len
+
+(** Checked destination span of [memory.fill] (and the write half of
+    [memory.copy]): tag-checked as a Store over the whole granule
+    span. *)
+let bulk_store (inst : Instance.t) mem ~what ~addr ~tag ~len =
+  bulk_check inst mem Arch.Mte.Store ~what ~addr ~tag ~len;
+  meter_bulk_store inst ~len
+
+(** Checked source span of [memory.copy]: tag-checked as a Load. *)
+let bulk_load (inst : Instance.t) mem ~what ~addr ~tag ~len =
+  bulk_check inst mem Arch.Mte.Load ~what ~addr ~tag ~len;
+  meter_bulk_load inst ~len

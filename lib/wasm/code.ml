@@ -1,0 +1,69 @@
+(** Prepared (pre-compiled) function bodies.
+
+    The interpreter used to carry a [int list] of label arities at run
+    time and look branch targets up with [List.nth] on every
+    [br]/[br_if]/[br_table]/[return] — O(depth) per branch, executed on
+    the hottest control-flow path, with a silent [with _ -> 0] fallback
+    that let malformed label indices corrupt the operand stack.
+
+    This module resolves all of that once, at instantiation: every
+    branch carries its target depth {e and} the label's arity; br_table
+    target lists become arrays (O(1) selection); a label index with no
+    matching enclosing block compiles to {!Bad_label}, which traps hard
+    at execution instead of guessing arity 0. Non-control instructions
+    are embedded unchanged as {!Basic}, so the numeric/memory dispatch
+    in the interpreter is untouched. *)
+
+type label =
+  | L of { depth : int; arity : int }
+  | Bad_label of int
+      (** the label index had no enclosing block: executing it is a
+          hard trap, never a silent arity-0 branch *)
+
+type instr =
+  | Basic of Ast.instr  (** no intra-function control flow *)
+  | Block of int * instr array  (** label arity, body *)
+  | Loop of instr array  (** loop labels have arity 0 (MVP shorthand) *)
+  | If of int * instr array * instr array
+  | Br of label
+  | BrIf of label
+  | BrTable of label array * label
+  | Return of int  (** function result arity *)
+
+type func = { body : instr array; result_arity : int }
+
+let block_arity : Ast.block_type -> int = function
+  | Ast.ValBlock None -> 0
+  | Ast.ValBlock (Some _) -> 1
+
+(* [arities] is the static label stack, innermost first; its base entry
+   is the function's result arity (the function-body label). *)
+let resolve arities n =
+  match List.nth_opt arities n with
+  | Some arity -> L { depth = n; arity }
+  | None -> Bad_label n
+
+let rec prepare_block arities (instrs : Ast.instr list) : instr array =
+  Array.of_list (List.map (prepare_instr arities) instrs)
+
+and prepare_instr arities : Ast.instr -> instr = function
+  | Ast.Block (bt, body) ->
+      let a = block_arity bt in
+      Block (a, prepare_block (a :: arities) body)
+  | Ast.Loop (_, body) -> Loop (prepare_block (0 :: arities) body)
+  | Ast.If (bt, then_, else_) ->
+      let a = block_arity bt in
+      let arities = a :: arities in
+      If (a, prepare_block arities then_, prepare_block arities else_)
+  | Ast.Br n -> Br (resolve arities n)
+  | Ast.BrIf n -> BrIf (resolve arities n)
+  | Ast.BrTable (targets, default) ->
+      BrTable
+        (Array.of_list (List.map (resolve arities) targets),
+         resolve arities default)
+  | Ast.Return -> Return (List.nth arities (List.length arities - 1))
+  | i -> Basic i
+
+(** Prepare a function body whose type has [result_arity] results. *)
+let prepare ~result_arity (body : Ast.instr list) : func =
+  { body = prepare_block [ result_arity ] body; result_arity }

@@ -228,52 +228,34 @@ let popn stack n =
 (* Memory access with tag checking                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Bits 48-55 of a 64-bit address are checked by the MMU even with TBI
-   enabled (the tag lives in 56-59, ignored bits are 56-63); a pointer
-   carrying PAC-signature bits there is non-canonical and faults. This is
-   what makes "signed pointers cannot access memory" true. *)
-let noncanonical_mask = 0x00ff_0000_0000_0000L
+(* Every access — scalar and bulk — goes through the unified [Checked]
+   layer: bounds check first (an out-of-bounds access is a sandbox
+   violation and reported as such regardless of tag state), then the
+   MTE tag check, then metering. *)
 
-(* Resolve an address operand to (effective address, logical tag). *)
-let resolve_addr (idx : Values.t) (offset : int64) =
-  match idx with
-  | Values.I32 i ->
-      (Int64.add (Int64.logand (Int64.of_int32 i) 0xffffffffL) offset,
-       Arch.Tag.zero)
-  | Values.I64 p ->
-      if Int64.logand p noncanonical_mask <> 0L then
-        trap "non-canonical address 0x%Lx" p;
-      (Int64.add (Arch.Ptr.address p) offset, Arch.Ptr.tag p)
-  | v -> trap "bad address operand %a" Values.pp v
-
-let check_tags (inst : Instance.t) access ~addr ~tag ~len =
-  if inst.enforce_tags then
-    match inst.mte with
-    | None -> ()
-    | Some mte -> (
-        let ptr = Arch.Ptr.with_tag addr tag in
-        match Arch.Mte.check mte access ~ptr ~len:(Int64.of_int len) with
-        | Arch.Mte.Allowed | Arch.Mte.Deferred _ -> ()
-        | Arch.Mte.Faulted f -> trap "%a" Arch.Mte.pp_fault f)
+(* A deferred (Async/Asymmetric) fault is latched in the MTE engine's
+   sticky TFSR when the faulting access executes; it is *reported* here,
+   at synchronization points — function returns and host-call
+   boundaries — as the paper's §4.2 fault model requires. The "deferred"
+   prefix lets callers distinguish late reports from synchronous
+   traps. *)
+let drain_deferred (inst : Instance.t) =
+  match inst.mte with
+  | None -> ()
+  | Some mte -> (
+      match Arch.Mte.take_pending mte with
+      | None -> ()
+      | Some f -> trap "deferred %a" Arch.Mte.pp_fault f)
 
 let do_load (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memarg) =
   let mem = memory inst in
-  let addr, tag = resolve_addr (pop stack) ma.offset in
+  let addr, tag = Checked.resolve_addr (pop stack) ma.offset in
   let size =
     match pack with
     | None -> ( match ty with I32 | F32 -> 4 | I64 | F64 -> 8)
     | Some (p, _) -> ( match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4)
   in
-  (* Bounds first: an out-of-bounds access is a sandbox violation and
-     reported as such regardless of tag state. *)
-  if not (Memory.in_bounds mem ~addr ~len:size) then
-    trap "out of bounds memory access";
-  check_tags inst Arch.Mte.Load ~addr ~tag ~len:size;
-  (match inst.meter with
-  | Some m ->
-      m.loads <- m.loads + 1;
-      m.load_bytes <- m.load_bytes + size
-  | None -> ());
+  Checked.load inst mem ~addr ~tag ~len:size;
   let v =
     try
       match (ty, pack) with
@@ -302,20 +284,13 @@ let do_load (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memar
 let do_store (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memarg) =
   let mem = memory inst in
   let v = pop stack in
-  let addr, tag = resolve_addr (pop stack) ma.offset in
+  let addr, tag = Checked.resolve_addr (pop stack) ma.offset in
   let size =
     match pack with
     | None -> ( match ty with I32 | F32 -> 4 | I64 | F64 -> 8)
     | Some p -> ( match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4)
   in
-  if not (Memory.in_bounds mem ~addr ~len:size) then
-    trap "out of bounds memory access";
-  check_tags inst Arch.Mte.Store ~addr ~tag ~len:size;
-  (match inst.meter with
-  | Some m ->
-      m.stores <- m.stores + 1;
-      m.store_bytes <- m.store_bytes + size
-  | None -> ());
+  Checked.store inst mem ~addr ~tag ~len:size;
   try
     match (ty, pack, v) with
     | I32, None, Values.I32 x -> Memory.store_i32 mem addr x
@@ -423,29 +398,29 @@ let exec_pointer_auth (inst : Instance.t) stack =
 (* Main evaluator                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let block_arity : Ast.block_type -> int = function
-  | Ast.ValBlock None -> 0
-  | Ast.ValBlock (Some _) -> 1
-
 let meter_br (inst : Instance.t) =
   match inst.meter with Some m -> m.branch <- m.branch + 1 | None -> ()
 
-let rec eval (inst : Instance.t) ~depth locals arities stack (instrs : Ast.instr list) =
-  List.iter (eval_instr inst ~depth locals arities stack) instrs
+(* Take a prepared branch: the target depth and the label's arity were
+   resolved at instantiation (O(1) here); a label index that had no
+   enclosing block is a hard trap, never a silent arity-0 branch. *)
+let take_branch stack : Code.label -> 'a = function
+  | Code.L { depth; arity } -> raise (Branch (depth, popn stack arity))
+  | Code.Bad_label n -> trap "branch depth %d out of range" n
 
-and eval_instr (inst : Instance.t) ~depth locals arities stack (ins : Ast.instr) =
-  let meter f = match inst.meter with Some m -> f m | None -> () in
+let rec eval (inst : Instance.t) ~depth locals stack (code : Code.instr array) =
+  Array.iter (eval_instr inst ~depth locals stack) code
+
+and eval_instr (inst : Instance.t) ~depth locals stack (ins : Code.instr) =
   match ins with
-  | Unreachable -> trap "unreachable executed"
-  | Nop -> ()
-  | Block (bt, body) -> (
-      let arity = block_arity bt in
-      try eval inst ~depth locals (arity :: arities) stack body with
+  | Code.Basic i -> eval_basic inst ~depth locals stack i
+  | Code.Block (_, body) -> (
+      try eval inst ~depth locals stack body with
       | Branch (0, vs) -> List.iter (push stack) vs
       | Branch (n, vs) -> raise (Branch (n - 1, vs)))
-  | Loop (_, body) ->
+  | Code.Loop body ->
       let rec iter () =
-        match eval inst ~depth locals (0 :: arities) stack body with
+        match eval inst ~depth locals stack body with
         | () -> ()
         | exception Branch (0, _) ->
             meter_br inst;
@@ -453,38 +428,42 @@ and eval_instr (inst : Instance.t) ~depth locals arities stack (ins : Ast.instr)
         | exception Branch (n, vs) -> raise (Branch (n - 1, vs))
       in
       iter ()
-  | If (bt, then_, else_) -> (
-      meter (fun m -> m.branch <- m.branch + 1);
+  | Code.If (_, then_, else_) -> (
+      meter_br inst;
       let c = pop_i32 stack in
-      let arity = block_arity bt in
       let body = if not (Int32.equal c 0l) then then_ else else_ in
-      try eval inst ~depth locals (arity :: arities) stack body with
+      try eval inst ~depth locals stack body with
       | Branch (0, vs) -> List.iter (push stack) vs
       | Branch (n, vs) -> raise (Branch (n - 1, vs)))
-  | Br n ->
+  | Code.Br l ->
       meter_br inst;
-      let arity = try List.nth arities n with _ -> 0 in
-      raise (Branch (n, popn stack arity))
-  | BrIf n ->
+      take_branch stack l
+  | Code.BrIf l ->
       meter_br inst;
       let c = pop_i32 stack in
-      if not (Int32.equal c 0l) then begin
-        let arity = try List.nth arities n with _ -> 0 in
-        raise (Branch (n, popn stack arity))
-      end
-  | BrTable (targets, default) ->
+      if not (Int32.equal c 0l) then take_branch stack l
+  | Code.BrTable (targets, default) ->
       meter_br inst;
       let i = Int32.to_int (pop_i32 stack) in
-      let n =
-        if i >= 0 && i < List.length targets then List.nth targets i
+      let l =
+        if i >= 0 && i < Array.length targets then Array.unsafe_get targets i
         else default
       in
-      let arity = try List.nth arities n with _ -> 0 in
-      raise (Branch (n, popn stack arity))
-  | Return ->
-      meter (fun m -> m.return_ <- m.return_ + 1);
-      let arity = List.nth arities (List.length arities - 1) in
+      take_branch stack l
+  | Code.Return arity ->
+      (match inst.meter with
+      | Some m -> m.return_ <- m.return_ + 1
+      | None -> ());
       raise (Ret (popn stack arity))
+
+and eval_basic (inst : Instance.t) ~depth locals stack (ins : Ast.instr) =
+  let meter f = match inst.meter with Some m -> f m | None -> () in
+  match ins with
+  | Unreachable -> trap "unreachable executed"
+  | Nop -> ()
+  | Block _ | Loop _ | If _ | Br _ | BrIf _ | BrTable _ | Return ->
+      (* control flow is compiled away by [Code.prepare] *)
+      assert false
   | Call i ->
       meter (fun m -> m.call <- m.call + 1);
       invoke_idx inst ~depth:(depth + 1) stack i
@@ -632,7 +611,7 @@ and eval_instr (inst : Instance.t) ~depth locals arities stack (ins : Ast.instr)
         | Types.Idx64 -> pop_i64 stack
       in
       let old = Memory.grow mem delta in
-      if old >= 0L then
+      if old >= 0L && delta > 0L then
         Option.iter
           (fun mte ->
             let tm = Arch.Mte.tag_memory mte in
@@ -646,37 +625,33 @@ and eval_instr (inst : Instance.t) ~depth locals arities stack (ins : Ast.instr)
         | Types.Idx64 -> Values.I64 old)
   | MemoryFill ->
       let mem = memory inst in
-      let pop_addrv () =
+      (* Lengths are plain integers, never pointers: no tag stripping,
+         and a negative/huge i64 length simply fails the bounds check. *)
+      let len =
         match Memory.idx_type mem with
         | Types.Idx32 -> Int64.logand (Int64.of_int32 (pop_i32 stack)) 0xffffffffL
-        | Types.Idx64 ->
-            let p = pop_i64 stack in
-            Arch.Ptr.address p
+        | Types.Idx64 -> pop_i64 stack
       in
-      let len = pop_addrv () in
       let v = Int32.to_int (pop_i32 stack) in
-      let dst = pop_addrv () in
-      meter (fun m ->
-          m.stores <- m.stores + max 1 (Int64.to_int (Int64.div len 16L));
-          m.store_bytes <- m.store_bytes + Int64.to_int len);
+      let dst, dtag = Checked.resolve_addr (pop stack) 0L in
+      meter (fun m -> m.bulk_fill <- m.bulk_fill + 1);
+      Checked.bulk_store inst mem ~what:"memory fill" ~addr:dst ~tag:dtag ~len;
       (try Memory.fill mem ~addr:dst ~len v
        with Memory.Out_of_bounds _ -> trap "out of bounds memory fill")
   | MemoryCopy ->
       let mem = memory inst in
-      let pop_addrv () =
+      let len =
         match Memory.idx_type mem with
         | Types.Idx32 -> Int64.logand (Int64.of_int32 (pop_i32 stack)) 0xffffffffL
-        | Types.Idx64 -> Arch.Ptr.address (pop_i64 stack)
+        | Types.Idx64 -> pop_i64 stack
       in
-      let len = pop_addrv () in
-      let src = pop_addrv () in
-      let dst = pop_addrv () in
-      meter (fun m ->
-          let chunks = max 1 (Int64.to_int (Int64.div len 16L)) in
-          m.loads <- m.loads + chunks;
-          m.stores <- m.stores + chunks;
-          m.load_bytes <- m.load_bytes + Int64.to_int len;
-          m.store_bytes <- m.store_bytes + Int64.to_int len);
+      let src, stag = Checked.resolve_addr (pop stack) 0L in
+      let dst, dtag = Checked.resolve_addr (pop stack) 0L in
+      meter (fun m -> m.bulk_copy <- m.bulk_copy + 1);
+      (* Destination first: in Asymmetric mode stores fault synchronously
+         while loads defer, so the store-side check must win. *)
+      Checked.bulk_store inst mem ~what:"memory copy" ~addr:dst ~tag:dtag ~len;
+      Checked.bulk_load inst mem ~what:"memory copy" ~addr:src ~tag:stag ~len;
       (try Memory.copy mem ~dst ~src ~len
        with Memory.Out_of_bounds _ -> trap "out of bounds memory copy")
   | SegmentNew o -> exec_segment_new inst stack o
@@ -690,25 +665,30 @@ and invoke_idx (inst : Instance.t) ~depth stack i =
   if depth > max_call_depth then trap "call stack exhausted";
   match inst.funcs.(i) with
   | Host_func { fn; ty; name } ->
+      (* A host call is a synchronization point: report any deferred
+         fault latched before control leaves wasm. *)
+      drain_deferred inst;
       let args = popn stack (List.length ty.params) in
       let results =
         try fn inst args
         with Invalid_argument msg -> trap "host %s: %s" name msg
       in
       List.iter (push stack) results
-  | Wasm_func { func; ty; _ } ->
+  | Wasm_func { func; ty; code; _ } ->
       let args = popn stack (List.length ty.params) in
       let locals =
         Array.of_list (args @ List.map Values.default func.locals)
       in
-      let arity = List.length ty.results in
       let fstack = ref [] in
-      (try eval inst ~depth locals [ arity ] fstack func.body
+      (try eval inst ~depth locals fstack code.Code.body
        with
       | Ret vs -> List.iter (push fstack) vs
       | Branch (_, vs) -> List.iter (push fstack) vs);
       (* take the results off the callee stack *)
-      let results = popn fstack arity in
+      let results = popn fstack code.Code.result_arity in
+      (* Function return is a synchronization point (§4.2): deferred
+         Async/Asymmetric faults are reported here, sticky-first. *)
+      drain_deferred inst;
       List.iter (push stack) results
 
 (* ------------------------------------------------------------------ *)
@@ -788,7 +768,11 @@ let instantiate ?(config = Instance.default_config)
         if i < n_imports then resolve (List.nth m.imports i)
         else
           let f = List.nth m.funcs (i - n_imports) in
-          Wasm_func { inst_id = id; func = f; ty = List.nth m.types f.ftype })
+          let ty = List.nth m.types f.ftype in
+          let code =
+            Code.prepare ~result_arity:(List.length ty.results) f.body
+          in
+          Wasm_func { inst_id = id; func = f; ty; code })
   in
   let inst = { inst with funcs } in
   (* element segments *)

@@ -14,7 +14,14 @@ exception Trap of string
 type host_func = t -> Values.t list -> Values.t list
 
 and func_inst =
-  | Wasm_func of { inst_id : int; func : Ast.func; ty : Types.func_type }
+  | Wasm_func of {
+      inst_id : int;
+      func : Ast.func;
+      ty : Types.func_type;
+      code : Code.func;
+          (** body prepared at instantiation: label arities and
+              br_table targets resolved, O(1) at branch time *)
+    }
   | Host_func of { fn : host_func; ty : Types.func_type; name : string }
 
 and t = {

@@ -40,11 +40,18 @@ let in_bounds t ~addr ~len =
   && Int64.add addr (Int64.of_int len) <= size_bytes t
   && Int64.add addr (Int64.of_int len) >= addr
 
+(** [in_bounds] for bulk operations whose length does not fit an int. *)
+let in_bounds64 t ~addr ~len =
+  addr >= 0L && len >= 0L
+  && Int64.add addr len >= addr
+  && Int64.add addr len <= size_bytes t
+
 let check t ~addr ~len =
   if not (in_bounds t ~addr ~len) then raise (Out_of_bounds (addr, len))
 
 (** Grow by [delta] pages; returns the previous size in pages, or [-1]
-    (as the spec requires) if the grow fails. *)
+    (as the spec requires) if the grow fails. [memory.grow 0] is the
+    portable "query the size" idiom, so it must not reallocate. *)
 let grow t delta =
   let new_pages = Int64.add t.pages delta in
   let fits =
@@ -53,6 +60,7 @@ let grow t delta =
     && match t.max_pages with None -> true | Some m -> new_pages <= m
   in
   if not fits then -1L
+  else if delta = 0L then t.pages
   else begin
     let old = t.pages in
     let ndata = Bytes.make (Int64.to_int (Int64.mul new_pages page_size)) '\000' in
@@ -70,38 +78,47 @@ let store_byte t addr v =
   check t ~addr ~len:1;
   Bytes.unsafe_set t.data (Int64.to_int addr) (Char.unsafe_chr (v land 0xff))
 
-(* Little-endian multi-byte accessors. *)
+(* Little-endian multi-byte accessors. Each width maps to a single
+   [Bytes] primitive (one machine load/store plus a byte-swap on
+   big-endian hosts) rather than a per-byte loop — this is the
+   interpreter's hottest path. [check] has already established bounds,
+   so the stdlib's own range test never fires. *)
 
 let load_n t addr n =
   check t ~addr ~len:n;
   let base = Int64.to_int addr in
-  let rec go i acc =
-    if i < 0 then acc
-    else
-      go (i - 1)
-        (Int64.logor
-           (Int64.shift_left acc 8)
-           (Int64.of_int (Char.code (Bytes.unsafe_get t.data (base + i)))))
-  in
-  go (n - 1) 0L
+  match n with
+  | 1 -> Int64.of_int (Bytes.get_uint8 t.data base)
+  | 2 -> Int64.of_int (Bytes.get_uint16_le t.data base)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data base)) 0xffffffffL
+  | 8 -> Bytes.get_int64_le t.data base
+  | _ -> invalid_arg "Memory.load_n: width must be 1, 2, 4 or 8"
 
 let store_n t addr n v =
   check t ~addr ~len:n;
   let base = Int64.to_int addr in
-  let rec go i v =
-    if i = n then ()
-    else begin
-      Bytes.unsafe_set t.data (base + i)
-        (Char.unsafe_chr (Int64.to_int (Int64.logand v 0xffL)));
-      go (i + 1) (Int64.shift_right_logical v 8)
-    end
-  in
-  go 0 v
+  match n with
+  | 1 -> Bytes.set_uint8 t.data base (Int64.to_int (Int64.logand v 0xffL))
+  | 2 -> Bytes.set_uint16_le t.data base (Int64.to_int (Int64.logand v 0xffffL))
+  | 4 -> Bytes.set_int32_le t.data base (Int64.to_int32 v)
+  | 8 -> Bytes.set_int64_le t.data base v
+  | _ -> invalid_arg "Memory.store_n: width must be 1, 2, 4 or 8"
 
-let load_i32 t addr = Int64.to_int32 (load_n t addr 4)
-let store_i32 t addr v = store_n t addr 4 (Int64.of_int32 v)
-let load_i64 t addr = load_n t addr 8
-let store_i64 t addr v = store_n t addr 8 v
+let load_i32 t addr =
+  check t ~addr ~len:4;
+  Bytes.get_int32_le t.data (Int64.to_int addr)
+
+let store_i32 t addr v =
+  check t ~addr ~len:4;
+  Bytes.set_int32_le t.data (Int64.to_int addr) v
+
+let load_i64 t addr =
+  check t ~addr ~len:8;
+  Bytes.get_int64_le t.data (Int64.to_int addr)
+
+let store_i64 t addr v =
+  check t ~addr ~len:8;
+  Bytes.set_int64_le t.data (Int64.to_int addr) v
 
 let load_f32 t addr = Int32.float_of_bits (load_i32 t addr)
 let store_f32 t addr v = store_i32 t addr (Int32.bits_of_float v)
@@ -109,15 +126,15 @@ let load_f64 t addr = Int64.float_of_bits (load_i64 t addr)
 let store_f64 t addr v = store_i64 t addr (Int64.bits_of_float v)
 
 let fill t ~addr ~len v =
-  check t ~addr ~len:(Int64.to_int len);
+  if not (in_bounds64 t ~addr ~len) then raise (Out_of_bounds (addr, 0));
   Bytes.fill t.data (Int64.to_int addr) (Int64.to_int len)
     (Char.chr (v land 0xff))
 
 let copy t ~dst ~src ~len =
-  let len_i = Int64.to_int len in
-  check t ~addr:dst ~len:len_i;
-  check t ~addr:src ~len:len_i;
-  Bytes.blit t.data (Int64.to_int src) t.data (Int64.to_int dst) len_i
+  if not (in_bounds64 t ~addr:dst ~len && in_bounds64 t ~addr:src ~len) then
+    raise (Out_of_bounds (dst, 0));
+  Bytes.blit t.data (Int64.to_int src) t.data (Int64.to_int dst)
+    (Int64.to_int len)
 
 (** Read [len] raw bytes (for WASI-style host functions). *)
 let read_string t ~addr ~len =

@@ -31,6 +31,10 @@ val in_bounds : t -> addr:int64 -> len:int -> bool
 (** Whether [\[addr, addr+len)] lies within the current memory size
     (overflow-safe). *)
 
+val in_bounds64 : t -> addr:int64 -> len:int64 -> bool
+(** {!in_bounds} for bulk operations whose length operand is a raw
+    64-bit value (negative or huge lengths are simply out of bounds). *)
+
 val grow : t -> int64 -> int64
 (** [grow t delta] adds [delta] pages; returns the previous size in
     pages, or [-1] if the grow would exceed the declared maximum or the

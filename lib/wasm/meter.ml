@@ -28,6 +28,9 @@ type t = {
   mutable stores : int;
   mutable store_bytes : int;
   mutable mem_grow : int;
+  mutable bulk_fill : int;   (** memory.fill ops (setup; traffic is in
+                                 loads/stores as 16-byte chunks) *)
+  mutable bulk_copy : int;   (** memory.copy ops *)
   mutable seg_new : int;
   mutable seg_new_granules : int;  (** granules tagged by segment.new *)
   mutable seg_set_tag : int;
@@ -43,6 +46,7 @@ let create () = {
   ialu = 0; imul = 0; idiv = 0; falu = 0; fmul = 0; fdiv = 0; cvt = 0;
   select = 0; branch = 0; call = 0; call_indirect = 0; return_ = 0;
   loads = 0; load_bytes = 0; stores = 0; store_bytes = 0; mem_grow = 0;
+  bulk_fill = 0; bulk_copy = 0;
   seg_new = 0; seg_new_granules = 0; seg_set_tag = 0;
   seg_set_tag_granules = 0; seg_free = 0; seg_free_granules = 0;
   ptr_sign = 0; ptr_auth = 0;
@@ -53,7 +57,8 @@ let reset t =
   t.ialu <- 0; t.imul <- 0; t.idiv <- 0; t.falu <- 0; t.fmul <- 0;
   t.fdiv <- 0; t.cvt <- 0; t.select <- 0; t.branch <- 0; t.call <- 0;
   t.call_indirect <- 0; t.return_ <- 0; t.loads <- 0; t.load_bytes <- 0;
-  t.stores <- 0; t.store_bytes <- 0; t.mem_grow <- 0; t.seg_new <- 0;
+  t.stores <- 0; t.store_bytes <- 0; t.mem_grow <- 0;
+  t.bulk_fill <- 0; t.bulk_copy <- 0; t.seg_new <- 0;
   t.seg_new_granules <- 0; t.seg_set_tag <- 0; t.seg_set_tag_granules <- 0;
   t.seg_free <- 0; t.seg_free_granules <- 0; t.ptr_sign <- 0; t.ptr_auth <- 0
 
@@ -62,6 +67,7 @@ let total t =
   t.const + t.local_access + t.global_access + t.ialu + t.imul + t.idiv
   + t.falu + t.fmul + t.fdiv + t.cvt + t.select + t.branch + t.call
   + t.call_indirect + t.return_ + t.loads + t.stores + t.mem_grow
+  + t.bulk_fill + t.bulk_copy
   + t.seg_new + t.seg_set_tag + t.seg_free + t.ptr_sign + t.ptr_auth
 
 (** Memory accesses (the unit software bounds checks are paid per). *)

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 CI gate: build, tests, and (when ocamlformat is installed) a
+# formatting check. The fmt check is gated because the build image does
+# not ship ocamlformat; .ocamlformat sets `disable = true` so that when
+# it IS present, `dune build @fmt` is a no-op pass rather than a
+# whole-tree reformat.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping fmt check (ocamlformat not installed)"
+fi
+
+echo "CI checks passed."

@@ -289,6 +289,31 @@ let test_mte_async_keeps_first_fault () =
   | Some f -> Alcotest.(check int64) "first fault kept" 64L f.fault_addr
   | None -> Alcotest.fail "no pending fault"
 
+let test_mte_take_pending_drains () =
+  let _, mte = setup_mte ~mode:Mte.Async () in
+  let p = Ptr.with_tag 64L (Tag.of_int 9) in
+  ignore (Mte.check mte Store ~ptr:p ~len:8L);
+  (match Mte.take_pending mte with
+  | Some f -> Alcotest.(check int64) "fault returned" 64L f.fault_addr
+  | None -> Alcotest.fail "take_pending lost the fault");
+  Alcotest.(check bool) "second drain is empty" true
+    (Mte.take_pending mte = None)
+
+let test_tag_memory_grow_preserves_and_reuses () =
+  let tm = Tag_memory.create ~size_bytes:128 in
+  ignore (Tag_memory.set_region tm ~addr:32L ~len:16L (Tag.of_int 7));
+  (* same granule count: nothing to do, tags untouched *)
+  let tm = Tag_memory.grow tm ~new_size_bytes:128 in
+  Alcotest.(check tag) "tag kept after no-op grow" (Tag.of_int 7)
+    (Tag_memory.get tm 32L);
+  (* real grow: old tags preserved, new granules zero-tagged *)
+  let tm = Tag_memory.grow tm ~new_size_bytes:256 in
+  Alcotest.(check int) "size grown" 256 (Tag_memory.size_bytes tm);
+  Alcotest.(check tag) "tag kept after grow" (Tag.of_int 7)
+    (Tag_memory.get tm 32L);
+  Alcotest.(check tag) "fresh granules zero-tagged" Tag.zero
+    (Tag_memory.get tm 200L)
+
 let test_mte_oob_is_mismatch () =
   let _, mte = setup_mte () in
   let p = Ptr.with_tag 1024L Tag.zero in
@@ -556,6 +581,10 @@ let () =
           Alcotest.test_case "async keeps first" `Quick
             test_mte_async_keeps_first_fault;
           Alcotest.test_case "oob is mismatch" `Quick test_mte_oob_is_mismatch;
+          Alcotest.test_case "take_pending drains sticky TFSR" `Quick
+            test_mte_take_pending_drains;
+          Alcotest.test_case "tag grow preserves and reuses" `Quick
+            test_tag_memory_grow_preserves_and_reuses;
         ] );
       ( "pac",
         [

@@ -236,6 +236,29 @@ let test_process_spawn_limit () =
   | (_ : Wasm.Instance.t) -> Alcotest.fail "combined config allows only one"
   | exception Sandbox.Too_many_sandboxes -> ()
 
+let test_process_polls_deferred_faults () =
+  (* the kernel-style context-switch poll: a deferred (Async) tag
+     mismatch latched in one instance's TFSR is surfaced by the process
+     drain, exactly once *)
+  let cfg = { Config.mem_safety with Config.mte_mode = Arch.Mte.Async } in
+  let p = Process.create ~config:cfg () in
+  let a = Process.spawn p sign_auth_module in
+  let _b = Process.spawn p sign_auth_module in
+  Alcotest.(check (list (pair int pass))) "quiet process, no faults" []
+    (Process.poll_deferred_faults p);
+  let mte = Wasm.Instance.mte a in
+  let bad_ptr = Arch.Ptr.with_tag 0L (Arch.Tag.of_int 5) in
+  (match Arch.Mte.check mte Arch.Mte.Store ~ptr:bad_ptr ~len:16L with
+  | Arch.Mte.Deferred _ -> ()
+  | _ -> Alcotest.fail "async store mismatch should defer");
+  (match Process.poll_deferred_faults p with
+  | [ (id, f) ] ->
+      Alcotest.(check int) "faulting instance" a.Wasm.Instance.id id;
+      Alcotest.(check int64) "fault address" 0L f.Arch.Mte.fault_addr
+  | _ -> Alcotest.fail "expected exactly one deferred fault");
+  Alcotest.(check (list (pair int pass))) "drained: second poll empty" []
+    (Process.poll_deferred_faults p)
+
 (* ------------------------------------------------------------------ *)
 (* Lowering cost model                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -370,6 +393,7 @@ let () =
         [
           tc "modifier isolation" test_process_modifier_isolation;
           tc "spawn limit" test_process_spawn_limit;
+          tc "polls deferred faults" test_process_polls_deferred_faults;
         ] );
       ( "lowering",
         [

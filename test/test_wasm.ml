@@ -617,6 +617,142 @@ let test_segment_disabled_tags_ignored () =
   Alcotest.(check (list value)) "checks off" [ Values.I64 0L ]
     (run_f0 ~config m [])
 
+(* ------------------------------------------------------------------ *)
+(* Checked bulk memory operations (Eq. 1-4 coverage for fill/copy)     *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocate a 32-byte segment at 1024, free it, then run [after] with
+   the stale tagged pointer in local 0. *)
+let freed_segment_module after =
+  module_of
+    [ (ft [] [], [ Types.I64 ],
+       [ Ast.I64Const 1024L; Ast.I64Const 32L; Ast.SegmentNew 0L;
+         Ast.LocalSet 0;
+         Ast.LocalGet 0; Ast.I64Const 32L; Ast.SegmentFree 0L ]
+       @ after) ]
+
+let async_config =
+  { Instance.default_config with mte_mode = Arch.Mte.Async }
+
+let asymm_config =
+  { Instance.default_config with mte_mode = Arch.Mte.Asymmetric }
+
+let test_fill_freed_segment_traps_sync () =
+  let m =
+    freed_segment_module
+      [ Ast.LocalGet 0; Ast.I32Const 0xabl; Ast.I64Const 32L; Ast.MemoryFill ]
+  in
+  expect_trap ~substring:"tag fault" (fun () -> run_f0 m [])
+
+let test_copy_freed_segment_traps_sync () =
+  (* the freed segment is the copy *source*: the load side of
+     memory.copy must be tag-checked too *)
+  let m =
+    freed_segment_module
+      [ Ast.I64Const 64L; Ast.LocalGet 0; Ast.I64Const 32L; Ast.MemoryCopy ]
+  in
+  expect_trap ~substring:"tag fault" (fun () -> run_f0 m [])
+
+let test_fill_freed_async_deferred_sticky () =
+  (* Async: the fill proceeds, the mismatch latches in the sticky TFSR,
+     and the trap is reported ("deferred ...") when the function
+     returns. The later faulting load must not displace the first
+     (store) fault. *)
+  let m =
+    freed_segment_module
+      [ Ast.LocalGet 0; Ast.I32Const 0xabl; Ast.I64Const 32L; Ast.MemoryFill;
+        Ast.LocalGet 0; Ast.Load (Types.I64, None, memarg ()); Ast.Drop ]
+  in
+  match run_f0 ~config:async_config m [] with
+  | _ -> Alcotest.fail "expected deferred trap at function return"
+  | exception Instance.Trap msg ->
+      Alcotest.(check bool) "reported at sync point" true
+        (Astring.String.is_prefix ~affix:"deferred" msg);
+      Alcotest.(check bool) "sticky first fault is the store" true
+        (Astring.String.is_infix ~affix:"store" msg)
+
+let test_asymmetric_fill_store_sync () =
+  (* Asymmetric checks stores synchronously: the trap is immediate, not
+     a "deferred" report *)
+  let m =
+    freed_segment_module
+      [ Ast.LocalGet 0; Ast.I32Const 0xabl; Ast.I64Const 32L; Ast.MemoryFill ]
+  in
+  match run_f0 ~config:asymm_config m [] with
+  | _ -> Alcotest.fail "expected synchronous trap"
+  | exception Instance.Trap msg ->
+      Alcotest.(check bool) "store side faults synchronously" false
+        (Astring.String.is_prefix ~affix:"deferred" msg);
+      Alcotest.(check bool) "is a tag fault" true
+        (Astring.String.is_infix ~affix:"tag fault" msg)
+
+let test_asymmetric_copy_load_async () =
+  (* ... but loads asynchronously: copying *from* the freed segment
+     defers to the function-return sync point *)
+  let m =
+    freed_segment_module
+      [ Ast.I64Const 64L; Ast.LocalGet 0; Ast.I64Const 32L; Ast.MemoryCopy ]
+  in
+  match run_f0 ~config:asymm_config m [] with
+  | _ -> Alcotest.fail "expected deferred trap at function return"
+  | exception Instance.Trap msg ->
+      Alcotest.(check bool) "load side defers to sync point" true
+        (Astring.String.is_prefix ~affix:"deferred" msg)
+
+let test_zero_length_bulk_at_boundary () =
+  (* len = 0 at addr = memsize is legal (the boundary address is in
+     bounds and no granule is touched); one byte past is not *)
+  let page = 65536L in
+  let ok =
+    module_of
+      [ (ft [] [ Types.I32 ], [],
+         [ Ast.I64Const page; Ast.I32Const 0l; Ast.I64Const 0L;
+           Ast.MemoryFill;
+           Ast.I64Const page; Ast.I64Const page; Ast.I64Const 0L;
+           Ast.MemoryCopy;
+           Ast.I32Const 1l ]) ]
+  in
+  Alcotest.(check (list value)) "zero-length ops at boundary allowed"
+    [ Values.I32 1l ] (run_f0 ok []);
+  let oob =
+    module_of
+      [ (ft [] [], [],
+         [ Ast.I64Const (Int64.add page 1L); Ast.I32Const 0l; Ast.I64Const 0L;
+           Ast.MemoryFill ]) ]
+  in
+  expect_trap ~substring:"out of bounds" (fun () -> run_f0 oob [])
+
+let test_memory_grow_zero_queries () =
+  (* memory.grow 0 is the "query the size" idiom: must succeed and must
+     not disturb memory contents (no realloc happens) *)
+  let m =
+    module_of
+      [ (ft [] [ Types.I64 ], [], [ Ast.I64Const 0L; Ast.MemoryGrow ]);
+        (ft [] [ Types.I64 ], [],
+         [ Ast.I64Const 100L; Ast.I64Const 7L;
+           Ast.Store (Types.I64, None, memarg ());
+           Ast.I64Const 0L; Ast.MemoryGrow; Ast.Drop;
+           Ast.I64Const 100L; Ast.Load (Types.I64, None, memarg ()) ]) ]
+  in
+  let inst = instantiate m in
+  Alcotest.(check (list value)) "grow 0 returns current size"
+    [ Values.I64 1L ] (Exec.invoke inst "f0" []);
+  Alcotest.(check (list value)) "contents preserved" [ Values.I64 7L ]
+    (Exec.invoke inst "f1" [])
+
+let test_br_table_bad_label_traps () =
+  (* an unvalidated body whose br_table label has no enclosing block
+     must hard-trap, not silently branch with a guessed arity *)
+  let m =
+    module_of
+      [ (ft [] [], [],
+         [ Ast.Block
+             (Ast.ValBlock None,
+              [ Ast.I32Const 0l; Ast.BrTable ([ 5 ], 6) ]) ]) ]
+  in
+  let inst = Exec.instantiate m in
+  expect_trap ~substring:"out of range" (fun () -> Exec.invoke inst "f0" [])
+
 let test_pointer_sign_auth_roundtrip () =
   let m =
     module_of
@@ -1110,6 +1246,23 @@ let () =
           tc "meter counts" test_meter_counts;
           tc "grow then segment" test_grow_then_segment_in_new_region;
           tc "meter total consistency" test_meter_total_consistency;
+        ] );
+      ( "checked-bulk",
+        [
+          tc "fill over freed segment traps (sync)"
+            test_fill_freed_segment_traps_sync;
+          tc "copy from freed segment traps (sync)"
+            test_copy_freed_segment_traps_sync;
+          tc "fill over freed segment defers sticky (async)"
+            test_fill_freed_async_deferred_sticky;
+          tc "asymmetric: store side faults sync"
+            test_asymmetric_fill_store_sync;
+          tc "asymmetric: load side defers"
+            test_asymmetric_copy_load_async;
+          tc "zero-length fill/copy at boundary"
+            test_zero_length_bulk_at_boundary;
+          tc "memory.grow 0 queries" test_memory_grow_zero_queries;
+          tc "br_table bad label hard-traps" test_br_table_bad_label_traps;
         ] );
       ("wasm-properties", qtests);
     ]
