@@ -1,0 +1,36 @@
+(* Chaos-engineering driver: render the fault-detection matrix (the
+   golden-file CI artifact) or run the chaos fuzzer. Exits nonzero when
+   the containment gate fails — an escape under the full Cage
+   configuration in Sync mode, a poisoned sibling, or any fuzz
+   invariant violation. *)
+
+let usage () =
+  prerr_endline
+    "usage: cage_chaos matrix [--seed N]\n\
+    \       cage_chaos fuzz [--count N] [--seed N]";
+  exit 2
+
+let int_flag argv name ~default =
+  let rec go = function
+    | [] -> default
+    | flag :: v :: _ when flag = name -> (
+        match int_of_string_opt v with Some n -> n | None -> usage ())
+    | _ :: rest -> go rest
+  in
+  go argv
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "matrix" :: rest ->
+      let seed = int_flag rest "--seed" ~default:7 in
+      let results = Harness.Detection_matrix.run ~seed () in
+      Harness.Detection_matrix.render ~seed Format.std_formatter results;
+      if Harness.Detection_matrix.violations results <> [] then exit 1
+  | _ :: "fuzz" :: rest ->
+      let seed = int_flag rest "--seed" ~default:0xC405 in
+      let count = int_flag rest "--count" ~default:200 in
+      let stats = Harness.Detection_matrix.chaos_fuzz ~seed ~count () in
+      Format.printf "%a@." Harness.Detection_matrix.pp_fuzz_stats stats;
+      List.iter print_endline stats.Harness.Detection_matrix.fz_failures;
+      if stats.Harness.Detection_matrix.fz_failures <> [] then exit 1
+  | _ -> usage ()

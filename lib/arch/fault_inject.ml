@@ -1,0 +1,160 @@
+(** Seeded, deterministic fault injection (chaos engine).
+
+    Cage's value proposition is what happens when memory is corrupted;
+    this module is the corruptor. A policy names the fault {e sites} to
+    arm, a per-site probability, and a budget of injections; an engine
+    drawn from the policy is installed globally and the hardware models
+    ([Mte.check], [Pac.auth], the checked-access layer, the segment
+    instructions) consult it at the exact points where a real bit-flip,
+    glitch or lost interrupt would land. Everything is driven by one
+    seeded PRNG, so a (seed, policy) pair replays the identical fault
+    sequence — the detection matrix and the chaos fuzzer depend on it.
+
+    When no engine is installed every hook is a single load-and-compare
+    on the [None] fast path: the uninstrumented hot path is untouched. *)
+
+type site =
+  | Tag_flip        (** flip the allocation tag of an accessed granule *)
+  | Ptr_tag         (** corrupt the logical tag of a live pointer *)
+  | Ptr_sig         (** set stray signature bits on a live pointer *)
+  | Pac_forge       (** flip a signature bit just before [autda] *)
+  | Pac_strip       (** strip the signature ([xpacd]) before [autda] *)
+  | Tfsr_drop       (** drop a pending TFSR latch (lost interrupt) *)
+  | Heap_scribble   (** scribble free-list metadata in the libc heap *)
+
+let all_sites =
+  [ Tag_flip; Ptr_tag; Ptr_sig; Pac_forge; Pac_strip; Tfsr_drop;
+    Heap_scribble ]
+
+let site_to_string = function
+  | Tag_flip -> "tag-flip"
+  | Ptr_tag -> "ptr-tag"
+  | Ptr_sig -> "ptr-sig"
+  | Pac_forge -> "pac-forge"
+  | Pac_strip -> "pac-strip"
+  | Tfsr_drop -> "tfsr-drop"
+  | Heap_scribble -> "heap-scribble"
+
+type policy = {
+  seed : int;
+  probability : float;        (** default chance a visited site fires *)
+  site_probability : (site * float) list;  (** per-site overrides *)
+  sites : site list;          (** sites armed at all *)
+  max_injections : int;       (** total injection budget *)
+  site_max : (site * int) list;
+      (** per-site caps within the total budget — e.g. one tag flip but
+          unlimited dropped TFSR latches for the lost-interrupt model *)
+}
+
+let policy ?(probability = 1.0) ?(site_probability = [])
+    ?(max_injections = 1) ?(site_max = []) ~seed sites =
+  { seed; probability; site_probability; sites; max_injections; site_max }
+
+type injection = {
+  inj_site : site;
+  inj_index : int;               (** 0-based order of injection *)
+  mutable inj_detail : string;   (** filled in by the injecting hook *)
+}
+
+type t = {
+  pol : policy;
+  rng : Random.State.t;
+  mutable injected : injection list;  (* newest first *)
+  mutable scribble_at : int64 option;
+      (* a Heap_scribble records the doomed address here; the runtime
+         applies the write at the next synchronization point, once the
+         allocator has finished publishing the free-list link *)
+}
+
+let create pol =
+  { pol; rng = Random.State.make [| pol.seed |]; injected = [];
+    scribble_at = None }
+
+let count t = List.length t.injected
+let injections t = List.rev t.injected
+
+let pp_injection ppf i =
+  Format.fprintf ppf "%s%s" (site_to_string i.inj_site)
+    (if i.inj_detail = "" then "" else " (" ^ i.inj_detail ^ ")")
+
+(* ------------------------------------------------------------------ *)
+(* The global hook — the [None] fast path is what the hot paths see.   *)
+(* ------------------------------------------------------------------ *)
+
+let hook : t option ref = ref None
+
+let install t = hook := Some t
+let uninstall () = hook := None
+let active () = !hook
+
+let with_engine t f =
+  install t;
+  Fun.protect ~finally:uninstall f
+
+let site_probability t site =
+  match List.assq_opt site t.pol.site_probability with
+  | Some p -> p
+  | None -> t.pol.probability
+
+(** Roll the dice at a fault site. [true] means the caller must inject
+    the fault now (the injection is already recorded; use {!note} to
+    attach a human-readable detail). Always [false] with no engine
+    installed, a filtered site, or an exhausted budget. *)
+let draw site =
+  match !hook with
+  | None -> false
+  | Some t ->
+      if not (List.memq site t.pol.sites) then false
+      else if count t >= t.pol.max_injections then false
+      else if
+        match List.assq_opt site t.pol.site_max with
+        | None -> false
+        | Some cap ->
+            List.length
+              (List.filter (fun i -> i.inj_site == site) t.injected)
+            >= cap
+      then false
+      else
+        let p = site_probability t site in
+        let fire = p >= 1.0 || Random.State.float t.rng 1.0 < p in
+        if fire then
+          t.injected <-
+            { inj_site = site; inj_index = count t; inj_detail = "" }
+            :: t.injected;
+        fire
+
+(** Attach a detail string to the most recent injection. *)
+let note fmt =
+  Format.kasprintf
+    (fun s ->
+      match !hook with
+      | Some { injected = i :: _; _ } -> i.inj_detail <- s
+      | _ -> ())
+    fmt
+
+(** Deterministic corruption parameter from the engine PRNG (0 when no
+    engine is installed — only meaningful after a successful {!draw}). *)
+let rand_int n =
+  match !hook with None -> 0 | Some t -> Random.State.int t.rng n
+
+(* ------------------------------------------------------------------ *)
+(* Heap-scribble plumbing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let set_scribble addr =
+  match !hook with None -> () | Some t -> t.scribble_at <- Some addr
+
+let take_scribble () =
+  match !hook with
+  | None -> None
+  | Some t ->
+      let a = t.scribble_at in
+      if a <> None then t.scribble_at <- None;
+      a
+
+(** The junk written over scribbled metadata: a non-canonical pointer
+    pattern (bits 48-55 set), so a later dereference of the corrupted
+    free-list link is caught by the MMU canonicality check rather than
+    wandering silently. *)
+let junk64 () =
+  Int64.logor 0x00de_0000_0000_0000L (Int64.of_int (rand_int 0xffff))

@@ -1,0 +1,105 @@
+(** Seeded, deterministic fault injection (chaos engine).
+
+    A policy names the fault sites to arm, per-site probabilities and an
+    injection budget; an installed engine is consulted by the hardware
+    models at the exact points where a real bit-flip, glitch or lost
+    interrupt would land. One seeded PRNG drives everything, so a
+    (seed, policy) pair replays the identical fault sequence.
+
+    With no engine installed every hook reduces to a single
+    load-and-compare ([None] fast path): the uninstrumented hot path is
+    untouched. *)
+
+type site =
+  | Tag_flip        (** flip the allocation tag of an accessed granule
+                        ({!Mte.check}) *)
+  | Ptr_tag         (** corrupt the logical tag of a live pointer
+                        (checked-access address resolution) *)
+  | Ptr_sig         (** set stray signature bits on a live pointer,
+                        making it non-canonical *)
+  | Pac_forge       (** flip a signature bit just before [autda]
+                        ({!Pac.auth}) *)
+  | Pac_strip       (** strip the signature ([xpacd]) before [autda] *)
+  | Tfsr_drop       (** drop a pending TFSR latch — the lost-interrupt
+                        model of asynchronous MTE reporting *)
+  | Heap_scribble   (** scribble the free-list link of a freed chunk in
+                        the hardened libc heap *)
+
+val all_sites : site list
+val site_to_string : site -> string
+
+type policy = {
+  seed : int;
+  probability : float;        (** default chance a visited site fires *)
+  site_probability : (site * float) list;  (** per-site overrides *)
+  sites : site list;          (** sites armed at all *)
+  max_injections : int;       (** total injection budget *)
+  site_max : (site * int) list;
+      (** per-site caps within the total budget — e.g. one tag flip but
+          unlimited dropped TFSR latches for the lost-interrupt model *)
+}
+
+val policy :
+  ?probability:float ->
+  ?site_probability:(site * float) list ->
+  ?max_injections:int ->
+  ?site_max:(site * int) list ->
+  seed:int ->
+  site list ->
+  policy
+(** [probability] defaults to 1.0 (fire on first visit),
+    [max_injections] to 1, [site_max] to no per-site cap. *)
+
+type injection = {
+  inj_site : site;
+  inj_index : int;               (** 0-based order of injection *)
+  mutable inj_detail : string;   (** filled in by the injecting hook *)
+}
+
+type t
+(** A live engine: policy + PRNG + injection log. *)
+
+val create : policy -> t
+val count : t -> int
+val injections : t -> injection list
+(** Injections performed so far, in chronological order. *)
+
+val pp_injection : Format.formatter -> injection -> unit
+
+(** {1 Installation} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val active : unit -> t option
+val with_engine : t -> (unit -> 'a) -> 'a
+(** Install around [f], uninstalling even on exception. *)
+
+(** {1 Hook API — called from the hardware models} *)
+
+val draw : site -> bool
+(** Roll the dice at a fault site. [true] means the caller must inject
+    the fault now (the injection is already recorded; use {!note} to
+    attach detail). Always [false] with no engine installed, a filtered
+    site, or an exhausted budget. *)
+
+val note : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Attach a detail string to the most recent injection. *)
+
+val rand_int : int -> int
+(** Deterministic corruption parameter from the engine PRNG (0 when no
+    engine is installed). *)
+
+(** {1 Heap-scribble plumbing}
+
+    A [Heap_scribble] draw at segment-free time records the address of
+    the chunk's free-list link; the runtime applies the corrupting
+    write at the next synchronization point, after the allocator has
+    published the link. This models an asynchronous corruptor (racing
+    thread, errant DMA) — which is also why the write bypasses tag
+    checks. *)
+
+val set_scribble : int64 -> unit
+val take_scribble : unit -> int64 option
+val junk64 : unit -> int64
+(** Non-canonical junk (bits 48-55 set): a later dereference of the
+    corrupted link faults at the MMU canonicality check. *)

@@ -42,6 +42,24 @@ let set_tag_memory t tags = t.tags <- tags
 
 type verdict = Allowed | Faulted of fault | Deferred of fault
 
+(* Chaos hook: flip the allocation tag of the first granule under an
+   access to a guaranteed-different value, modelling tag-storage
+   corruption. Runs before the match so the very access that visited
+   the granule observes the flip. *)
+let chaos_tag_flip t addr =
+  if Fault_inject.draw Fault_inject.Tag_flip then begin
+    let gaddr = Int64.mul (Int64.div addr 16L) 16L in
+    if Tag_memory.in_bounds t.tags ~addr:gaddr ~len:16L then begin
+      let cur = Tag.to_int (Tag_memory.get t.tags gaddr) in
+      let bad = Tag.of_int ((cur + 1 + Fault_inject.rand_int 15) mod 16) in
+      (match Tag_memory.set_region t.tags ~addr:gaddr ~len:16L bad with
+      | Ok () ->
+          Fault_inject.note "granule 0x%Lx tag %d -> %d" gaddr cur
+            (Tag.to_int bad)
+      | Error _ -> ())
+    end
+  end
+
 let check t access ~ptr ~len =
   match t.mode with
   | Disabled -> Allowed
@@ -49,6 +67,7 @@ let check t access ~ptr ~len =
       t.checks <- t.checks + 1;
       let addr = Ptr.address ptr in
       let ptag = Ptr.tag ptr in
+      chaos_tag_flip t addr;
       if Tag_memory.matches t.tags ~addr ~len ptag then Allowed
       else begin
         let mem_tag =
@@ -71,8 +90,14 @@ let check t access ~ptr ~len =
         in
         if synchronous then Faulted fault
         else begin
-          (* TFSR is sticky: keep the first fault. *)
-          if t.pending = None then t.pending <- Some fault;
+          (* TFSR is sticky: keep the first fault. The chaos engine can
+             drop the latch here — the lost-interrupt model, where the
+             asynchronous report never reaches the kernel. *)
+          if t.pending = None then begin
+            if Fault_inject.draw Fault_inject.Tfsr_drop then
+              Fault_inject.note "TFSR latch for 0x%Lx dropped" addr
+            else t.pending <- Some fault
+          end;
           Deferred fault
         end
       end

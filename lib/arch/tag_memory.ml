@@ -86,6 +86,20 @@ let matches t ~addr ~len tag =
     end
   end
 
+let first_mismatch t ~addr ~len tag =
+  if len <= 0L || not (in_bounds t ~addr ~len) then None
+  else begin
+    let first, last = granule_range ~addr ~len in
+    let want = Tag.to_int tag in
+    let rec go g =
+      if g > last then None
+      else if Char.code (Bytes.get t.tags g) <> want then
+        Some (Int64.mul (Int64.of_int g) 16L)
+      else go (g + 1)
+    in
+    go first
+  end
+
 (** Extend the tag PA space in place. When the granule count is
     unchanged (e.g. [memory.grow 0], or a sub-granule size bump) the
     existing buffer is reused — no allocation, no copy. *)

@@ -49,6 +49,13 @@ val matches : t -> addr:int64 -> len:int64 -> Tag.t -> bool
     given tag — the access-check predicate. Out-of-bounds regions never
     match. [len <= 0] is treated as a 1-byte access. *)
 
+val first_mismatch : t -> addr:int64 -> len:int64 -> Tag.t -> int64 option
+(** Byte address (granule start) of the first granule overlapping
+    [\[addr, addr+len)] whose tag differs from [tag]; [None] when every
+    granule matches, [len <= 0], or the span leaves the covered region.
+    This is how a faulting bulk transfer learns where its stp/ldp
+    stream stopped. *)
+
 val grow : t -> new_size_bytes:int -> t
 (** Enlarge the tag space in place, preserving existing tags and
     zero-tagging the fresh granules (used on [memory.grow]); returns the

@@ -45,6 +45,7 @@ let spawn ?meter ?imports t m =
   inst
 
 let instance_count t = List.length t.instances
+let instances t = t.instances
 
 (** Kernel-style TFSR inspection across the process (paper §4.2): at a
     context switch the kernel reads every thread's sticky tag-fault

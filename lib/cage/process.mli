@@ -25,6 +25,9 @@ val spawn :
 
 val instance_count : t -> int
 
+val instances : t -> Wasm.Instance.t list
+(** Live instances in spawn order (supervisors iterate siblings). *)
+
 val poll_deferred_faults : t -> (int * Arch.Mte.fault) list
 (** Kernel-style TFSR inspection across the process (paper §4.2): drain
     every instance's sticky deferred tag fault, returning

@@ -4,12 +4,26 @@
     stores (Eqs. 1-4 of the paper) {e and} the bulk-memory operations
     [memory.fill]/[memory.copy] — funnels through this module: one
     place that does the bounds check, the MTE allocation-tag check, and
-    the event metering, in that order. Bulk operations used to strip
-    the pointer tag and skip tag checking entirely, silently bypassing
-    the paper's safety claim; here they are checked per granule span
-    with exactly the scalar rules (Sync traps before the transfer,
-    Async/Asymmetric record the sticky deferred fault that the
-    interpreter drains at synchronization points). *)
+    the event metering, in that order.
+
+    Trap messages carry a stable, parseable prefix taxonomy so
+    supervisors classify failures by structure instead of substring
+    fishing:
+
+    - ["bounds:"]    sandbox violations — out-of-bounds spans and
+                     non-canonical addresses (the MMU check)
+    - ["tag fault:"] synchronous MTE mismatches (from
+                     {!Arch.Mte.pp_fault})
+    - ["deferred:"]  asynchronous MTE mismatches reported at a
+                     synchronization point (raised in [Exec])
+
+    Bulk operations have partial-write semantics pinned down per MTE
+    mode: the engine checks the source span then the destination span
+    (within each 16-byte beat of the ldp/stp stream the load precedes
+    the store); a {e synchronous} fault stops the transfer at the
+    earliest mismatching granule, so exactly the bytes before it land;
+    a {e deferred} fault latches in the sticky TFSR and every byte
+    lands. *)
 
 open Instance
 
@@ -22,36 +36,66 @@ let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
 let noncanonical_mask = 0x00ff_0000_0000_0000L
 
 (** Resolve an address operand to (effective address, logical tag).
-    The tag is NOT stripped: it is what the access is checked with. *)
+    The tag is NOT stripped: it is what the access is checked with.
+    This is also where the chaos engine corrupts live pointers — a
+    flipped tag nibble ([Ptr_tag]) or stray signature bits ([Ptr_sig])
+    land here, between the producer of the pointer and the access. *)
 let resolve_addr (idx : Values.t) (offset : int64) =
   match idx with
   | Values.I32 i ->
       (Int64.add (Int64.logand (Int64.of_int32 i) 0xffffffffL) offset,
        Arch.Tag.zero)
   | Values.I64 p ->
+      let p =
+        if Arch.Fault_inject.draw Arch.Fault_inject.Ptr_sig then begin
+          let bit = 49 + Arch.Fault_inject.rand_int 6 in
+          Arch.Fault_inject.note "pointer 0x%Lx: stray signature bit %d" p bit;
+          Int64.logor p (Int64.shift_left 1L bit)
+        end
+        else p
+      in
+      let p =
+        if Arch.Fault_inject.draw Arch.Fault_inject.Ptr_tag then begin
+          let t = Arch.Tag.to_int (Arch.Ptr.tag p) in
+          let bad = (t + 1 + Arch.Fault_inject.rand_int 15) mod 16 in
+          Arch.Fault_inject.note "pointer 0x%Lx: tag %d -> %d" p t bad;
+          Arch.Ptr.with_tag p (Arch.Tag.of_int bad)
+        end
+        else p
+      in
       if Int64.logand p noncanonical_mask <> 0L then
-        trap "non-canonical address 0x%Lx" p;
+        trap "bounds: non-canonical address 0x%Lx" p;
       (Int64.add (Arch.Ptr.address p) offset, Arch.Ptr.tag p)
   | v -> trap "bad address operand %a" Values.pp v
 
-(* The single tag-check entry point. [Deferred] faults are already
-   latched in the engine's sticky TFSR by [Mte.check]; the interpreter
-   drains them at synchronization points (see [Exec]). The "deferred"
-   prefix below is the marker those drain sites use. *)
-let check_tags (inst : Instance.t) access ~addr ~tag ~len =
-  if inst.enforce_tags then
+(* The tag-check verdict for one span. [Deferred] faults are latched in
+   the engine's sticky TFSR by [Mte.check]; the interpreter drains them
+   at synchronization points (see [Exec]). *)
+let tag_verdict (inst : Instance.t) access ~addr ~tag ~len =
+  if not inst.enforce_tags then Arch.Mte.Allowed
+  else
     match inst.mte with
-    | None -> ()
-    | Some mte -> (
-        let ptr = Arch.Ptr.with_tag addr tag in
-        match Arch.Mte.check mte access ~ptr ~len with
-        | Arch.Mte.Allowed | Arch.Mte.Deferred _ -> ()
-        | Arch.Mte.Faulted f -> trap "%a" Arch.Mte.pp_fault f)
+    | None -> Arch.Mte.Allowed
+    | Some mte ->
+        Arch.Mte.check mte access ~ptr:(Arch.Ptr.with_tag addr tag) ~len
+
+(* Raise a synchronous tag fault, keeping the structured record on the
+   instance so a supervisor's post-mortem reports address/tags/access
+   without re-parsing the message. *)
+let raise_tag_fault (inst : Instance.t) f =
+  inst.last_fault <- Some f;
+  trap "%a" Arch.Mte.pp_fault f
+
+(* The single tag-check entry point for scalar accesses. *)
+let check_tags (inst : Instance.t) access ~addr ~tag ~len =
+  match tag_verdict inst access ~addr ~tag ~len with
+  | Arch.Mte.Allowed | Arch.Mte.Deferred _ -> ()
+  | Arch.Mte.Faulted f -> raise_tag_fault inst f
 
 (** Bounds + tag check + metering for a scalar load of [len] bytes. *)
 let load (inst : Instance.t) mem ~addr ~tag ~len =
   if not (Memory.in_bounds mem ~addr ~len) then
-    trap "out of bounds memory access";
+    trap "bounds: out of bounds memory access";
   check_tags inst Arch.Mte.Load ~addr ~tag ~len:(Int64.of_int len);
   match inst.meter with
   | Some m ->
@@ -62,7 +106,7 @@ let load (inst : Instance.t) mem ~addr ~tag ~len =
 (** Bounds + tag check + metering for a scalar store of [len] bytes. *)
 let store (inst : Instance.t) mem ~addr ~tag ~len =
   if not (Memory.in_bounds mem ~addr ~len) then
-    trap "out of bounds memory access";
+    trap "bounds: out of bounds memory access";
   check_tags inst Arch.Mte.Store ~addr ~tag ~len:(Int64.of_int len);
   match inst.meter with
   | Some m ->
@@ -70,9 +114,14 @@ let store (inst : Instance.t) mem ~addr ~tag ~len =
       m.Meter.store_bytes <- m.Meter.store_bytes + len
   | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Bulk operations                                                     *)
+(* ------------------------------------------------------------------ *)
+
 (* A bulk transfer is priced as 16-byte-chunk traffic (the stp/ldp
    stream a memmove compiles to); a zero-length op still costs its
-   setup, hence [max 1]. *)
+   setup, hence [max 1]. Metering happens for the bytes that actually
+   transferred — a synchronous mid-span fault prices only the prefix. *)
 let bulk_chunks len = max 1 (Int64.to_int (Int64.div len 16L))
 
 let meter_bulk_load (inst : Instance.t) ~len =
@@ -89,23 +138,72 @@ let meter_bulk_store (inst : Instance.t) ~len =
       m.Meter.store_bytes <- m.Meter.store_bytes + Int64.to_int len
   | None -> ()
 
-(* Bounds + tag check for one side of a bulk operation. A zero-length
-   transfer touches no memory: the spec requires only that the address
-   itself be in bounds (the boundary address is legal), and no granule
-   is tag-checked. *)
-let bulk_check (inst : Instance.t) mem access ~what ~addr ~tag ~len =
+(* Offset (relative to [addr]) at which a synchronously-faulting bulk
+   span stops transferring: the start of the first mismatching granule,
+   clamped to the span. *)
+let mismatch_offset (inst : Instance.t) ~addr ~tag ~len =
+  match inst.mte with
+  | None -> len
+  | Some mte -> (
+      match
+        Arch.Tag_memory.first_mismatch (Arch.Mte.tag_memory mte) ~addr ~len
+          tag
+      with
+      | Some gaddr -> Int64.max 0L (Int64.sub gaddr addr)
+      | None -> len)
+
+(** [memory.fill]: bounds, tag check over the destination span as a
+    Store, then the write. A zero-length fill touches no memory — only
+    the address itself must be in bounds. Partial-write semantics on a
+    synchronous fault: the bytes before the faulting granule land. *)
+let fill (inst : Instance.t) mem ~addr ~tag ~len v =
   if not (Memory.in_bounds64 mem ~addr ~len) then
-    trap "out of bounds %s" what;
-  if len > 0L then check_tags inst access ~addr ~tag ~len
+    trap "bounds: out of bounds memory fill";
+  if len = 0L then meter_bulk_store inst ~len
+  else
+    match tag_verdict inst Arch.Mte.Store ~addr ~tag ~len with
+    | Arch.Mte.Allowed | Arch.Mte.Deferred _ ->
+        (* Async/Asymmetric-deferred: every byte lands; the latched
+           fault is reported at the next synchronization point. *)
+        meter_bulk_store inst ~len;
+        Memory.fill mem ~addr ~len v
+    | Arch.Mte.Faulted f ->
+        let prefix = mismatch_offset inst ~addr ~tag ~len in
+        if prefix > 0L then Memory.fill mem ~addr ~len:prefix v;
+        meter_bulk_store inst ~len:prefix;
+        raise_tag_fault inst f
 
-(** Checked destination span of [memory.fill] (and the write half of
-    [memory.copy]): tag-checked as a Store over the whole granule
-    span. *)
-let bulk_store (inst : Instance.t) mem ~what ~addr ~tag ~len =
-  bulk_check inst mem Arch.Mte.Store ~what ~addr ~tag ~len;
-  meter_bulk_store inst ~len
-
-(** Checked source span of [memory.copy]: tag-checked as a Load. *)
-let bulk_load (inst : Instance.t) mem ~what ~addr ~tag ~len =
-  bulk_check inst mem Arch.Mte.Load ~what ~addr ~tag ~len;
-  meter_bulk_load inst ~len
+(** [memory.copy]: bounds on both spans, then tag checks — source as a
+    Load first, destination as a Store (within each 16-byte beat of the
+    ldp/stp stream the load precedes the store, so deferred faults
+    latch in that order and a tie between two synchronous faults
+    reports the load). A synchronous fault on either side stops the
+    transfer at the earliest mismatching granule offset; deferred
+    faults latch and every byte lands. *)
+let copy (inst : Instance.t) mem ~dst ~dtag ~src ~stag ~len =
+  if not (Memory.in_bounds64 mem ~addr:dst ~len) then
+    trap "bounds: out of bounds memory copy";
+  if not (Memory.in_bounds64 mem ~addr:src ~len) then
+    trap "bounds: out of bounds memory copy";
+  if len = 0L then begin
+    meter_bulk_load inst ~len;
+    meter_bulk_store inst ~len
+  end
+  else begin
+    let sv = tag_verdict inst Arch.Mte.Load ~addr:src ~tag:stag ~len in
+    let dv = tag_verdict inst Arch.Mte.Store ~addr:dst ~tag:dtag ~len in
+    let stop addr tag = function
+      | Arch.Mte.Faulted _ -> mismatch_offset inst ~addr ~tag ~len
+      | Arch.Mte.Allowed | Arch.Mte.Deferred _ -> len
+    in
+    let soff = stop src stag sv in
+    let doff = stop dst dtag dv in
+    let prefix = Int64.min soff doff in
+    if prefix > 0L then Memory.copy mem ~dst ~src ~len:prefix;
+    meter_bulk_load inst ~len:prefix;
+    meter_bulk_store inst ~len:prefix;
+    if prefix < len then
+      match (if soff <= doff then sv else dv) with
+      | Arch.Mte.Faulted f -> raise_tag_fault inst f
+      | _ -> assert false
+  end

@@ -233,19 +233,41 @@ let popn stack n =
    violation and reported as such regardless of tag state), then the
    MTE tag check, then metering. *)
 
+(* A Heap_scribble injection recorded at segment-free time is applied
+   here, at the next synchronization point: by then the allocator has
+   published the chunk's free-list link, and the junk write lands on
+   live metadata. It models an asynchronous corruptor (racing thread,
+   errant DMA), which is also why it writes through [Memory] directly,
+   bypassing tag checks. *)
+let apply_pending_scribble (inst : Instance.t) =
+  match Arch.Fault_inject.take_scribble () with
+  | None -> ()
+  | Some addr -> (
+      match inst.mem with
+      | None -> ()
+      | Some mem -> (
+          let junk = Arch.Fault_inject.junk64 () in
+          Arch.Fault_inject.note "free-list link at 0x%Lx overwritten with 0x%Lx"
+            addr junk;
+          try Memory.store_i64 mem addr junk
+          with Memory.Out_of_bounds _ -> ()))
+
 (* A deferred (Async/Asymmetric) fault is latched in the MTE engine's
    sticky TFSR when the faulting access executes; it is *reported* here,
    at synchronization points — function returns and host-call
-   boundaries — as the paper's §4.2 fault model requires. The "deferred"
-   prefix lets callers distinguish late reports from synchronous
-   traps. *)
+   boundaries — as the paper's §4.2 fault model requires. The
+   "deferred:" prefix lets callers distinguish late reports from
+   synchronous traps. *)
 let drain_deferred (inst : Instance.t) =
+  apply_pending_scribble inst;
   match inst.mte with
   | None -> ()
   | Some mte -> (
       match Arch.Mte.take_pending mte with
       | None -> ()
-      | Some f -> trap "deferred %a" Arch.Mte.pp_fault f)
+      | Some f ->
+          inst.last_fault <- Some f;
+          trap "deferred: %a" Arch.Mte.pp_fault f)
 
 let do_load (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memarg) =
   let mem = memory inst in
@@ -277,7 +299,7 @@ let do_load (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memar
           in
           if ty = I32 then Values.I32 (Int64.to_int32 v) else Values.I64 v
       | _ -> trap "packed load of float"
-    with Memory.Out_of_bounds _ -> trap "out of bounds memory access"
+    with Memory.Out_of_bounds _ -> trap "bounds: out of bounds memory access"
   in
   push stack v
 
@@ -304,7 +326,7 @@ let do_store (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.mema
         let n = match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4 in
         Memory.store_n mem addr n x
     | _ -> trap "store operand type mismatch"
-  with Memory.Out_of_bounds _ -> trap "out of bounds memory access"
+  with Memory.Out_of_bounds _ -> trap "bounds: out of bounds memory access"
 
 (* ------------------------------------------------------------------ *)
 (* Cage segment instructions (Eqs. 5-13)                               *)
@@ -323,10 +345,10 @@ let exec_segment_new (inst : Instance.t) stack o =
   let tag = Arch.Tag.irg inst.exclude ~rng:(rng_int inst) in
   (match Arch.Tag_memory.set_region tm ~addr ~len:l tag with
   | Ok () -> ()
-  | Error e -> trap "segment.new: %s" e);
+  | Error e -> trap "bounds: segment.new: %s" e);
   (* Eq. 5: the new segment is zeroed. *)
   (try Memory.fill (memory inst) ~addr ~len:l 0
-   with Memory.Out_of_bounds _ -> trap "segment.new: out of bounds");
+   with Memory.Out_of_bounds _ -> trap "bounds: segment.new: out of bounds");
   (match inst.meter with
   | Some m ->
       m.seg_new <- m.seg_new + 1;
@@ -343,7 +365,7 @@ let exec_segment_set_tag (inst : Instance.t) stack o =
   let addr = Int64.add (Arch.Ptr.address k) o in
   (match Arch.Tag_memory.set_region tm ~addr ~len:l (Arch.Ptr.tag t) with
   | Ok () -> ()
-  | Error e -> trap "segment.set_tag: %s" e);
+  | Error e -> trap "bounds: segment.set_tag: %s" e);
   match inst.meter with
   | Some m ->
       m.seg_set_tag <- m.seg_set_tag + 1;
@@ -360,11 +382,17 @@ let exec_segment_free (inst : Instance.t) stack o =
   (* Eq. 9/10: the pointer must still own the whole segment — this is
      what catches double-frees and frees through corrupted pointers. *)
   if not (Arch.Tag_memory.matches tm ~addr ~len:(Int64.max l 1L) ptag) then
-    trap "segment.free: tag mismatch (double free or invalid free)";
+    trap "tag fault: segment.free: tag mismatch (double free or invalid free)";
   let free_tag = Arch.Tag.next_allowed inst.exclude ptag in
   (match Arch.Tag_memory.set_region tm ~addr ~len:l free_tag with
   | Ok () -> ()
-  | Error e -> trap "segment.free: %s" e);
+  | Error e -> trap "bounds: segment.free: %s" e);
+  (* Chaos hook: schedule a scribble of this chunk's free-list link
+     (payload-relative slot [-8], see Libc.Source); the junk write is
+     applied at the next synchronization point, once the allocator has
+     published the link. *)
+  if Arch.Fault_inject.draw Arch.Fault_inject.Heap_scribble then
+    Arch.Fault_inject.set_scribble (Int64.sub addr 8L);
   match inst.meter with
   | Some m ->
       m.seg_free <- m.seg_free + 1;
@@ -392,13 +420,24 @@ let exec_pointer_auth (inst : Instance.t) stack =
   | Arch.Pac.Valid k' -> push stack (Values.I64 k')
   | Arch.Pac.Invalid_trap | Arch.Pac.Invalid_poisoned _ ->
       (* Eq. 13: the extension semantics trap on failed authentication. *)
-      trap "i64.pointer_auth: invalid signature"
+      trap "pac auth: invalid signature (i64.pointer_auth)"
 
 (* ------------------------------------------------------------------ *)
 (* Main evaluator                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* The fuel watchdog: every branch and call burns one unit, so a
+   runaway guest (infinite loop or unbounded recursion) terminates with
+   a classifiable "fuel:" trap instead of hanging its supervisor. The
+   [-1] sentinel keeps the unmetered path to one compare. *)
+let burn_fuel (inst : Instance.t) =
+  if inst.fuel >= 0 then begin
+    if inst.fuel = 0 then trap "fuel: execution budget exhausted";
+    inst.fuel <- inst.fuel - 1
+  end
+
 let meter_br (inst : Instance.t) =
+  burn_fuel inst;
   match inst.meter with Some m -> m.branch <- m.branch + 1 | None -> ()
 
 (* Take a prepared branch: the target depth and the label's arity were
@@ -635,9 +674,7 @@ and eval_basic (inst : Instance.t) ~depth locals stack (ins : Ast.instr) =
       let v = Int32.to_int (pop_i32 stack) in
       let dst, dtag = Checked.resolve_addr (pop stack) 0L in
       meter (fun m -> m.bulk_fill <- m.bulk_fill + 1);
-      Checked.bulk_store inst mem ~what:"memory fill" ~addr:dst ~tag:dtag ~len;
-      (try Memory.fill mem ~addr:dst ~len v
-       with Memory.Out_of_bounds _ -> trap "out of bounds memory fill")
+      Checked.fill inst mem ~addr:dst ~tag:dtag ~len v
   | MemoryCopy ->
       let mem = memory inst in
       let len =
@@ -648,12 +685,7 @@ and eval_basic (inst : Instance.t) ~depth locals stack (ins : Ast.instr) =
       let src, stag = Checked.resolve_addr (pop stack) 0L in
       let dst, dtag = Checked.resolve_addr (pop stack) 0L in
       meter (fun m -> m.bulk_copy <- m.bulk_copy + 1);
-      (* Destination first: in Asymmetric mode stores fault synchronously
-         while loads defer, so the store-side check must win. *)
-      Checked.bulk_store inst mem ~what:"memory copy" ~addr:dst ~tag:dtag ~len;
-      Checked.bulk_load inst mem ~what:"memory copy" ~addr:src ~tag:stag ~len;
-      (try Memory.copy mem ~dst ~src ~len
-       with Memory.Out_of_bounds _ -> trap "out of bounds memory copy")
+      Checked.copy inst mem ~dst ~dtag ~src ~stag ~len
   | SegmentNew o -> exec_segment_new inst stack o
   | SegmentSetTag o -> exec_segment_set_tag inst stack o
   | SegmentFree o -> exec_segment_free inst stack o
@@ -662,7 +694,9 @@ and eval_basic (inst : Instance.t) ~depth locals stack (ins : Ast.instr) =
 
 (* Invoke function index [i] with arguments taken from [stack]. *)
 and invoke_idx (inst : Instance.t) ~depth stack i =
-  if depth > max_call_depth then trap "call stack exhausted";
+  if depth > max_call_depth then
+    trap "stack: call stack exhausted (depth %d)" depth;
+  burn_fuel inst;
   match inst.funcs.(i) with
   | Host_func { fn; ty; name } ->
       (* A host call is a synchronization point: report any deferred
@@ -679,6 +713,7 @@ and invoke_idx (inst : Instance.t) ~depth stack i =
       let locals =
         Array.of_list (args @ List.map Values.default func.locals)
       in
+      inst.call_stack <- i :: inst.call_stack;
       let fstack = ref [] in
       (try eval inst ~depth locals fstack code.Code.body
        with
@@ -689,6 +724,11 @@ and invoke_idx (inst : Instance.t) ~depth stack i =
       (* Function return is a synchronization point (§4.2): deferred
          Async/Asymmetric faults are reported here, sticky-first. *)
       drain_deferred inst;
+      (* pop the frame on normal completion only: after a trap the
+         frozen stack is the crash backtrace (see Instance.call_stack) *)
+      (match inst.call_stack with
+      | _ :: tl -> inst.call_stack <- tl
+      | [] -> ());
       List.iter (push stack) results
 
 (* ------------------------------------------------------------------ *)
@@ -758,6 +798,9 @@ let instantiate ?(config = Instance.default_config)
       enforce_tags = config.enforce_tags;
       rng;
       meter = config.meter;
+      fuel = config.fuel;
+      call_stack = [];
+      last_fault = None;
     }
   in
   let n_imports = List.length m.imports in

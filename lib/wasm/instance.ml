@@ -41,6 +41,17 @@ and t = {
   enforce_tags : bool;       (** internal memory safety on/off *)
   rng : Random.State.t;
   meter : Meter.t option;
+  mutable fuel : int;
+      (** watchdog budget: branches/calls left before a ["fuel:"] trap;
+          [-1] disables the watchdog *)
+  mutable call_stack : int list;
+      (** function indices of the live wasm frames, innermost first.
+          Frames are popped on normal return only, so after a trap the
+          frozen stack is the crash backtrace a supervisor snapshots. *)
+  mutable last_fault : Arch.Mte.fault option;
+      (** structured record of the most recent tag fault raised as a
+          trap — the faulting address / tags / access kind a post-mortem
+          reports without re-parsing the trap message *)
 }
 
 (** Runtime configuration for instantiation, reflecting the Table 3
@@ -59,6 +70,7 @@ type config = {
           by distinct modifiers, §6.3); [None] generates a fresh key. *)
   seed : int;
   meter : Meter.t option;
+  fuel : int;  (** initial watchdog budget; [-1] = unlimited *)
 }
 
 let default_config = {
@@ -70,6 +82,7 @@ let default_config = {
   pac_key = None;
   seed = 0;
   meter = None;
+  fuel = -1;
 }
 
 let func_type = function
@@ -99,3 +112,15 @@ let exported_func t name =
 
 (** Tags currently in the instance's tag store (diagnostics/tests). *)
 let tag_of_addr t addr = Arch.Tag_memory.get (Arch.Mte.tag_memory (mte t)) addr
+
+(** Printable name of function index [i] — its source name when the
+    front end recorded one, [f<i>] otherwise (backtraces). *)
+let func_name t i =
+  if i < 0 || i >= Array.length t.funcs then Printf.sprintf "f%d" i
+  else
+    match t.funcs.(i) with
+    | Host_func { name; _ } -> name
+    | Wasm_func { func; _ } -> (
+        match func.Ast.fname with
+        | Some n -> n
+        | None -> Printf.sprintf "f%d" i)

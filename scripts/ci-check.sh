@@ -14,6 +14,13 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== chaos detection matrix (golden diff, seed 7)"
+dune exec bin/cage_chaos.exe -- matrix --seed 7 > _build/detection_matrix.out
+diff test/golden/detection_matrix.golden _build/detection_matrix.out
+
+echo "== chaos fuzz (200 seeded programs)"
+dune exec bin/cage_chaos.exe -- fuzz --count 200
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt
