@@ -460,6 +460,103 @@ let run_memfast () =
      loop)@."
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead (BENCH_obsoverhead.json)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The obs layer's contract is "zero-cost when disabled": with no sink
+   installed the interpreter pays one load-and-compare per interpreted
+   op (obs_tick) and one per checked span (span_check). The pre-obs
+   interpreter no longer exists in this binary, so the disabled
+   overhead is computed honestly from parts: microbench the
+   load-and-compare itself, count how many the workload executes (from
+   the meter), and divide by the measured uninstrumented runtime.
+   Tracing-on cost is measured directly as full-sink vs no-sink. *)
+let run_obsoverhead () =
+  Harness.Report.title (!ppf_ref)
+    "Observability overhead: disabled hook cost and full-sink tracing cost";
+  let kernel =
+    match Workloads.Polybench.find "atax" with
+    | Some kn -> kn
+    | None -> assert false
+  in
+  let iters = 5 in
+  let time f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to iters do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let meter = Wasm.Meter.create () in
+  let run_workload () =
+    Wasm.Meter.reset meter;
+    Libc.Run.run ~cfg:Cage.Config.full ~meter kernel.Workloads.Polybench.k_source
+  in
+  Obs.Hook.uninstall ();
+  let t_off = time run_workload in
+  let ops = Wasm.Meter.total meter in
+  let mem = Wasm.Meter.mem_accesses meter in
+  let t_full =
+    time (fun () ->
+        Obs.Hook.with_sink
+          (Obs.Hook.make ~trace:(Obs.Trace.create ())
+             ~metrics:(Obs.Metrics.cage ())
+             ~profiler:(Obs.Profiler.create ()) ())
+          run_workload)
+  in
+  (* The disabled fast path, exactly as the interpreter spells it: one
+     load of the hook ref and a branch. *)
+  let check_ns =
+    let n = 20_000_000 in
+    let acc = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      match !Obs.Hook.hook with None -> () | Some _ -> incr acc
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    ignore (Sys.opaque_identity !acc);
+    dt *. 1e9 /. float_of_int n
+  in
+  (* obs_tick once per interpreted op, span_check once per scalar
+     memory access: the checks this workload actually executes. *)
+  let checks = ops + mem in
+  let disabled_pct =
+    float_of_int checks *. check_ns /. (t_off *. 1e9) *. 100.0
+  in
+  let full_pct = 100.0 *. ((t_full /. t_off) -. 1.0) in
+  Harness.Report.table (!ppf_ref)
+    ~header:[ "configuration"; "runtime"; "overhead" ]
+    [
+      [ "no sink (measured)"; Harness.Report.seconds t_off; "baseline" ];
+      [ "no sink vs pre-obs (computed)"; Harness.Report.seconds t_off;
+        Printf.sprintf "%.3f%%" disabled_pct ];
+      [ "trace+metrics+profiler"; Harness.Report.seconds t_full;
+        Harness.Report.pct full_pct ];
+    ];
+  Format.fprintf (!ppf_ref)
+    "  hook check: %.2f ns; %d checks over %d ops (target: disabled <= 2%%)@."
+    check_ns checks ops;
+  let oc = open_out "BENCH_obsoverhead.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"atax\",\n\
+    \  \"ops\": %d,\n\
+    \  \"mem_accesses\": %d,\n\
+    \  \"t_off_s\": %.9f,\n\
+    \  \"t_full_s\": %.9f,\n\
+    \  \"check_ns\": %.4f,\n\
+    \  \"checks_per_run\": %d,\n\
+    \  \"disabled_overhead_pct\": %.4f,\n\
+    \  \"full_sink_overhead_pct\": %.2f\n\
+     }\n"
+    ops mem t_off t_full check_ns checks disabled_pct full_pct;
+  close_out oc;
+  Format.fprintf (!ppf_ref) "  wrote BENCH_obsoverhead.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benches (one per table/figure)                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -598,13 +695,15 @@ let experiments =
     ("modes", run_modes);
     ("escape", run_escape);
     ("memfast", run_memfast);
+    ("obsoverhead", run_obsoverhead);
     ("bechamel", run_bechamel);
   ]
 
 let default_order =
   [
     "table1"; "fig4"; "fig14"; "fig15"; "fig16"; "table2"; "mem"; "startup";
-    "collision"; "ablation"; "modes"; "escape"; "memfast"; "bechamel";
+    "collision"; "ablation"; "modes"; "escape"; "memfast"; "obsoverhead";
+    "bechamel";
   ]
 
 let () =

@@ -1,0 +1,22 @@
+/* The quickstart's buggy parser (examples/quickstart.ml), as an
+   on-disk file so the CLI can drive it directly:
+
+     dune exec bin/cage_run.exe -- examples/quickstart.c --config CAGE
+
+   The off-by-one write lands on a differently-tagged granule under
+   CAGE, so the run always ends in a tag fault — which makes this the
+   deterministic input CI uses for the --metrics golden snapshot. */
+
+int parse(char *input, int len) {
+  char field[16];
+  for (int i = 0; i <= len; i++) {   /* <= should be < */
+    field[i % 32] = input[i % 8];    /* dynamic index: instrumented */
+  }
+  return (int)field[0];
+}
+
+int main() {
+  char *input = (char *)malloc(8);
+  for (int i = 0; i < 8; i++) { input[i] = (char)(65 + i); }
+  return parse(input, 16);
+}

@@ -60,6 +60,22 @@ let chaos_tag_flip t addr =
     end
   end
 
+(* Observability: an allowed access whose span ends within one granule
+   of a differently-tagged granule is a near-miss — the overflow that
+   *would* have faulted one iteration later. Only computed with a sink
+   installed; the disabled path pays nothing. *)
+let note_near_miss t ~addr ~len ptag =
+  let last = Int64.add addr (Int64.sub (Int64.max len 1L) 1L) in
+  let next = Int64.mul (Int64.add (Int64.div last 16L) 1L) 16L in
+  if Tag_memory.in_bounds t.tags ~addr:next ~len:1L then begin
+    let nt = Tag_memory.get t.tags next in
+    if Tag.to_int nt <> Tag.to_int ptag then
+      Obs.Hook.event
+        (Obs.Event.Tag_near_miss
+           { addr; len; tag = Tag.to_int ptag;
+             neighbour_tag = Tag.to_int nt })
+  end
+
 let check t access ~ptr ~len =
   match t.mode with
   | Disabled -> Allowed
@@ -68,7 +84,10 @@ let check t access ~ptr ~len =
       let addr = Ptr.address ptr in
       let ptag = Ptr.tag ptr in
       chaos_tag_flip t addr;
-      if Tag_memory.matches t.tags ~addr ~len ptag then Allowed
+      if Tag_memory.matches t.tags ~addr ~len ptag then begin
+        if Obs.Hook.enabled () then note_near_miss t ~addr ~len ptag;
+        Allowed
+      end
       else begin
         let mem_tag =
           let len = Int64.max len 1L in
@@ -88,6 +107,16 @@ let check t access ~ptr ~len =
           | Async, _ -> false
           | Disabled, _ -> assert false
         in
+        if Obs.Hook.enabled () then
+          Obs.Hook.event
+            (Obs.Event.Tag_fault
+               { addr; len; ptr_tag = Tag.to_int ptag;
+                 mem_tag = Option.map Tag.to_int mem_tag;
+                 access =
+                   (match access with
+                   | Load -> Obs.Event.Load
+                   | Store -> Obs.Event.Store);
+                 deferred = not synchronous });
         if synchronous then Faulted fault
         else begin
           (* TFSR is sticky: keep the first fault. The chaos engine can
@@ -111,6 +140,10 @@ let pending_fault t = t.pending
 let take_pending t =
   let f = t.pending in
   t.pending <- None;
+  (match f with
+  | Some f when Obs.Hook.enabled () ->
+      Obs.Hook.event (Obs.Event.Tfsr_drain { addr = f.fault_addr })
+  | _ -> ());
   f
 
 let context_switch = take_pending

@@ -34,6 +34,7 @@ let signature cfg key ~modifier p =
 
 let sign cfg key ~modifier p =
   let p = canonical cfg p in
+  if Obs.Hook.enabled () then Obs.Hook.event (Obs.Event.Pac_sign { ptr = p });
   Ptr.with_pac_field cfg.layout p (signature cfg key ~modifier p)
 
 type auth_result = Valid of Ptr.t | Invalid_trap | Invalid_poisoned of Ptr.t
@@ -69,7 +70,10 @@ let auth cfg key ~modifier p =
     else p
   in
   let expect = signature cfg key ~modifier (canonical cfg p) in
-  if Ptr.pac_field cfg.layout p = expect then Valid (canonical cfg p)
+  let ok = Ptr.pac_field cfg.layout p = expect in
+  if Obs.Hook.enabled () then
+    Obs.Hook.event (Obs.Event.Pac_auth { ptr = canonical cfg p; ok });
+  if ok then Valid (canonical cfg p)
   else if cfg.fpac then Invalid_trap
   else Invalid_poisoned (poison cfg p)
 

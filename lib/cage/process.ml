@@ -42,6 +42,10 @@ let spawn ?meter ?imports t m =
   in
   let inst = Wasm.Exec.instantiate ~config ?imports m in
   t.instances <- t.instances @ [ inst ];
+  if Obs.Hook.enabled () then begin
+    Obs.Hook.set_instance inst.Wasm.Instance.id;
+    Obs.Hook.event (Obs.Event.Spawn { instance = inst.Wasm.Instance.id })
+  end;
   inst
 
 let instance_count t = List.length t.instances

@@ -66,6 +66,9 @@ type post_mortem = {
   pm_mem_accesses : int;
   pm_fuel_left : int;            (** remaining watchdog budget, -1 if off *)
   pm_injections : string list;   (** chaos injections active at crash *)
+  pm_trace : string list;
+      (** black-box flight recording: the last K trace events before the
+          crash, oldest first — empty when no tracer was installed *)
 }
 
 let pp_post_mortem ppf pm =
@@ -109,6 +112,11 @@ let pp_post_mortem ppf pm =
   | [] -> ()
   | inj ->
       fprintf ppf "injected  : %s@," (String.concat "; " inj));
+  (match pm.pm_trace with
+  | [] -> ()
+  | tr ->
+      fprintf ppf "flight rec: last %d events@," (List.length tr);
+      List.iter (fun l -> fprintf ppf "  %s@," l) tr);
   fprintf ppf "@]"
 
 type outcome =
@@ -118,10 +126,12 @@ type outcome =
 type t = {
   process : Process.t;
   fuel_budget : int;  (** per-invocation watchdog budget; -1 = off *)
+  black_box : int;    (** trace events embedded in a post-mortem *)
   mutable quarantined : (int * post_mortem) list;  (* newest first *)
 }
 
-let create ?(fuel = -1) process = { process; fuel_budget = fuel; quarantined = [] }
+let create ?(fuel = -1) ?(black_box = 8) process =
+  { process; fuel_budget = fuel; black_box; quarantined = [] }
 
 let process t = t.process
 
@@ -132,7 +142,7 @@ let quarantined t = List.rev t.quarantined
 let is_quarantined t (inst : Wasm.Instance.t) =
   List.mem_assoc inst.Wasm.Instance.id t.quarantined
 
-let snapshot (inst : Wasm.Instance.t) cls msg =
+let snapshot ?(black_box = 0) (inst : Wasm.Instance.t) cls msg =
   let mode =
     match inst.Wasm.Instance.mte with
     | Some m -> Arch.Mte.mode m
@@ -172,6 +182,7 @@ let snapshot (inst : Wasm.Instance.t) cls msg =
     pm_mem_accesses = mem_accesses;
     pm_fuel_left = inst.Wasm.Instance.fuel;
     pm_injections = injections;
+    pm_trace = Obs.Hook.recent_events black_box;
   }
 
 (** Run [f] — an invocation on [inst] — under the supervisor. Every
@@ -182,14 +193,26 @@ let snapshot (inst : Wasm.Instance.t) cls msg =
 let run_thunk t (inst : Wasm.Instance.t) f =
   if is_quarantined t inst then
     Crashed
-      (snapshot inst Quarantine
+      (snapshot ~black_box:t.black_box inst Quarantine
          (Printf.sprintf "instance %d is quarantined" inst.Wasm.Instance.id))
   else begin
     inst.Wasm.Instance.fuel <- t.fuel_budget;
     inst.Wasm.Instance.last_fault <- None;
     inst.Wasm.Instance.call_stack <- [];
+    (* Fuel consumed by this invocation (the fuel-per-call histogram);
+       only meaningful when the watchdog is on. *)
+    let note_fuel () =
+      if t.fuel_budget >= 0 && Obs.Hook.enabled () then
+        Obs.Hook.fuel_used (t.fuel_budget - max 0 inst.Wasm.Instance.fuel)
+    in
     let crash cls msg =
-      let pm = snapshot inst cls msg in
+      note_fuel ();
+      (* The crash record is the black box's final line: the flight
+         recording embedded below ends with the impact itself. *)
+      if Obs.Hook.enabled () then
+        Obs.Hook.event
+          (Obs.Event.Crash { cls = fault_class_to_string cls; msg });
+      let pm = snapshot ~black_box:t.black_box inst cls msg in
       inst.Wasm.Instance.fuel <- -1;
       inst.Wasm.Instance.call_stack <- [];
       t.quarantined <- (inst.Wasm.Instance.id, pm) :: t.quarantined;
@@ -197,6 +220,7 @@ let run_thunk t (inst : Wasm.Instance.t) f =
     in
     match f () with
     | vs ->
+        note_fuel ();
         inst.Wasm.Instance.fuel <- -1;
         Finished vs
     | exception Wasm.Instance.Trap msg -> crash (classify msg) msg

@@ -44,6 +44,9 @@ type post_mortem = {
   pm_mem_accesses : int;
   pm_fuel_left : int;            (** remaining watchdog budget, -1 if off *)
   pm_injections : string list;   (** chaos injections active at crash *)
+  pm_trace : string list;
+      (** black-box flight recording: the last K trace events before the
+          crash, oldest first — empty when no tracer was installed *)
 }
 
 val pp_post_mortem : Format.formatter -> post_mortem -> unit
@@ -57,9 +60,11 @@ type outcome =
 
 type t
 
-val create : ?fuel:int -> Process.t -> t
+val create : ?fuel:int -> ?black_box:int -> Process.t -> t
 (** Supervisor over a process. [fuel] is the per-invocation watchdog
-    budget in branches+calls (default [-1]: no watchdog). *)
+    budget in branches+calls (default [-1]: no watchdog). [black_box]
+    is how many final trace events a post-mortem embeds when an
+    [Obs] tracer is installed (default 8). *)
 
 val process : t -> Process.t
 

@@ -22,8 +22,21 @@ let seconds v =
   else if v < 1.0 then Printf.sprintf "%.2fms" (v *. 1e3)
   else Printf.sprintf "%.3fs" v
 
-(** Render a table: header cells then rows, auto-aligned. *)
+(** Render a table: header cells then rows, auto-aligned. A ragged row
+    is normalized to the header's width — extra cells are dropped,
+    missing cells become empty — instead of raising
+    [Invalid_argument] from [List.map2]. *)
 let table ppf ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let rec go n = function
+      | _ when n = 0 -> []
+      | [] -> "" :: go (n - 1) []
+      | c :: rest -> c :: go (n - 1) rest
+    in
+    go ncols row
+  in
+  let rows = List.map normalize rows in
   let widths =
     List.fold_left
       (fun ws row ->

@@ -1,0 +1,288 @@
+(** The metrics registry: counters, gauges and log-scale histograms,
+    rendered in Prometheus text exposition format and as JSON.
+
+    Registration hands back a direct handle; the hot path then bumps a
+    mutable field — no name lookup, no allocation. Rendering iterates
+    metrics in registration order, so output is deterministic and can
+    be golden-diffed in CI. *)
+
+type counter = { c_name : string; c_help : string; mutable c_value : int }
+type gauge = { g_name : string; g_help : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_bounds : float array;  (** inclusive upper bounds, ascending *)
+  h_counts : int array;    (** per-bucket, plus one overflow slot *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { mutable metrics : metric list (* reverse registration order *) }
+
+let create () = { metrics = [] }
+let metrics t = List.rev t.metrics
+
+let counter t ?(help = "") name =
+  let c = { c_name = name; c_help = help; c_value = 0 } in
+  t.metrics <- Counter c :: t.metrics;
+  c
+
+let gauge t ?(help = "") name =
+  let g = { g_name = name; g_help = help; g_value = 0.0 } in
+  t.metrics <- Gauge g :: t.metrics;
+  g
+
+(** Power-of-two bucket bounds from [lo] to [hi] inclusive — the
+    log-scale shape that keeps segment sizes and span lengths readable
+    across six orders of magnitude. *)
+let log2_bounds ?(lo = 1.0) ?(hi = 1048576.0) () =
+  let rec go acc b = if b > hi then List.rev acc else go (b :: acc) (b *. 2.0) in
+  Array.of_list (go [] lo)
+
+let histogram t ?(help = "") ?bounds name =
+  let h_bounds = match bounds with Some b -> b | None -> log2_bounds () in
+  let h =
+    { h_name = name; h_help = help; h_bounds;
+      h_counts = Array.make (Array.length h_bounds + 1) 0; h_sum = 0.0;
+      h_count = 0 }
+  in
+  t.metrics <- Histogram h :: t.metrics;
+  h
+
+let inc ?(by = 1) c = c.c_value <- c.c_value + by
+let set g v = g.g_value <- v
+
+let observe h v =
+  let n = Array.length h.h_bounds in
+  let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Prometheus numbers: integral values print as integers so golden
+   files stay stable; anything else gets %g. *)
+let num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let render_prometheus ppf t =
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c ->
+          if c.c_help <> "" then
+            Format.fprintf ppf "# HELP %s %s@." c.c_name c.c_help;
+          Format.fprintf ppf "# TYPE %s counter@." c.c_name;
+          Format.fprintf ppf "%s %d@." c.c_name c.c_value
+      | Gauge g ->
+          if g.g_help <> "" then
+            Format.fprintf ppf "# HELP %s %s@." g.g_name g.g_help;
+          Format.fprintf ppf "# TYPE %s gauge@." g.g_name;
+          Format.fprintf ppf "%s %s@." g.g_name (num g.g_value)
+      | Histogram h ->
+          if h.h_help <> "" then
+            Format.fprintf ppf "# HELP %s %s@." h.h_name h.h_help;
+          Format.fprintf ppf "# TYPE %s histogram@." h.h_name;
+          let cum = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              cum := !cum + h.h_counts.(i);
+              Format.fprintf ppf "%s_bucket{le=\"%s\"} %d@." h.h_name
+                (num bound) !cum)
+            h.h_bounds;
+          Format.fprintf ppf "%s_bucket{le=\"+Inf\"} %d@." h.h_name h.h_count;
+          Format.fprintf ppf "%s_sum %s@." h.h_name (num h.h_sum);
+          Format.fprintf ppf "%s_count %d@." h.h_name h.h_count)
+    (metrics t)
+
+let prometheus_string t = Format.asprintf "%a" render_prometheus t
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string b ",\n";
+      match m with
+      | Counter c ->
+          Buffer.add_string b (Printf.sprintf "  \"%s\": %d" c.c_name c.c_value)
+      | Gauge g ->
+          Buffer.add_string b
+            (Printf.sprintf "  \"%s\": %s" g.g_name (num g.g_value))
+      | Histogram h ->
+          Buffer.add_string b
+            (Printf.sprintf "  \"%s\": {\"buckets\": [" h.h_name);
+          Array.iteri
+            (fun i bound ->
+              if i > 0 then Buffer.add_string b ", ";
+              Buffer.add_string b
+                (Printf.sprintf "[%s, %d]" (num bound) h.h_counts.(i)))
+            h.h_bounds;
+          Buffer.add_string b
+            (Printf.sprintf "], \"overflow\": %d, \"sum\": %s, \"count\": %d}"
+               h.h_counts.(Array.length h.h_bounds)
+               (num h.h_sum) h.h_count))
+    (metrics t);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* The standard Cage metric set                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Pre-registered handles for everything the runtime's event stream
+    reports, so the sink dispatch is field bumps only. *)
+type cage = {
+  registry : t;
+  tag_faults : counter;
+  tag_faults_deferred : counter;
+  near_misses : counter;
+  tfsr_drains : counter;
+  pac_sign : counter;
+  pac_auth_ok : counter;
+  pac_auth_fail : counter;
+  seg_new : counter;
+  seg_set_tag : counter;
+  seg_free : counter;
+  granules_tagged : counter;
+  mem_grow : counter;
+  host_calls : counter;
+  func_calls : counter;
+  crashes : counter;
+  spawns : counter;
+  seg_size : histogram;
+  span_len : histogram;
+  fuel_per_call : histogram;
+}
+
+(* Sequential [let]s, not record-field expressions: OCaml evaluates
+   record fields in unspecified order, and rendering follows
+   registration order — which the golden file pins. *)
+let cage () =
+  let r = create () in
+  let tag_faults =
+    counter r ~help:"Synchronous MTE tag-check faults"
+      "cage_tag_check_faults_total"
+  in
+  let tag_faults_deferred =
+    counter r ~help:"Deferred (TFSR-latched) MTE tag-check faults"
+      "cage_tag_check_faults_deferred_total"
+  in
+  let near_misses =
+    counter r
+      ~help:"Allowed accesses ending within one granule of a different tag"
+      "cage_tag_check_near_misses_total"
+  in
+  let tfsr_drains =
+    counter r ~help:"Sticky TFSR drains at synchronization points"
+      "cage_tfsr_drains_total"
+  in
+  let pac_sign =
+    counter r ~help:"Pointer signings (pacda)" "cage_pac_sign_total"
+  in
+  let pac_auth_ok =
+    counter r ~help:"Successful pointer authentications (autda)"
+      "cage_pac_auth_ok_total"
+  in
+  let pac_auth_fail =
+    counter r ~help:"Failed pointer authentications" "cage_pac_auth_fail_total"
+  in
+  let seg_new =
+    counter r ~help:"segment.new executions" "cage_segment_new_total"
+  in
+  let seg_set_tag =
+    counter r ~help:"segment.set_tag executions" "cage_segment_set_tag_total"
+  in
+  let seg_free =
+    counter r ~help:"segment.free executions" "cage_segment_free_total"
+  in
+  let granules_tagged =
+    counter r ~help:"16-byte granules (re)tagged by segment instructions"
+      "cage_granules_tagged_total"
+  in
+  let mem_grow =
+    counter r ~help:"memory.grow executions" "cage_memory_grow_total"
+  in
+  let host_calls = counter r ~help:"Host (WASI) calls" "cage_host_calls_total" in
+  let func_calls =
+    counter r ~help:"Wasm function invocations" "cage_func_calls_total"
+  in
+  let crashes =
+    counter r ~help:"Guest crashes contained by the supervisor"
+      "cage_crashes_total"
+  in
+  let spawns =
+    counter r ~help:"Instances spawned into supervised processes"
+      "cage_instance_spawns_total"
+  in
+  let seg_size =
+    histogram r ~help:"Segment sizes at segment.new (bytes, log2 buckets)"
+      "cage_segment_size_bytes"
+  in
+  let span_len =
+    histogram r
+      ~help:"Tag-checked span lengths per access (bytes, log2 buckets)"
+      "cage_tag_check_span_bytes"
+  in
+  let fuel_per_call =
+    histogram r
+      ~help:"Watchdog fuel consumed per supervised invocation (log2 buckets)"
+      "cage_fuel_per_call"
+  in
+  {
+    registry = r;
+    tag_faults;
+    tag_faults_deferred;
+    near_misses;
+    tfsr_drains;
+    pac_sign;
+    pac_auth_ok;
+    pac_auth_fail;
+    seg_new;
+    seg_set_tag;
+    seg_free;
+    granules_tagged;
+    mem_grow;
+    host_calls;
+    func_calls;
+    crashes;
+    spawns;
+    seg_size;
+    span_len;
+    fuel_per_call;
+  }
+
+let observe_event m (ev : Event.t) =
+  match ev with
+  | Seg_new { len; granules; _ } ->
+      inc m.seg_new;
+      inc ~by:granules m.granules_tagged;
+      observe m.seg_size (Int64.to_float len)
+  | Seg_set_tag { granules; _ } ->
+      inc m.seg_set_tag;
+      inc ~by:granules m.granules_tagged
+  | Seg_free { granules; _ } ->
+      inc m.seg_free;
+      inc ~by:granules m.granules_tagged
+  | Tag_fault { deferred = false; _ } -> inc m.tag_faults
+  | Tag_fault { deferred = true; _ } -> inc m.tag_faults_deferred
+  | Tag_near_miss _ -> inc m.near_misses
+  | Tfsr_drain _ -> inc m.tfsr_drains
+  | Pac_sign _ -> inc m.pac_sign
+  | Pac_auth { ok = true; _ } -> inc m.pac_auth_ok
+  | Pac_auth { ok = false; _ } -> inc m.pac_auth_fail
+  | Mem_grow _ -> inc m.mem_grow
+  | Host_call _ -> inc m.host_calls
+  | Func_enter _ -> inc m.func_calls
+  | Func_leave _ -> ()
+  | Crash _ -> inc m.crashes
+  | Spawn _ -> inc m.spawns

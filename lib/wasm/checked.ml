@@ -96,6 +96,7 @@ let check_tags (inst : Instance.t) access ~addr ~tag ~len =
 let load (inst : Instance.t) mem ~addr ~tag ~len =
   if not (Memory.in_bounds mem ~addr ~len) then
     trap "bounds: out of bounds memory access";
+  Obs.Hook.span_check len;
   check_tags inst Arch.Mte.Load ~addr ~tag ~len:(Int64.of_int len);
   match inst.meter with
   | Some m ->
@@ -107,6 +108,7 @@ let load (inst : Instance.t) mem ~addr ~tag ~len =
 let store (inst : Instance.t) mem ~addr ~tag ~len =
   if not (Memory.in_bounds mem ~addr ~len) then
     trap "bounds: out of bounds memory access";
+  Obs.Hook.span_check len;
   check_tags inst Arch.Mte.Store ~addr ~tag ~len:(Int64.of_int len);
   match inst.meter with
   | Some m ->
@@ -160,7 +162,8 @@ let fill (inst : Instance.t) mem ~addr ~tag ~len v =
   if not (Memory.in_bounds64 mem ~addr ~len) then
     trap "bounds: out of bounds memory fill";
   if len = 0L then meter_bulk_store inst ~len
-  else
+  else begin
+    Obs.Hook.span_check (Int64.to_int len);
     match tag_verdict inst Arch.Mte.Store ~addr ~tag ~len with
     | Arch.Mte.Allowed | Arch.Mte.Deferred _ ->
         (* Async/Asymmetric-deferred: every byte lands; the latched
@@ -172,6 +175,7 @@ let fill (inst : Instance.t) mem ~addr ~tag ~len v =
         if prefix > 0L then Memory.fill mem ~addr ~len:prefix v;
         meter_bulk_store inst ~len:prefix;
         raise_tag_fault inst f
+  end
 
 (** [memory.copy]: bounds on both spans, then tag checks — source as a
     Load first, destination as a Store (within each 16-byte beat of the
@@ -190,6 +194,8 @@ let copy (inst : Instance.t) mem ~dst ~dtag ~src ~stag ~len =
     meter_bulk_store inst ~len
   end
   else begin
+    Obs.Hook.span_check (Int64.to_int len);
+    Obs.Hook.span_check (Int64.to_int len);
     let sv = tag_verdict inst Arch.Mte.Load ~addr:src ~tag:stag ~len in
     let dv = tag_verdict inst Arch.Mte.Store ~addr:dst ~tag:dtag ~len in
     let stop addr tag = function

@@ -354,6 +354,10 @@ let exec_segment_new (inst : Instance.t) stack o =
       m.seg_new <- m.seg_new + 1;
       m.seg_new_granules <- m.seg_new_granules + seg_granules l
   | None -> ());
+  if Obs.Hook.enabled () then
+    Obs.Hook.event
+      (Obs.Event.Seg_new
+         { addr; len = l; granules = seg_granules l; tag = Arch.Tag.to_int tag });
   push stack (Values.I64 (Arch.Ptr.with_tag (Int64.add k o) tag))
 
 let exec_segment_set_tag (inst : Instance.t) stack o =
@@ -366,6 +370,11 @@ let exec_segment_set_tag (inst : Instance.t) stack o =
   (match Arch.Tag_memory.set_region tm ~addr ~len:l (Arch.Ptr.tag t) with
   | Ok () -> ()
   | Error e -> trap "bounds: segment.set_tag: %s" e);
+  if Obs.Hook.enabled () then
+    Obs.Hook.event
+      (Obs.Event.Seg_set_tag
+         { addr; len = l; granules = seg_granules l;
+           tag = Arch.Tag.to_int (Arch.Ptr.tag t) });
   match inst.meter with
   | Some m ->
       m.seg_set_tag <- m.seg_set_tag + 1;
@@ -393,6 +402,11 @@ let exec_segment_free (inst : Instance.t) stack o =
      published the link. *)
   if Arch.Fault_inject.draw Arch.Fault_inject.Heap_scribble then
     Arch.Fault_inject.set_scribble (Int64.sub addr 8L);
+  if Obs.Hook.enabled () then
+    Obs.Hook.event
+      (Obs.Event.Seg_free
+         { addr; len = l; granules = seg_granules l;
+           tag = Arch.Tag.to_int free_tag });
   match inst.meter with
   | Some m ->
       m.seg_free <- m.seg_free + 1;
@@ -426,6 +440,30 @@ let exec_pointer_auth (inst : Instance.t) stack =
 (* Main evaluator                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* The observability tick: one simulated cycle on the tracer's clock
+   and one event on the profiler's sampling countdown per interpreted
+   instruction. With no sink installed this is a single load-and-
+   compare — the same fast-path contract as [Arch.Fault_inject]. The
+   meter total is computed only at sampling points, so snapshot weights
+   partition the meter exactly (see [Obs.Profiler]). *)
+let obs_tick (inst : Instance.t) =
+  match !Obs.Hook.hook with
+  | None -> ()
+  | Some s ->
+      (match s.Obs.Hook.trace with
+      | Some tr -> Obs.Trace.advance tr 1
+      | None -> ());
+      (match s.Obs.Hook.profiler with
+      | Some p ->
+          if Obs.Profiler.due p then
+            let total =
+              match inst.meter with
+              | Some m -> Meter.total m
+              | None -> Obs.Profiler.ticks p
+            in
+            Obs.Profiler.sample p ~stack:inst.call_stack ~total
+      | None -> ())
+
 (* The fuel watchdog: every branch and call burns one unit, so a
    runaway guest (infinite loop or unbounded recursion) terminates with
    a classifiable "fuel:" trap instead of hanging its supervisor. The
@@ -451,6 +489,7 @@ let rec eval (inst : Instance.t) ~depth locals stack (code : Code.instr array) =
   Array.iter (eval_instr inst ~depth locals stack) code
 
 and eval_instr (inst : Instance.t) ~depth locals stack (ins : Code.instr) =
+  obs_tick inst;
   match ins with
   | Code.Basic i -> eval_basic inst ~depth locals stack i
   | Code.Block (_, body) -> (
@@ -658,6 +697,10 @@ and eval_basic (inst : Instance.t) ~depth locals stack (ins : Ast.instr) =
               (Arch.Tag_memory.grow tm
                  ~new_size_bytes:(Int64.to_int (Memory.size_bytes mem))))
           inst.mte;
+      if old >= 0L && Obs.Hook.enabled () then
+        Obs.Hook.event
+          (Obs.Event.Mem_grow
+             { delta_pages = delta; new_pages = Memory.size_pages mem });
       push stack
         (match Memory.idx_type mem with
         | Types.Idx32 -> Values.I32 (Int64.to_int32 old)
@@ -699,6 +742,10 @@ and invoke_idx (inst : Instance.t) ~depth stack i =
   burn_fuel inst;
   match inst.funcs.(i) with
   | Host_func { fn; ty; name } ->
+      if Obs.Hook.enabled () then begin
+        Obs.Hook.set_instance inst.id;
+        Obs.Hook.event (Obs.Event.Host_call { name })
+      end;
       (* A host call is a synchronization point: report any deferred
          fault latched before control leaves wasm. *)
       drain_deferred inst;
@@ -714,6 +761,11 @@ and invoke_idx (inst : Instance.t) ~depth stack i =
         Array.of_list (args @ List.map Values.default func.locals)
       in
       inst.call_stack <- i :: inst.call_stack;
+      if Obs.Hook.enabled () then begin
+        Obs.Hook.set_instance inst.id;
+        Obs.Hook.event
+          (Obs.Event.Func_enter { idx = i; name = Instance.func_name inst i })
+      end;
       let fstack = ref [] in
       (try eval inst ~depth locals fstack code.Code.body
        with
@@ -725,7 +777,12 @@ and invoke_idx (inst : Instance.t) ~depth stack i =
          Async/Asymmetric faults are reported here, sticky-first. *)
       drain_deferred inst;
       (* pop the frame on normal completion only: after a trap the
-         frozen stack is the crash backtrace (see Instance.call_stack) *)
+         frozen stack is the crash backtrace (see Instance.call_stack) —
+         and the matching [Func_leave] is likewise skipped, so the
+         Chrome trace shows an unfinished slice for the crashed call. *)
+      if Obs.Hook.enabled () then
+        Obs.Hook.event
+          (Obs.Event.Func_leave { idx = i; name = Instance.func_name inst i });
       (match inst.call_stack with
       | _ :: tl -> inst.call_stack <- tl
       | [] -> ());

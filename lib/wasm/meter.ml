@@ -76,9 +76,9 @@ let mem_accesses t = t.loads + t.stores
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>ops: %d@ loads: %d (%d B)@ stores: %d (%d B)@ calls: %d (+%d \
-     indirect)@ segments: new %d / free %d (%d granules tagged)@ pac: sign \
-     %d / auth %d@]"
+     indirect)@ bulk: fill %d / copy %d@ segments: new %d (%d gr) / set_tag \
+     %d (%d gr) / free %d (%d gr)@ pac: sign %d / auth %d@]"
     (total t) t.loads t.load_bytes t.stores t.store_bytes t.call
-    t.call_indirect t.seg_new t.seg_free
-    (t.seg_new_granules + t.seg_free_granules + t.seg_set_tag_granules)
+    t.call_indirect t.bulk_fill t.bulk_copy t.seg_new t.seg_new_granules
+    t.seg_set_tag t.seg_set_tag_granules t.seg_free t.seg_free_granules
     t.ptr_sign t.ptr_auth

@@ -21,6 +21,18 @@ diff test/golden/detection_matrix.golden _build/detection_matrix.out
 echo "== chaos fuzz (200 seeded programs)"
 dune exec bin/cage_chaos.exe -- fuzz --count 200
 
+echo "== metrics snapshot (golden diff, quickstart seed 7)"
+dune exec bin/cage_run.exe -- examples/quickstart.c --config CAGE --seed 7 \
+  --metrics > _build/metrics.out 2>/dev/null || true  # guest tag fault: exit 1 by design
+diff test/golden/metrics.golden _build/metrics.out
+
+echo "== observability overhead gate (disabled <= 2%)"
+dune exec bench/main.exe -- obsoverhead > /dev/null
+disabled_pct=$(sed -n 's/.*"disabled_overhead_pct": \([0-9.]*\).*/\1/p' BENCH_obsoverhead.json)
+echo "   disabled_overhead_pct = ${disabled_pct}"
+awk "BEGIN { exit !($disabled_pct <= 2.0) }" || {
+  echo "FAIL: disabled-observability overhead ${disabled_pct}% exceeds 2%"; exit 1; }
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt

@@ -1,0 +1,395 @@
+(* Tests for the observability substrate (lib/obs): ring-buffer tracer,
+   metrics registry, sampling profiler, the zero-cost-when-disabled
+   hook contract, the supervisor's black-box flight recording, and the
+   Report.table ragged-row regression. *)
+
+open Wasm
+
+(* ------------------------------------------------------------------ *)
+(* Builders (same shapes as test_wasm)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ft params results = { Types.params; results }
+
+let mem64 =
+  { Types.mem_idx = Types.Idx64;
+    mem_limits = { Types.min = 1L; max = Some 16L } }
+
+let module_of funcs =
+  let types = List.map (fun (ty, _, _) -> ty) funcs in
+  {
+    Ast.empty_module with
+    types;
+    funcs =
+      List.mapi
+        (fun i (_, locals, body) ->
+          { Ast.ftype = i; locals; body; fname = Some (Printf.sprintf "f%d" i) })
+        funcs;
+    memory = Some mem64;
+    exports =
+      List.mapi
+        (fun i _ ->
+          { Ast.ex_name = Printf.sprintf "f%d" i; ex_desc = Ast.Func_export i })
+        funcs;
+  }
+
+let instantiate ?config m =
+  (match Validate.validate m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validation failed: %s" e);
+  Exec.instantiate ?config m
+
+let memarg offset = { Ast.offset; align = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Trace: ring buffer and cycle clock                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_keeps_newest () =
+  let tr = Obs.Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Obs.Trace.record tr ~tid:1 (Obs.Event.Spawn { instance = i })
+  done;
+  Alcotest.(check int) "all records counted" 10 (Obs.Trace.recorded tr);
+  Alcotest.(check int) "overflow dropped oldest" 6 (Obs.Trace.dropped tr);
+  let instance_of r =
+    match r.Obs.Trace.ev with
+    | Obs.Event.Spawn { instance } -> instance
+    | _ -> -1
+  in
+  Alcotest.(check (list int)) "survivors are the newest, oldest first"
+    [ 6; 7; 8; 9 ]
+    (List.map instance_of (Obs.Trace.records tr));
+  Alcotest.(check (list int)) "recent takes the tail" [ 8; 9 ]
+    (List.map instance_of (Obs.Trace.recent tr 2))
+
+let test_clock_monotone () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.record tr ~tid:1 (Obs.Event.Host_call { name = "a" });
+  Obs.Trace.advance tr 3;
+  Obs.Trace.record tr ~tid:1
+    (Obs.Event.Seg_new { addr = 0L; len = 64L; granules = 4; tag = 3 });
+  Obs.Trace.record tr ~tid:1 (Obs.Event.Pac_sign { ptr = 0L });
+  let cycles = List.map (fun r -> r.Obs.Trace.cycle) (Obs.Trace.records tr) in
+  (* host 20; +3 ticks; seg_new 2 + 4/2 = 4; pac 5 *)
+  Alcotest.(check (list int)) "per-event costs land on a monotone clock"
+    [ 20; 27; 32 ] cycles;
+  Alcotest.(check int) "clock reads the final stamp" 32 (Obs.Trace.clock tr)
+
+let test_chrome_json_shape () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.record tr ~tid:7 (Obs.Event.Func_enter { idx = 0; name = "main" });
+  Obs.Trace.record tr ~tid:7
+    (Obs.Event.Tag_fault
+       { addr = 0x420L; len = 1L; ptr_tag = 5; mem_tag = Some 0;
+         access = Obs.Event.Store; deferred = false });
+  let json = Obs.Trace.to_chrome_json tr in
+  let has s = Astring.String.is_infix ~affix:s json in
+  Alcotest.(check bool) "has traceEvents" true (has "\"traceEvents\"");
+  Alcotest.(check bool) "func enter is a B phase" true (has "\"ph\":\"B\"");
+  Alcotest.(check bool) "fault is named" true
+    (has "\"name\":\"tag-check-fault\"");
+  Alcotest.(check bool) "tid carried through" true (has "\"tid\":7");
+  Alcotest.(check bool) "args carry the address" true (has "\"addr\":\"0x420\"")
+
+(* ------------------------------------------------------------------ *)
+(* The disabled fast path allocates nothing                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact call-site pattern every instrumented layer uses: a
+   span_check, an enabled() guard around an event construction, and a
+   direct match on the hook ref. With no sink installed, a hundred
+   thousand rounds must not allocate — the event record behind the
+   untaken guard never exists. *)
+let test_disabled_path_no_alloc () =
+  Obs.Hook.uninstall ();
+  let rounds = 100_000 in
+  let w0 = Gc.minor_words () in
+  for i = 1 to rounds do
+    Obs.Hook.span_check i;
+    if Obs.Hook.enabled () then
+      Obs.Hook.event
+        (Obs.Event.Seg_new
+           { addr = Int64.of_int i; len = 64L; granules = 4; tag = 1 });
+    match !Obs.Hook.hook with
+    | None -> ()
+    | Some _ -> Obs.Hook.set_instance i
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d disabled rounds allocated %.0f words" rounds dw)
+    true
+    (dw < float_of_int rounds /. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_render () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter r ~help:"test counter" "t_total" in
+  let h =
+    Obs.Metrics.histogram r ~bounds:[| 1.0; 4.0 |] ~help:"test histo" "t_h"
+  in
+  Obs.Metrics.inc c;
+  Obs.Metrics.inc ~by:2 c;
+  List.iter (Obs.Metrics.observe h) [ 0.5; 3.0; 100.0 ];
+  let prom = Obs.Metrics.prometheus_string r in
+  let has s = Astring.String.is_infix ~affix:s prom in
+  Alcotest.(check bool) "counter line" true (has "t_total 3");
+  Alcotest.(check bool) "TYPE line" true (has "# TYPE t_total counter");
+  Alcotest.(check bool) "bucket counts are cumulative" true
+    (has "t_h_bucket{le=\"1\"} 1" && has "t_h_bucket{le=\"4\"} 2"
+    && has "t_h_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "sum and count" true
+    (has "t_h_sum 103.5" && has "t_h_count 3");
+  Alcotest.(check bool) "counter renders before the histogram" true
+    (Astring.String.find_sub ~sub:"t_total" prom
+    < Astring.String.find_sub ~sub:"t_h_bucket" prom);
+  let json = Obs.Metrics.to_json r in
+  Alcotest.(check bool) "json has the counter" true
+    (Astring.String.is_infix ~affix:"\"t_total\": 3" json)
+
+let test_metrics_observe_events () =
+  let m = Obs.Metrics.cage () in
+  Obs.Metrics.observe_event m
+    (Obs.Event.Seg_new { addr = 0L; len = 64L; granules = 4; tag = 1 });
+  Obs.Metrics.observe_event m
+    (Obs.Event.Seg_free { addr = 0L; len = 64L; granules = 4; tag = 2 });
+  Obs.Metrics.observe_event m
+    (Obs.Event.Tag_fault
+       { addr = 0L; len = 8L; ptr_tag = 1; mem_tag = Some 2;
+         access = Obs.Event.Load; deferred = true });
+  Alcotest.(check int) "seg ops counted" 1
+    m.Obs.Metrics.seg_new.Obs.Metrics.c_value;
+  Alcotest.(check int) "granules accumulate across ops" 8
+    m.Obs.Metrics.granules_tagged.Obs.Metrics.c_value;
+  Alcotest.(check int) "deferred fault lands on its own counter" 1
+    m.Obs.Metrics.tag_faults_deferred.Obs.Metrics.c_value;
+  Alcotest.(check int) "sync-fault counter untouched" 0
+    m.Obs.Metrics.tag_faults.Obs.Metrics.c_value
+
+(* A near-miss: an Allowed access whose span's following granule holds
+   a different tag. Driven through Mte.check directly: granule [0,16)
+   tagged 5, [16,48) tagged 9 — the access ending at 15 brushes the
+   boundary, the one ending at 23 does not. *)
+let test_near_miss_counter () =
+  let tm = Arch.Tag_memory.create ~size_bytes:256 in
+  let t5 = Arch.Tag.of_int 5 and t9 = Arch.Tag.of_int 9 in
+  (match Arch.Tag_memory.set_region tm ~addr:0L ~len:16L t5 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Arch.Tag_memory.set_region tm ~addr:16L ~len:32L t9 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let mte = Arch.Mte.create tm in
+  let metrics = Obs.Metrics.cage () in
+  Obs.Hook.with_sink (Obs.Hook.make ~metrics ()) (fun () ->
+      (match
+         Arch.Mte.check mte Arch.Mte.Load ~ptr:(Arch.Ptr.with_tag 8L t5)
+           ~len:8L
+       with
+      | Arch.Mte.Allowed -> ()
+      | _ -> Alcotest.fail "in-segment access must be Allowed");
+      (* same-tag neighbour: no near-miss *)
+      match
+        Arch.Mte.check mte Arch.Mte.Load ~ptr:(Arch.Ptr.with_tag 16L t9)
+          ~len:8L
+      with
+      | Arch.Mte.Allowed -> ()
+      | _ -> Alcotest.fail "in-segment access must be Allowed");
+  Alcotest.(check int) "exactly the boundary access is a near miss" 1
+    metrics.Obs.Metrics.near_misses.Obs.Metrics.c_value
+
+(* ------------------------------------------------------------------ *)
+(* Profiler: weights partition the meter total exactly                 *)
+(* ------------------------------------------------------------------ *)
+
+(* f0 spins a coarse loop calling f1; f1 burns a finer loop. With the
+   sink installed, folded weights must sum to the meter total exactly
+   (after flush) — the profile is a loss-free partition of the run, not
+   an approximate sample count. *)
+let two_function_module =
+  let counted_loop limit body =
+    [ Ast.I64Const 0L; Ast.LocalSet 0;
+      Ast.Block
+        (Ast.ValBlock None,
+         [ Ast.Loop
+             (Ast.ValBlock None,
+              body
+              @ [ Ast.LocalGet 0; Ast.I64Const 1L;
+                  Ast.IBinop (Ast.W64, Ast.Add); Ast.LocalTee 0;
+                  Ast.I64Const limit; Ast.IRelop (Ast.W64, Ast.GeS);
+                  Ast.BrIf 1; Ast.Br 0 ]) ]) ]
+  in
+  module_of
+    [ (ft [] [], [ Types.I64 ],
+       counted_loop 50L [ Ast.Call 1; Ast.Drop ]);
+      (ft [] [ Types.I64 ], [ Types.I64 ],
+       counted_loop 20L [] @ [ Ast.LocalGet 0 ]) ]
+
+let test_profiler_partitions_meter () =
+  let meter = Meter.create () in
+  let profiler = Obs.Profiler.create ~interval:13 () in
+  Obs.Hook.with_sink
+    (Obs.Hook.make ~profiler ())
+    (fun () ->
+      let inst =
+        instantiate
+          ~config:{ Instance.default_config with meter = Some meter }
+          two_function_module
+      in
+      ignore (Exec.invoke inst "f0" []));
+  let total = Meter.total meter in
+  Obs.Profiler.flush profiler ~stack:[] ~total;
+  Alcotest.(check bool) "profiler took samples" true
+    (Obs.Profiler.samples profiler > 1);
+  Alcotest.(check int) "folded weights sum exactly to the meter total" total
+    (Obs.Profiler.total_weight profiler);
+  let name i = Printf.sprintf "f%d" i in
+  let folded_sum =
+    List.fold_left (fun a (_, w) -> a + w) 0 (Obs.Profiler.folded profiler ~name)
+  in
+  Alcotest.(check int) "folded lines agree" total folded_sum;
+  let attr = Obs.Profiler.attribution profiler ~name in
+  let self_sum = List.fold_left (fun a r -> a + r.Obs.Profiler.self) 0 attr in
+  Alcotest.(check int) "self column partitions the total (100%)" total self_sum;
+  let find fn = List.find_opt (fun r -> r.Obs.Profiler.fn = fn) attr in
+  match (find "f0", find "f1") with
+  | Some a0, Some a1 ->
+      Alcotest.(check bool) "inner loop dominates self time" true
+        (a1.Obs.Profiler.self > a0.Obs.Profiler.self);
+      Alcotest.(check bool) "caller total covers its callees" true
+        (a0.Obs.Profiler.total >= a0.Obs.Profiler.self + a1.Obs.Profiler.self)
+  | _ -> Alcotest.fail "both functions must appear in the attribution"
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor black box                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Heap overflow: allocate a 32-byte segment, store one byte past its
+   end. With a tracer installed, the post-mortem must embed the final K
+   trace events, ending with the crash record itself. *)
+let test_post_mortem_flight_recorder () =
+  let k = 4 in
+  let m =
+    module_of
+      [ (ft [] [], [ Types.I64 ],
+         [ Ast.I64Const 1024L; Ast.I64Const 32L; Ast.SegmentNew 0L;
+           Ast.LocalSet 0;
+           Ast.LocalGet 0; Ast.I64Const 1L;
+           Ast.Store (Types.I64, None, memarg 32L) ]) ]
+  in
+  let trace = Obs.Trace.create () in
+  let pm =
+    Obs.Hook.with_sink
+      (Obs.Hook.make ~trace ())
+      (fun () ->
+        let proc =
+          Cage.Process.create ~config:Cage.Config.mem_safety ~seed:11 ()
+        in
+        let sup = Cage.Supervisor.create ~black_box:k proc in
+        let inst = Cage.Supervisor.spawn sup m in
+        match Cage.Supervisor.run sup inst "f0" [] with
+        | Cage.Supervisor.Crashed pm -> pm
+        | Cage.Supervisor.Finished _ -> Alcotest.fail "expected a tag fault")
+  in
+  Alcotest.(check string) "crash classified as a tag fault" "tag fault"
+    (Cage.Supervisor.fault_class_to_string pm.Cage.Supervisor.pm_class);
+  let tr = pm.Cage.Supervisor.pm_trace in
+  Alcotest.(check bool) "flight recording present, at most K events" true
+    (List.length tr > 0 && List.length tr <= k);
+  Alcotest.(check bool) "recording ends with the crash record" true
+    (Astring.String.is_infix ~affix:"crash [tag fault]"
+       (List.nth tr (List.length tr - 1)));
+  Alcotest.(check bool) "the faulting store is on the recording" true
+    (List.exists (Astring.String.is_infix ~affix:"tag-check-fault") tr);
+  Alcotest.(check bool) "every line is cycle-stamped" true
+    (List.for_all (Astring.String.is_prefix ~affix:"[cycle ") tr);
+  let report = Format.asprintf "%a" Cage.Supervisor.pp_post_mortem pm in
+  Alcotest.(check bool) "report prints the flight recording" true
+    (Astring.String.is_infix ~affix:"flight rec" report)
+
+(* Without a tracer the post-mortem carries no recording, and the
+   report omits the section entirely (the detection-matrix golden
+   stays byte-identical). *)
+let test_post_mortem_empty_without_tracer () =
+  Obs.Hook.uninstall ();
+  let m =
+    module_of
+      [ (ft [] [], [],
+         [ Ast.I64Const 100000L; Ast.I64Const 1L;
+           Ast.Store (Types.I64, None, memarg 0L) ]) ]
+  in
+  let proc = Cage.Process.create ~config:Cage.Config.mem_safety ~seed:11 () in
+  let sup = Cage.Supervisor.create proc in
+  let inst = Cage.Supervisor.spawn sup m in
+  match Cage.Supervisor.run sup inst "f0" [] with
+  | Cage.Supervisor.Crashed pm ->
+      Alcotest.(check (list string)) "no tracer, no recording" []
+        pm.Cage.Supervisor.pm_trace;
+      let report = Format.asprintf "%a" Cage.Supervisor.pp_post_mortem pm in
+      Alcotest.(check bool) "report omits the flight-recorder section" false
+        (Astring.String.is_infix ~affix:"flight rec" report)
+  | Cage.Supervisor.Finished _ -> Alcotest.fail "expected a bounds crash"
+
+(* ------------------------------------------------------------------ *)
+(* Report.table ragged rows (satellite regression)                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_ragged_rows () =
+  let header = [ "a"; "bb"; "ccc" ] in
+  let render rows =
+    Format.asprintf "%t" (fun ppf -> Harness.Report.table ppf ~header rows)
+  in
+  (* used to raise Invalid_argument from List.map2; now a short row
+     renders as if padded with empty cells ... *)
+  Alcotest.(check string) "short row is padded"
+    (render [ [ "only"; ""; "" ] ])
+    (render [ [ "only" ] ]);
+  (* ... and a long row as if truncated to the header's width *)
+  Alcotest.(check string) "long row is truncated"
+    (render [ [ "1"; "2"; "3" ] ])
+    (render [ [ "1"; "2"; "3"; "extra" ] ])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "ring keeps newest" `Quick test_ring_keeps_newest;
+          Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+          Alcotest.test_case "chrome json shape" `Quick test_chrome_json_shape;
+        ] );
+      ( "hook",
+        [
+          Alcotest.test_case "disabled path allocates nothing" `Quick
+            test_disabled_path_no_alloc;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "prometheus/json rendering" `Quick
+            test_metrics_render;
+          Alcotest.test_case "event dispatch" `Quick test_metrics_observe_events;
+          Alcotest.test_case "near-miss counter" `Quick test_near_miss_counter;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "weights partition the meter" `Quick
+            test_profiler_partitions_meter;
+        ] );
+      ( "black-box",
+        [
+          Alcotest.test_case "post-mortem embeds final events" `Quick
+            test_post_mortem_flight_recorder;
+          Alcotest.test_case "empty without tracer" `Quick
+            test_post_mortem_empty_without_tracer;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "ragged rows normalized" `Quick
+            test_table_ragged_rows;
+        ] );
+    ]
