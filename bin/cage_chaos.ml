@@ -6,8 +6,9 @@
 
 let usage () =
   prerr_endline
-    "usage: cage_chaos matrix [--seed N]\n\
-    \       cage_chaos fuzz [--count N] [--seed N]";
+    "usage: cage_chaos matrix [--seed N] [--elide]\n\
+    \       cage_chaos fuzz [--count N] [--seed N]\n\
+    \       cage_chaos elidediff [--count N] [--seed N]";
   exit 2
 
 let int_flag argv name ~default =
@@ -23,7 +24,8 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: "matrix" :: rest ->
       let seed = int_flag rest "--seed" ~default:7 in
-      let results = Harness.Detection_matrix.run ~seed () in
+      let elide = List.mem "--elide" rest in
+      let results = Harness.Detection_matrix.run ~seed ~elide () in
       Harness.Detection_matrix.render ~seed Format.std_formatter results;
       if Harness.Detection_matrix.violations results <> [] then exit 1
   | _ :: "fuzz" :: rest ->
@@ -33,4 +35,11 @@ let () =
       Format.printf "%a@." Harness.Detection_matrix.pp_fuzz_stats stats;
       List.iter print_endline stats.Harness.Detection_matrix.fz_failures;
       if stats.Harness.Detection_matrix.fz_failures <> [] then exit 1
+  | _ :: "elidediff" :: rest ->
+      let seed0 = int_flag rest "--seed" ~default:0 in
+      let count = int_flag rest "--count" ~default:200 in
+      let r = Harness.Elide_diff.run ~count ~seed0 () in
+      Format.printf "%a@." Harness.Elide_diff.pp r;
+      List.iter print_endline r.Harness.Elide_diff.ed_failures;
+      if not (Harness.Elide_diff.ok r) then exit 1
   | _ -> usage ()

@@ -64,8 +64,14 @@ let seed =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
          ~doc:"Deterministic seed for allocation-tag draws.")
 
+let elide =
+  Arg.(value & flag & info [ "elide-checks" ]
+         ~doc:"Run the static tag-safety analysis first and skip the MTE \
+               granule checks it proved redundant.")
+
 let run input config entry args show_meter trace_out show_metrics profile_out
-    seed =
+    seed elide =
+  let config = if elide then Cage.Config.with_elision config else config in
   let meter = Wasm.Meter.create () in
   let wasi = Libc.Wasi.create () in
   (* Observability sink: any of --trace/--metrics/--profile installs
@@ -92,6 +98,12 @@ let run input config entry args show_meter trace_out show_metrics profile_out
           | Ok () -> ()
           | Error e -> failwith ("invalid module: " ^ e));
           let iconfig = Cage.Config.instance_config ~meter ~seed config in
+          let iconfig =
+            if config.Cage.Config.elide_checks then
+              { iconfig with
+                Wasm.Instance.elide = (Analysis.Elide.plan m).Analysis.Elide.bitsets }
+            else iconfig
+          in
           let inst =
             Wasm.Exec.instantiate ~config:iconfig
               ~imports:(Libc.Wasi.imports wasi) m
@@ -170,6 +182,6 @@ let cmd =
   Cmd.v
     (Cmd.info "cage_run" ~doc)
     Term.(const run $ input $ config $ entry $ args $ show_meter $ trace_out
-          $ show_metrics $ profile_out $ seed)
+          $ show_metrics $ profile_out $ seed $ elide)
 
 let () = exit (Cmd.eval' cmd)

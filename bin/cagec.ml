@@ -55,7 +55,18 @@ let stats =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Print stack-sanitizer statistics.")
 
-let run input output config emit_wat no_libc instrument_all stats =
+let wstack =
+  Arg.(value & flag & info [ "Wstack" ]
+         ~doc:"Print per-function stack-sanitizer decisions (Algorithm 1) \
+               and the module totals as Cage metrics counters.")
+
+let elide =
+  Arg.(value & flag & info [ "elide-checks" ]
+         ~doc:"Run the static tag-safety analysis and print the \
+               check-elision plan (accesses proven safe per module).")
+
+let run input output config emit_wat no_libc instrument_all stats wstack
+    elide =
   let source = In_channel.with_open_text input In_channel.input_all in
   let opts =
     { (Minic.Driver.options_of_config config) with
@@ -72,6 +83,41 @@ let run input output config emit_wat no_libc instrument_all stats =
       if stats then
         Format.eprintf "sanitizer: %a@." Minic.Stack_sanitizer.pp_stats
           compiled.co_sanitizer;
+      if wstack then begin
+        (* Re-run Algorithm 1 per function (idempotent: the compile
+           already ran it with the same knob) to attribute the module
+           totals to the functions they came from. *)
+        List.iter
+          (fun (f : Minic.Ir.func) ->
+            let s = Minic.Stack_sanitizer.run_func ~instrument_all f in
+            if s.Minic.Stack_sanitizer.total_slots > 0 then
+              Format.eprintf "%s: %a@." f.Minic.Ir.fn_name
+                Minic.Stack_sanitizer.pp_stats s)
+          compiled.co_ir.Minic.Ir.pr_funcs;
+        let t = compiled.co_sanitizer in
+        let m = Obs.Metrics.cage () in
+        Obs.Metrics.observe_event m
+          (Obs.Event.Stack_sanitize
+             {
+               total = t.Minic.Stack_sanitizer.total_slots;
+               instrumented = t.Minic.Stack_sanitizer.instrumented;
+               escaping = t.Minic.Stack_sanitizer.escaping;
+               unsafe_gep = t.Minic.Stack_sanitizer.unsafe_gep;
+               guards = t.Minic.Stack_sanitizer.guards;
+             });
+        String.split_on_char '\n'
+          (Obs.Metrics.prometheus_string m.Obs.Metrics.registry)
+        |> List.iter (fun line ->
+               if String.length line >= 10
+                  && String.sub line 0 10 = "cage_stack"
+               then Format.eprintf "%s@." line)
+      end;
+      if elide then begin
+        let plan = Analysis.Elide.plan compiled.co_module in
+        Format.eprintf
+          "elision: %d of %d checked accesses proven safe@."
+          plan.Analysis.Elide.proven plan.Analysis.Elide.considered
+      end;
       if emit_wat then
         print_string (Wasm.Text.to_string compiled.co_module)
       else begin
@@ -90,6 +136,6 @@ let cmd =
     (Cmd.info "cagec" ~doc)
     Term.(
       const run $ input $ output $ config $ emit_wat $ no_libc
-      $ instrument_all $ stats)
+      $ instrument_all $ stats $ wstack $ elide)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1355 @@
+(** Whole-module abstract interpretation over Cage wasm.
+
+    The analyzer walks the structured AST of every function reachable
+    from the module entry point, tracking for each abstract value
+    (locals + operand stack, fixpoint joins at control-flow merges):
+
+    - {e segment provenance} — which [segment.new]/[segment.set_tag]
+      allocation site a pointer came from, and whether it still carries
+      its tag bits;
+    - {e offset intervals} — a conservative [lo,hi] range for the
+      pointer's byte offset into its segment (and for plain integers,
+      their value range);
+    - {e segment liveness} — per allocation site, whether the segment
+      is definitely live, definitely freed, freed on some path, or
+      unknown (havocked by an indirect call or an unanalyzable free).
+
+    Calls are analyzed {e per call string} (no summaries): each callee
+    is re-run with the caller's abstract arguments, so `malloc(64)`
+    inside the analyzed libc yields an exact segment size. Recursion
+    and excessive depth fall back to havoc. Loops run a widening
+    fixpoint with diagnostics suppressed, then one recording pass over
+    the stable head state.
+
+    Two consumers sit on top: {!Lint} (deterministic diagnostics for
+    statically-definite UAF, double free, constant OOB, untagged
+    accesses and leaked segments) and {!Elide} (per-instruction proofs
+    that an access is in-bounds on a definitely-live segment, letting
+    the interpreter skip the MTE granule check — see
+    {!Wasm.Code.elidable}). *)
+
+module Ast = Wasm.Ast
+module Types = Wasm.Types
+module Code = Wasm.Code
+module IMap = Map.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Domain                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type site_kind = Heap | Stack
+
+(** An allocation site, keyed by call path + instruction id (heap) or
+    call path + frame offset (stack slot). Mutable flags accumulate
+    facts across the whole analysis. *)
+type site = {
+  s_id : int;
+  s_key : string;
+  s_kind : site_kind;
+  s_path : string;  (** call path of the function that allocated it *)
+  s_instr : int;  (** allocating instruction id (diagnostics) *)
+  mutable s_size : Interval.t;  (** segment length in bytes *)
+  mutable s_multi : bool;
+      (** a [segment.new] re-executed while the site was already live
+          (loop allocation): several concrete segments share this
+          abstract site, so "definite" claims degrade to "possible"
+          and elision is off *)
+  mutable s_escaped : bool;  (** pointer stored to memory / host call *)
+  mutable s_leaked_reported : bool;
+}
+
+(** Per-site liveness; a missing map entry is bottom (never allocated
+    on this path). *)
+type liveness = Live | Freed | MaybeFreed | UnknownLive
+
+let join_liveness a b =
+  match (a, b) with
+  | UnknownLive, _ | _, UnknownLive -> UnknownLive
+  | Live, Live -> Live
+  | Freed, Freed -> Freed
+  | _ -> MaybeFreed
+
+(** One comparison operand: optional local provenance + value range. *)
+type operand = int option * Interval.t
+
+(** Abstract values. *)
+type aval =
+  | Top
+  | Int of Interval.t  (** plain number *)
+  | Loc of int * Interval.t
+      (** number read from a local (stack-only; branch refinement
+          writes the narrowed range back into the local) *)
+  | Ptr of { site : site; off : Interval.t; tagged : bool }
+  | Sp of int * Interval.t  (** untagged stack pointer: id + offset *)
+  | TagVal of site option  (** a value with only tag bits (low 48 zero) *)
+  | TaggedSp of int * int64
+      (** stack slot address with tag bits or'ed in, awaiting its
+          [segment.set_tag] (sp id + singleton frame offset) *)
+  | Cmp of cmp  (** boolean result of a comparison, pre-branch *)
+
+and cmp = {
+  cw : Ast.width;
+  cop : Ast.irelop;
+  cneg : bool;  (** an odd number of [eqz] applied on top *)
+  clhs : operand;
+  crhs : operand;
+}
+
+type state = {
+  locals : aval array;
+  stack : aval list;
+  g0 : aval;  (** the stack-pointer global *)
+  live : liveness IMap.t;
+}
+
+type severity = Definite | Possible
+
+type diag = {
+  d_path : string;  (** call path, e.g. ["main#12>memset"] *)
+  d_instr : int;  (** basic-instruction id within the function *)
+  d_severity : severity;
+  d_msg : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Value lattice                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let iv_of = function
+  | Int iv | Loc (_, iv) -> Some iv
+  | Cmp _ -> Some Interval.bool_
+  | _ -> None
+
+let operand_equal (a, x) (b, y) = a = b && Interval.equal x y
+
+let cmp_equal a b =
+  a.cw = b.cw && a.cop = b.cop && a.cneg = b.cneg
+  && operand_equal a.clhs b.clhs
+  && operand_equal a.crhs b.crhs
+
+let aval_equal a b =
+  match (a, b) with
+  | Top, Top -> true
+  | Int x, Int y -> Interval.equal x y
+  | Loc (i, x), Loc (j, y) -> i = j && Interval.equal x y
+  | Ptr p, Ptr q ->
+      p.site == q.site && Interval.equal p.off q.off && p.tagged = q.tagged
+  | Sp (i, x), Sp (j, y) -> i = j && Interval.equal x y
+  | TagVal a, TagVal b -> (
+      match (a, b) with
+      | None, None -> true
+      | Some s, Some t -> s == t
+      | _ -> false)
+  | TaggedSp (i, x), TaggedSp (j, y) -> i = j && Int64.equal x y
+  | Cmp a, Cmp b -> cmp_equal a b
+  | _ -> false
+
+let join_aval a b =
+  if aval_equal a b then a
+  else
+    match (a, b) with
+    | Int x, Int y -> Int (Interval.join x y)
+    | Loc (i, x), Loc (j, y) when i = j -> Loc (i, Interval.join x y)
+    | (Int x | Loc (_, x)), (Int y | Loc (_, y)) -> Int (Interval.join x y)
+    | Ptr p, Ptr q when p.site == q.site ->
+        Ptr
+          {
+            site = p.site;
+            off = Interval.join p.off q.off;
+            tagged = p.tagged && q.tagged;
+          }
+    (* assume-allocation-success: malloc's [return 0] failure arm joins
+       into the pointer, not the other way round — the OOM path is dead
+       in every workload and keeping provenance is what makes the
+       analysis useful. The runtime still traps if it ever happens. *)
+    | Ptr p, Int z when Interval.is_const 0L z -> Ptr p
+    | Int z, Ptr p when Interval.is_const 0L z -> Ptr p
+    | Sp (i, x), Sp (j, y) when i = j -> Sp (i, Interval.join x y)
+    | TagVal _, TagVal _ -> TagVal None
+    | (Cmp _ | Int _ | Loc _), (Cmp _ | Int _ | Loc _) ->
+        Int
+          (Interval.join
+             (match iv_of a with Some v -> v | None -> Interval.top)
+             (match iv_of b with Some v -> v | None -> Interval.top))
+    | _ -> Top
+
+let widen_aval ~prev ~next =
+  match (prev, next) with
+  | Int p, Int n -> Int (Interval.widen ~prev:p ~next:n)
+  | Loc (i, p), Loc (j, n) when i = j -> Loc (i, Interval.widen ~prev:p ~next:n)
+  | Ptr p, Ptr n when p.site == n.site ->
+      Ptr { n with off = Interval.widen ~prev:p.off ~next:n.off }
+  | Sp (i, p), Sp (j, n) when i = j -> Sp (i, Interval.widen ~prev:p ~next:n)
+  | _ -> next
+
+let join_live_map a b =
+  IMap.union (fun _ x y -> Some (join_liveness x y)) a b
+
+let join_state a b =
+  {
+    locals = Array.map2 join_aval a.locals b.locals;
+    stack =
+      (* joined states always carry stacks of equal shape (same label) *)
+      (try List.map2 join_aval a.stack b.stack with Invalid_argument _ -> []);
+    g0 = join_aval a.g0 b.g0;
+    live = join_live_map a.live b.live;
+  }
+
+let widen_state ~prev ~next =
+  {
+    locals = Array.map2 (fun p n -> widen_aval ~prev:p ~next:n) prev.locals next.locals;
+    stack = next.stack;
+    g0 = widen_aval ~prev:prev.g0 ~next:next.g0;
+    live = next.live;
+  }
+
+let state_equal a b =
+  (try Array.for_all2 aval_equal a.locals b.locals
+   with Invalid_argument _ -> false)
+  && List.length a.stack = List.length b.stack
+  && List.for_all2 aval_equal a.stack b.stack
+  && aval_equal a.g0 b.g0
+  && IMap.equal ( = ) a.live b.live
+
+(* ------------------------------------------------------------------ *)
+(* Local scrubbing and branch refinement                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Writing local [j] invalidates every stack/local value that named it:
+   [Loc] provenance becomes a plain interval, comparisons naming it
+   degrade to an unknown boolean. *)
+let scrub_local st j =
+  let names_j (n, _) = n = Some j in
+  let fix = function
+    | Loc (i, iv) when i = j -> Int iv
+    | Cmp c when names_j c.clhs || names_j c.crhs -> Int Interval.bool_
+    | v -> v
+  in
+  {
+    st with
+    locals = Array.map fix st.locals;
+    stack = List.map fix st.stack;
+    g0 = fix st.g0;
+  }
+
+let negate_op : Ast.irelop -> Ast.irelop = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | LtS -> GeS
+  | LtU -> GeU
+  | GtS -> LeS
+  | GtU -> LeU
+  | LeS -> GtS
+  | LeU -> GtU
+  | GeS -> LtS
+  | GeU -> LtU
+
+let swap_op : Ast.irelop -> Ast.irelop = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | LtS -> GtS
+  | LtU -> GtU
+  | GtS -> LtS
+  | GtU -> LtU
+  | LeS -> GeS
+  | LeU -> GeU
+  | GeS -> LeS
+  | GeU -> LeU
+
+(* The interval [x] must lie in when [x op r] holds, for r ranging over
+   [riv]. Unsigned shapes are only refined where the signed-int64
+   representation makes them sound. *)
+let constraint_of (op : Ast.irelop) (riv : Interval.t) : Interval.t =
+  let open Interval in
+  let dec = function Some v -> Some (Int64.sub v 1L) | None -> None in
+  let inc = function Some v -> Some (Int64.add v 1L) | None -> None in
+  match op with
+  | Eq -> riv
+  | Ne -> top
+  | LtS -> of_bounds None (dec riv.hi)
+  | LeS -> of_bounds None riv.hi
+  | GtS -> of_bounds (inc riv.lo) None
+  | GeS -> of_bounds riv.lo None
+  | LtU when is_nonneg riv && hi_finite riv -> of_bounds (Some 0L) (dec riv.hi)
+  | LeU when is_nonneg riv && hi_finite riv -> of_bounds (Some 0L) riv.hi
+  | LtU | LeU | GtU | GeU -> top
+
+(* Meet [c] into whatever numeric value local [i] currently holds;
+   [None] = contradiction, the branch is unreachable. *)
+let refine_local st i c =
+  match st.locals.(i) with
+  | Int iv | Loc (_, iv) -> (
+      match Interval.meet iv c with
+      | None -> None
+      | Some iv' ->
+          let locals = Array.copy st.locals in
+          locals.(i) <- Int iv';
+          Some { st with locals })
+  | _ -> Some st
+
+let refine_side st op ((name, iv) : operand) ((_, riv) : operand) =
+  let c = constraint_of op riv in
+  match Interval.meet iv c with
+  | None -> None
+  | Some _ -> ( match name with Some i -> refine_local st i c | None -> Some st)
+
+let refine_cmp st (c : cmp) truth =
+  let holds = truth <> c.cneg in
+  let op = if holds then c.cop else negate_op c.cop in
+  match refine_side st op c.clhs c.crhs with
+  | None -> None
+  | Some st -> refine_side st (swap_op op) c.crhs c.clhs
+
+(** Refine [st] under the assumption that condition value [cond] is
+    true ([truth]) or false; [None] = branch unreachable. *)
+let refine cond truth st =
+  match cond with
+  | Cmp c -> refine_cmp st c truth
+  | Ptr _ | Sp _ | TaggedSp _ -> if truth then Some st else None
+  | Int iv | Loc (_, iv) -> (
+      let upd name iv' =
+        match name with
+        | Some i -> refine_local st i iv'
+        | None -> Some st
+      in
+      let name = match cond with Loc (i, _) -> Some i | _ -> None in
+      if truth then
+        if Interval.is_const 0L iv then None
+        else if Interval.lo_ge iv 0L then
+          upd name { iv with lo = Some (Int64.max 1L (Option.value iv.lo ~default:1L)) }
+        else Some st
+      else
+        match Interval.meet iv (Interval.const 0L) with
+        | None -> None
+        | Some z -> upd name z)
+  | _ -> Some st
+
+(* ------------------------------------------------------------------ *)
+(* Prepared node trees                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A mirror of {!Wasm.Code.prepare}'s numbering over the source AST:
+   only non-control instructions get ids, assigned in preorder (list
+   order, block/loop bodies recursed, if-then before if-else). Keeping
+   the numbering identical is what lets a verdict for id [n] here
+   select instruction [Basic (_, n)] there. *)
+type node =
+  | NB of Ast.instr * int
+  | NBlock of int * node array
+  | NLoop of int * node array  (** fallthrough arity (branch arity is 0) *)
+  | NIf of int * node array * node array
+  | NBr of int
+  | NBrIf of int
+  | NBrTable of int list * int
+  | NReturn
+
+let rec build_block next (instrs : Ast.instr list) : node array =
+  let rec go acc = function
+    | [] -> Array.of_list (List.rev acc)
+    | i :: rest -> go (build_instr next i :: acc) rest
+  in
+  go [] instrs
+
+and build_instr next : Ast.instr -> node = function
+  | Ast.Block (bt, body) -> NBlock (Code.block_arity bt, build_block next body)
+  | Ast.Loop (bt, body) -> NLoop (Code.block_arity bt, build_block next body)
+  | Ast.If (bt, then_, else_) ->
+      let a = Code.block_arity bt in
+      let then_ = build_block next then_ in
+      NIf (a, then_, build_block next else_)
+  | Ast.Br n -> NBr n
+  | Ast.BrIf n -> NBrIf n
+  | Ast.BrTable (ts, d) -> NBrTable (ts, d)
+  | Ast.Return -> NReturn
+  | i ->
+      let id = !next in
+      incr next;
+      NB (i, id)
+
+(* ------------------------------------------------------------------ *)
+(* Global analysis environment                                         *)
+(* ------------------------------------------------------------------ *)
+
+type genv = {
+  m : Ast.module_;
+  n_imports : int;
+  funcs : Ast.func array;
+  ftypes : Types.func_type array;  (** per local function *)
+  nodes : node array array;
+  nbasic : int array;
+  blacklist : bool array;
+      (** local functions reachable from the indirect-call table: their
+          prepared bodies may run in instances we did not analyze from
+          [main], so no elision verdicts are recorded for them *)
+  verdicts : int array array;  (** 0 unvisited, 1 proven, 2 unproven *)
+  sites : (string, site) Hashtbl.t;
+  mutable all_sites : site list;
+  mutable site_count : int;
+  mutable sp_count : int;
+  mutable diags : diag list;
+  diag_seen : (string * int * string, unit) Hashtbl.t;
+  mutable recording : bool;
+      (** cleared during loop stabilization passes so only the final
+          recording pass emits diagnostics *)
+}
+
+type fenv = {
+  g : genv;
+  path : string;
+  verdict_row : int array;  (** [[||]] when the function is blacklisted *)
+  active : int list;  (** function indices on the analysis call stack *)
+  depth : int;
+}
+
+let func_name g fidx =
+  if fidx < g.n_imports then (List.nth g.m.Ast.imports fidx).Ast.im_name
+  else
+    match g.funcs.(fidx - g.n_imports).Ast.fname with
+    | Some n -> n
+    | None -> Printf.sprintf "f%d" fidx
+
+(* Static call edges, for the table-reachability blacklist. *)
+let rec direct_callees acc (is_ : Ast.instr list) =
+  List.fold_left
+    (fun acc (i : Ast.instr) ->
+      match i with
+      | Ast.Call f -> f :: acc
+      | Ast.Block (_, b) | Ast.Loop (_, b) -> direct_callees acc b
+      | Ast.If (_, t, e) -> direct_callees (direct_callees acc t) e
+      | _ -> acc)
+    acc is_
+
+let compute_blacklist (m : Ast.module_) funcs n_imports =
+  let n = Array.length funcs in
+  let bl = Array.make n false in
+  let rec visit fidx =
+    let l = fidx - n_imports in
+    if l >= 0 && l < n && not bl.(l) then begin
+      bl.(l) <- true;
+      List.iter visit (direct_callees [] funcs.(l).Ast.body)
+    end
+  in
+  List.iter (fun (e : Ast.elem) -> List.iter visit e.e_funcs) m.elems;
+  bl
+
+(* ------------------------------------------------------------------ *)
+(* Sites, diagnostics, verdicts                                        *)
+(* ------------------------------------------------------------------ *)
+
+let find_site g ~key ~kind ~path ~instr ~size =
+  match Hashtbl.find_opt g.sites key with
+  | Some s ->
+      s.s_size <- Interval.join s.s_size size;
+      s
+  | None ->
+      let s =
+        {
+          s_id = g.site_count;
+          s_key = key;
+          s_kind = kind;
+          s_path = path;
+          s_instr = instr;
+          s_size = size;
+          s_multi = false;
+          s_escaped = false;
+          s_leaked_reported = false;
+        }
+      in
+      g.site_count <- g.site_count + 1;
+      Hashtbl.add g.sites key s;
+      g.all_sites <- s :: g.all_sites;
+      s
+
+let diag fenv ~id ~severity msg =
+  let g = fenv.g in
+  if g.recording then begin
+    let key = (fenv.path, id, msg) in
+    if not (Hashtbl.mem g.diag_seen key) then begin
+      Hashtbl.add g.diag_seen key ();
+      g.diags <-
+        { d_path = fenv.path; d_instr = id; d_severity = severity; d_msg = msg }
+        :: g.diags
+    end
+  end
+
+(* Verdict meet: unvisited takes the new value, and unproven (2)
+   dominates proven (1) — an access is elidable only if every analyzed
+   context proves it. *)
+let mark_verdict fenv id proven =
+  let row = fenv.verdict_row in
+  if id >= 0 && id < Array.length row then begin
+    let v = if proven then 1 else 2 in
+    row.(id) <- (if row.(id) = 0 then v else max row.(id) v)
+  end
+
+let escape_site = function
+  | Ptr { site; _ } -> site.s_escaped <- true
+  | _ -> ()
+
+let liveness_of st (site : site) =
+  match IMap.find_opt site.s_id st.live with
+  | Some l -> l
+  | None -> UnknownLive
+
+let sev_of site = if site.s_multi then Possible else Definite
+
+(* The access oracle: diagnostics + the elision verdict for one memory
+   access of [len] bytes at [addr] (the effective address value, with
+   the memarg constant offset already folded into pointer offsets by
+   the caller). [elide_ok] is true only for scalar loads/stores. *)
+let check_access fenv st ~id ~addr ~(len : Interval.t) ~is_store ~elide_ok =
+  let what = if is_store then "store" else "load" in
+  let proven = ref false in
+  (match addr with
+  | Ptr { site; off = eff; tagged } -> (
+      let live = liveness_of st site in
+      let size = site.s_size in
+      (* the allocator's own chunk-header accesses sit just below the
+         payload, untagged — silent for both bounds and liveness (free
+         legitimately touches the header after segment.free) *)
+      let header_access =
+        (not tagged)
+        && (match eff.hi with Some h -> h < 0L | None -> false)
+      in
+      (* use-after-free *)
+      (match live with
+      | _ when header_access -> ()
+      | Freed ->
+          diag fenv ~id ~severity:(sev_of site)
+            (Printf.sprintf "%s through freed segment %s" what site.s_key)
+      | MaybeFreed ->
+          diag fenv ~id ~severity:Possible
+            (Printf.sprintf "%s through segment %s freed on some path" what
+               site.s_key)
+      | Live | UnknownLive -> ());
+      (* bounds *)
+      let open Interval in
+      let len_lo = Option.value len.lo ~default:0L in
+      let definite_over =
+        match (eff.lo, size.hi) with
+        | Some lo, Some sh ->
+            len_lo > 0L
+            && (match Interval.add_exact lo len_lo with
+               | Some e -> e > sh
+               | None -> true)
+        | _ -> false
+      in
+      let definite_under =
+        tagged && (match eff.hi with Some h -> h < 0L | None -> false)
+      in
+      let possible_oob =
+        (* requires a finite nonnegative range: an unbounded-below
+           offset must not masquerade as a near-miss *)
+        (not definite_over) && (not definite_under)
+        && is_nonneg eff
+        && hi_finite eff
+        &&
+        match (eff.hi, len.hi, size.lo) with
+        | Some h, Some lh, Some sl ->
+            lh > 0L
+            && (match Interval.add_exact h lh with
+               | Some e -> e > sl
+               | None -> true)
+        (* unknown length stays silent: bulk ops with dynamic sizes
+           (realloc's copy) would otherwise flag everywhere *)
+        | _ -> false
+      in
+      if definite_over then
+        diag fenv ~id ~severity:(sev_of site)
+          (Printf.sprintf "%s out of bounds: offset %s past end of %s (%s bytes)"
+             what (Interval.to_string eff) site.s_key
+             (Interval.to_string size))
+      else if definite_under then
+        diag fenv ~id ~severity:(sev_of site)
+          (Printf.sprintf "%s out of bounds: offset %s before start of %s" what
+             (Interval.to_string eff) site.s_key)
+      else if possible_oob then
+        diag fenv ~id ~severity:Possible
+          (Printf.sprintf "%s may run past end of %s: offset %s + %s > %s bytes"
+             what site.s_key (Interval.to_string eff) (Interval.to_string len)
+             (Interval.to_string size));
+      (* untagged pointer into a checked (tagged) segment: silent for
+         negative offsets — the allocator's own header accesses sit
+         just below the payload by design *)
+      (match eff.hi with
+      | _ when tagged -> ()
+      | Some h when h < 0L -> ()
+      | _ ->
+          diag fenv ~id ~severity:Possible
+            (Printf.sprintf "%s through untagged pointer into tagged segment %s"
+               what site.s_key));
+      (* elision: tagged, single concrete segment, definitely live, and
+         the whole access interval proven inside the segment *)
+      proven :=
+        tagged && (not site.s_multi) && live = Live
+        && is_nonneg eff && hi_finite eff
+        &&
+        match (eff.hi, len.hi, size.lo) with
+        | Some h, Some lh, Some sl -> (
+            match Interval.add_exact h lh with
+            | Some e -> e <= sl
+            | None -> false)
+        | _ -> false)
+  | _ -> ());
+  if elide_ok then mark_verdict fenv id !proven
+
+(* ------------------------------------------------------------------ *)
+(* Stack / state helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let push v st = { st with stack = v :: st.stack }
+
+let pop st =
+  match st.stack with
+  | v :: rest -> (v, { st with stack = rest })
+  | [] -> (Top, st)
+
+(* First popped value first in the result (i.e. stack order, top first). *)
+let popn st n =
+  let rec go acc st n = if n = 0 then (List.rev acc, st) else
+    let v, st = pop st in go (v :: acc) st (n - 1)
+  in
+  go [] st n
+
+let push_n v n st =
+  { st with stack = List.init n (fun _ -> v) @ st.stack }
+
+let take n stack =
+  List.init n (fun i -> match List.nth_opt stack i with Some v -> v | None -> Top)
+
+let set_local st l v =
+  let locals = Array.copy st.locals in
+  if l < Array.length locals then locals.(l) <- v;
+  { st with locals }
+
+let get_local st l = if l < Array.length st.locals then st.locals.(l) else Top
+
+(* Values crossing a statement boundary: local provenance and pending
+   comparisons only make sense on the pushing function's stack. *)
+let demote = function Loc (_, iv) -> Int iv | v -> v
+let demote_cross = function
+  | Loc (_, iv) -> Int iv
+  | Cmp _ -> Int Interval.bool_
+  | v -> v
+
+let havoc_live live =
+  IMap.map (function Freed -> Freed | _ -> UnknownLive) live
+
+let coarsen_state st =
+  let c = function
+    | Int _ | Loc _ | Cmp _ -> Int Interval.top
+    | Ptr p -> Ptr { p with off = Interval.top }
+    | Sp (i, _) -> Sp (i, Interval.top)
+    | v -> v
+  in
+  {
+    locals = Array.map c st.locals;
+    stack = List.map c st.stack;
+    g0 = c st.g0;
+    live = havoc_live st.live;
+  }
+
+let access_len ty (pack : Ast.pack_size option) =
+  match (pack, ty) with
+  | Some Ast.Pack8, _ -> 1L
+  | Some Ast.Pack16, _ -> 2L
+  | Some Ast.Pack32, _ -> 4L
+  | None, (Types.I32 | Types.F32) -> 4L
+  | None, (Types.I64 | Types.F64) -> 8L
+
+(* Fold a constant byte displacement (the memarg offset) into a value. *)
+let addr_plus v (o : int64) =
+  if Int64.equal o 0L then v
+  else
+    let c = Interval.const o in
+    match v with
+    | Ptr p -> Ptr { p with off = Interval.add p.off c }
+    | Sp (i, off) -> Sp (i, Interval.add off c)
+    | Int iv -> Int (Interval.add iv c)
+    | Loc (_, iv) -> Int (Interval.add iv c)
+    | v -> v
+
+let low48_zero c =
+  Int64.equal (Int64.logand c 0xFFFF_FFFF_FFFFL) 0L && not (Int64.equal c 0L)
+
+let untag_mask = 0xFFFF_FFFF_FFFFL
+
+type frame = { f_arity : int; mutable f_pend : (aval list * state) option }
+
+let join_exit a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some (va, sa), Some (vb, sb) ->
+      Some (List.map2 join_aval va vb, join_state sa sb)
+
+let branch_join frames k st =
+  match List.nth_opt frames k with
+  | None -> ()
+  | Some fr ->
+      let vals = take fr.f_arity st.stack in
+      fr.f_pend <- join_exit fr.f_pend (Some (vals, { st with stack = [] }))
+
+let stack_key path o = Printf.sprintf "%s@stack%Ld" path o
+let heap_key path id = Printf.sprintf "%s@heap#%d" path id
+
+(* Integer binops: interval arithmetic on numbers, offset arithmetic on
+   pointers, and the three codegen idioms that manipulate tag bits
+   (add a tag increment, mask the tag nibble out or in). *)
+let eval_ibinop st (w : Ast.width) (op : Ast.ibinop) =
+  let b, st = pop st in
+  let a, st = pop st in
+  let clamp iv = match w with Ast.W32 -> Interval.clamp32 iv | Ast.W64 -> iv in
+  let num f =
+    match (iv_of a, iv_of b) with
+    | Some x, Some y -> Int (clamp (f x y))
+    | _ -> Top
+  in
+  let r =
+    match op with
+    | Ast.Add -> (
+        match (a, b) with
+        | Ptr p, (Int iv | Loc (_, iv)) | (Int iv | Loc (_, iv)), Ptr p -> (
+            match Interval.singleton iv with
+            | Some c when low48_zero c -> Ptr p (* tag-bits arithmetic *)
+            | _ -> Ptr { p with off = Interval.add p.off iv })
+        | Sp (sid, off), (Int iv | Loc (_, iv))
+        | (Int iv | Loc (_, iv)), Sp (sid, off) ->
+            Sp (sid, Interval.add off iv)
+        | _ -> num Interval.add)
+    | Ast.Sub -> (
+        match (a, b) with
+        | Ptr p, (Int iv | Loc (_, iv)) ->
+            Ptr { p with off = Interval.sub p.off iv }
+        | Sp (sid, off), (Int iv | Loc (_, iv)) ->
+            Sp (sid, Interval.sub off iv)
+        | Ptr p, Ptr q when p.site == q.site ->
+            Int (clamp (Interval.sub p.off q.off))
+        | Sp (i1, o1), Sp (i2, o2) when i1 = i2 ->
+            Int (clamp (Interval.sub o1 o2))
+        | _ -> num Interval.sub)
+    | Ast.Mul -> num Interval.mul
+    | Ast.DivS | Ast.DivU -> num Interval.div_s
+    | Ast.RemS -> num Interval.rem_s
+    | Ast.RemU -> num Interval.rem_u
+    | Ast.And -> (
+        match (a, b) with
+        | Ptr p, (Int iv | Loc (_, iv)) | (Int iv | Loc (_, iv)), Ptr p -> (
+            match Interval.singleton iv with
+            | Some m when Int64.equal m untag_mask ->
+                Ptr { p with tagged = false }
+            | Some m when low48_zero m -> TagVal (Some p.site)
+            | _ -> Top)
+        | TaggedSp (sid, o), (Int iv | Loc (_, iv))
+        | (Int iv | Loc (_, iv)), TaggedSp (sid, o) -> (
+            match Interval.singleton iv with
+            | Some m when Int64.equal m untag_mask ->
+                Sp (sid, Interval.const o)
+            | Some m when low48_zero m -> TagVal None
+            | _ -> Top)
+        | _ -> num Interval.logand)
+    | Ast.Or -> (
+        match (a, b) with
+        | Sp (sid, off), TagVal _ | TagVal _, Sp (sid, off) -> (
+            match Interval.singleton off with
+            | Some o -> TaggedSp (sid, o)
+            | None -> Top)
+        | Ptr p, TagVal _ | TagVal _, Ptr p -> Ptr { p with tagged = true }
+        | _ -> num Interval.logor)
+    | Ast.Xor -> num Interval.logxor
+    | Ast.Shl -> num Interval.shl
+    | Ast.ShrS -> num Interval.shr_s
+    | Ast.ShrU -> num Interval.shr_u
+    | Ast.Rotl | Ast.Rotr -> num (fun _ _ -> Interval.top)
+  in
+  push r st
+
+(* ------------------------------------------------------------------ *)
+(* The evaluator                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [eval_seq] threads an optional state through a node sequence; [None]
+   means the abstract path is unreachable (trapped, branched away). *)
+let rec eval_seq fenv frames st nodes =
+  let n = Array.length nodes in
+  let rec go i st =
+    if i >= n then Some st
+    else
+      match eval_node fenv frames st nodes.(i) with
+      | None -> None
+      | Some st' -> go (i + 1) st'
+  in
+  go 0 st
+
+and eval_node fenv frames st node =
+  match node with
+  | NB (i, id) -> eval_basic fenv st i id
+  | NBlock (a, body) ->
+      let saved = st.stack in
+      let frame = { f_arity = a; f_pend = None } in
+      let ft = eval_seq fenv (frame :: frames) { st with stack = [] } body in
+      let fall =
+        Option.map (fun s -> (take a s.stack, { s with stack = [] })) ft
+      in
+      (match join_exit fall frame.f_pend with
+      | None -> None
+      | Some (vals, s) -> Some { s with stack = vals @ saved })
+  | NIf (a, then_, else_) ->
+      let cond, st = pop st in
+      let saved = st.stack in
+      let frame = { f_arity = a; f_pend = None } in
+      let run body = function
+        | None -> None
+        | Some s ->
+            Option.map
+              (fun s' -> (take a s'.stack, { s' with stack = [] }))
+              (eval_seq fenv (frame :: frames) { s with stack = [] } body)
+      in
+      let rt = run then_ (refine cond true st) in
+      let re = run else_ (refine cond false st) in
+      (match join_exit (join_exit rt re) frame.f_pend with
+      | None -> None
+      | Some (vals, s) -> Some { s with stack = vals @ saved })
+  | NLoop (a, body) ->
+      let g = fenv.g in
+      let saved = st.stack in
+      let frame = { f_arity = 0; f_pend = None } in
+      let was_recording = g.recording in
+      g.recording <- false;
+      (* phase 1: widening fixpoint over the loop head, diagnostics
+         suppressed (site flags and elision verdicts still accumulate,
+         which is sound: verdict marking is a meet) *)
+      let rec stabilize head iter =
+        frame.f_pend <- None;
+        ignore (eval_seq fenv (frame :: frames) head body);
+        match frame.f_pend with
+        | None -> head
+        | Some (_, back) ->
+            let j = join_state head back in
+            let next =
+              if iter >= 3 then widen_state ~prev:head ~next:j else j
+            in
+            if state_equal next head then head
+            else if iter > 60 then coarsen_state next
+            else stabilize next (iter + 1)
+      in
+      let stable = stabilize { st with stack = [] } 0 in
+      g.recording <- was_recording;
+      (* phase 2: one recording pass over the stable head *)
+      frame.f_pend <- None;
+      (match eval_seq fenv (frame :: frames) stable body with
+      | None -> None (* the loop only exits through outer branches *)
+      | Some s -> Some { s with stack = take a s.stack @ saved })
+  | NBr k ->
+      branch_join frames k st;
+      None
+  | NBrIf k ->
+      let cond, st = pop st in
+      (match refine cond true st with
+      | Some s -> branch_join frames k s
+      | None -> ());
+      refine cond false st
+  | NBrTable (ts, d) ->
+      let _, st = pop st in
+      List.iter (fun k -> branch_join frames k st) (d :: ts);
+      None
+  | NReturn ->
+      branch_join frames (List.length frames - 1) st;
+      None
+
+and eval_basic fenv st (i : Ast.instr) (id : int) : state option =
+  match i with
+  | Ast.Unreachable -> None
+  | Ast.Nop -> Some st
+  | Ast.Block _ | Ast.Loop _ | Ast.If _ | Ast.Br _ | Ast.BrIf _
+  | Ast.BrTable _ | Ast.Return ->
+      Some st (* control nodes never reach eval_basic *)
+  | Ast.Drop ->
+      let _, st = pop st in
+      Some st
+  | Ast.Select ->
+      let c, st = pop st in
+      let v2, st = pop st in
+      let v1, st = pop st in
+      let chosen =
+        match c with
+        | Int iv when Interval.is_const 0L iv -> v2
+        | Int iv when not (Interval.mem 0L iv) -> v1
+        | Ptr _ | Sp _ | TaggedSp _ -> v1
+        | _ -> join_aval v1 v2
+      in
+      Some (push chosen st)
+  | Ast.LocalGet l ->
+      let v =
+        match get_local st l with Int iv -> Loc (l, iv) | v -> v
+      in
+      Some (push v st)
+  | Ast.LocalSet l ->
+      let v, st = pop st in
+      Some (set_local (scrub_local st l) l (demote v))
+  | Ast.LocalTee l ->
+      let v, st = pop st in
+      let st = set_local (scrub_local st l) l (demote v) in
+      let v' = match demote v with Int iv -> Loc (l, iv) | v -> v in
+      Some (push v' st)
+  | Ast.GlobalGet 0 -> Some (push st.g0 st)
+  | Ast.GlobalGet _ -> Some (push Top st)
+  | Ast.GlobalSet n ->
+      let v, st = pop st in
+      Some (if n = 0 then { st with g0 = demote v } else st)
+  | Ast.I32Const c -> Some (push (Int (Interval.const (Int64.of_int32 c))) st)
+  | Ast.I64Const c -> Some (push (Int (Interval.const c)) st)
+  | Ast.F32Const _ | Ast.F64Const _ -> Some (push Top st)
+  | Ast.IUnop (w, _) ->
+      let _, st = pop st in
+      let bits = match w with Ast.W32 -> 32L | Ast.W64 -> 64L in
+      Some (push (Int (Interval.range 0L bits)) st)
+  | Ast.IBinop (w, op) -> Some (eval_ibinop st w op)
+  | Ast.ITestop w ->
+      let v, st = pop st in
+      let r =
+        match v with
+        | Cmp c -> Cmp { c with cneg = not c.cneg }
+        | Ptr _ | Sp _ | TaggedSp _ -> Int (Interval.const 0L)
+        | Int iv -> Cmp { cw = w; cop = Ast.Eq; cneg = false;
+                          clhs = (None, iv); crhs = (None, Interval.const 0L) }
+        | Loc (l, iv) -> Cmp { cw = w; cop = Ast.Eq; cneg = false;
+                               clhs = (Some l, iv);
+                               crhs = (None, Interval.const 0L) }
+        | _ -> Int Interval.bool_
+      in
+      Some (push r st)
+  | Ast.IRelop (w, op) ->
+      let b, st = pop st in
+      let a, st = pop st in
+      let opnd = function
+        | Int iv -> Some ((None : int option), iv)
+        | Loc (l, iv) -> Some (Some l, iv)
+        | Cmp _ -> Some (None, Interval.bool_)
+        | _ -> None
+      in
+      let r =
+        match (opnd a, opnd b) with
+        | Some l, Some r ->
+            Cmp { cw = w; cop = op; cneg = false; clhs = l; crhs = r }
+        | _ ->
+            let is_zero v =
+              match iv_of v with
+              | Some iv -> Interval.is_const 0L iv
+              | None -> false
+            in
+            let is_ptr = function
+              | Ptr _ | Sp _ | TaggedSp _ -> true
+              | _ -> false
+            in
+            (* a freshly tagged pointer is never null: malloc's OOM arm
+               is the only source of 0 and the join keeps the pointer *)
+            if (is_ptr a && is_zero b) || (is_zero a && is_ptr b) then
+              match op with
+              | Ast.Eq -> Int (Interval.const 0L)
+              | Ast.Ne -> Int (Interval.const 1L)
+              | _ -> Int Interval.bool_
+            else Int Interval.bool_
+      in
+      Some (push r st)
+  | Ast.FUnop _ ->
+      let _, st = pop st in
+      Some (push Top st)
+  | Ast.FBinop _ ->
+      let _, st = pop st in
+      let _, st = pop st in
+      Some (push Top st)
+  | Ast.FRelop _ ->
+      let _, st = pop st in
+      let _, st = pop st in
+      Some (push (Int Interval.bool_) st)
+  | Ast.Cvtop c -> (
+      let v, st = pop st in
+      match c with
+      | Ast.I32WrapI64 -> (
+          match iv_of v with
+          | Some iv
+            when Interval.lo_ge iv Interval.i32_min
+                 && (match iv.hi with
+                    | Some h -> h <= Interval.i32_max
+                    | None -> false) ->
+              Some (push v st)
+          | _ -> Some (push (Int Interval.i32_full) st))
+      | Ast.I64ExtendI32S -> Some (push v st)
+      | Ast.I64ExtendI32U -> (
+          match iv_of v with
+          | Some iv when Interval.is_nonneg iv -> Some (push v st)
+          | Some iv -> Some (push (Int (Interval.extend_u32 iv)) st)
+          | None -> Some (push (Int (Interval.range 0L 0xFFFF_FFFFL)) st))
+      | _ -> Some (push Top st))
+  | Ast.Load (ty, pack, ma) ->
+      let addr, st = pop st in
+      let len = access_len ty (Option.map fst pack) in
+      let eff = addr_plus addr ma.Ast.offset in
+      check_access fenv st ~id ~addr:eff ~len:(Interval.const len)
+        ~is_store:false ~elide_ok:true;
+      let v =
+        match (ty, pack) with
+        | _, Some (Ast.Pack8, Ast.ZX) -> Int (Interval.range 0L 0xffL)
+        | _, Some (Ast.Pack16, Ast.ZX) -> Int (Interval.range 0L 0xffffL)
+        | _, Some (Ast.Pack32, Ast.ZX) -> Int (Interval.range 0L 0xffff_ffffL)
+        | _, Some (Ast.Pack8, Ast.SX) -> Int (Interval.range (-128L) 127L)
+        | _, Some (Ast.Pack16, Ast.SX) -> Int (Interval.range (-32768L) 32767L)
+        | _, Some (Ast.Pack32, Ast.SX) -> Int Interval.i32_full
+        | Types.I32, None -> Int Interval.i32_full
+        | _ -> Top
+      in
+      Some (push v st)
+  | Ast.Store (ty, pack, ma) ->
+      let v, st = pop st in
+      let addr, st = pop st in
+      escape_site v; (* a pointer written to memory escapes the analysis *)
+      let len = access_len ty pack in
+      let eff = addr_plus addr ma.Ast.offset in
+      check_access fenv st ~id ~addr:eff ~len:(Interval.const len)
+        ~is_store:true ~elide_ok:true;
+      Some st
+  | Ast.MemorySize -> Some (push (Int Interval.nonneg) st)
+  | Ast.MemoryGrow ->
+      let _, st = pop st in
+      Some (push (Int (Interval.of_bounds (Some (-1L)) None)) st)
+  | Ast.MemoryFill ->
+      let lenv, st = pop st in
+      let _, st = pop st in
+      let dst, st = pop st in
+      let len = Option.value (iv_of lenv) ~default:Interval.top in
+      check_access fenv st ~id ~addr:dst ~len ~is_store:true ~elide_ok:false;
+      Some st
+  | Ast.MemoryCopy ->
+      let lenv, st = pop st in
+      let src, st = pop st in
+      let dst, st = pop st in
+      let len = Option.value (iv_of lenv) ~default:Interval.top in
+      check_access fenv st ~id ~addr:src ~len ~is_store:false ~elide_ok:false;
+      check_access fenv st ~id ~addr:dst ~len ~is_store:true ~elide_ok:false;
+      Some st
+  | Ast.SegmentNew _ ->
+      let lenv, st = pop st in
+      let base, st = pop st in
+      let g = fenv.g in
+      let size = Option.value (iv_of lenv) ~default:Interval.top in
+      let key, kind =
+        match base with
+        | Sp (_, off) when Interval.singleton off <> None ->
+            ( stack_key fenv.path (Option.get (Interval.singleton off)),
+              Stack )
+        | _ -> (heap_key fenv.path id, Heap)
+      in
+      let site =
+        find_site g ~key ~kind ~path:fenv.path ~instr:id ~size
+      in
+      (match IMap.find_opt site.s_id st.live with
+      | Some Live -> site.s_multi <- true (* loop allocation: ≥2 live *)
+      | _ -> ());
+      let live = IMap.add site.s_id Live st.live in
+      Some (push (Ptr { site; off = Interval.const 0L; tagged = true })
+              { st with live })
+  | Ast.SegmentSetTag _ -> (
+      let lenv, st = pop st in
+      let tagged, st = pop st in
+      let _base, st = pop st in
+      let g = fenv.g in
+      match tagged with
+      | TaggedSp (_, foff) ->
+          (* stack-slot tagging: the slot becomes a live stack site and
+             every copy of the pending tagged address becomes a pointer *)
+          let size = Option.value (iv_of lenv) ~default:Interval.top in
+          let site =
+            find_site g ~key:(stack_key fenv.path foff) ~kind:Stack
+              ~path:fenv.path ~instr:id ~size
+          in
+          (match IMap.find_opt site.s_id st.live with
+          | Some Live -> site.s_multi <- true
+          | _ -> ());
+          let ptr = Ptr { site; off = Interval.const 0L; tagged = true } in
+          let sub v = if aval_equal v tagged then ptr else v in
+          Some
+            {
+              locals = Array.map sub st.locals;
+              stack = List.map sub st.stack;
+              g0 = sub st.g0;
+              live = IMap.add site.s_id Live st.live;
+            }
+      | Sp (_, off) -> (
+          (* retag back to the stack's own (zero) tag: the epilogue
+             freeing a slot *)
+          match Interval.singleton off with
+          | Some o -> (
+              match Hashtbl.find_opt g.sites (stack_key fenv.path o) with
+              | Some site ->
+                  Some { st with live = IMap.add site.s_id Freed st.live }
+              | None -> Some st)
+          | None -> Some st)
+      | Ptr { site; _ } ->
+          Some { st with live = IMap.add site.s_id Live st.live }
+      | _ -> Some { st with live = havoc_live st.live })
+  | Ast.SegmentFree _ -> (
+      let _, st = pop st in
+      let ptr, st = pop st in
+      match ptr with
+      | Ptr { site; _ } ->
+          (match IMap.find_opt site.s_id st.live with
+          | Some Freed ->
+              diag fenv ~id ~severity:(sev_of site)
+                (Printf.sprintf "double free of segment %s" site.s_key)
+          | Some MaybeFreed ->
+              diag fenv ~id ~severity:Possible
+                (Printf.sprintf "possible double free of segment %s"
+                   site.s_key)
+          | _ -> ());
+          let l = if site.s_multi then MaybeFreed else Freed in
+          Some { st with live = IMap.add site.s_id l st.live }
+      | Sp _ | TaggedSp _ -> Some st
+      | _ -> Some { st with live = havoc_live st.live })
+  | Ast.PointerSign | Ast.PointerAuth ->
+      (* signing scrambles the high bits; conservatively forget the
+         value so elision never survives a PAC round-trip *)
+      let _, st = pop st in
+      Some (push Top st)
+  | Ast.Call f -> handle_call fenv st ~id f
+  | Ast.CallIndirect ti ->
+      let _, st = pop st in
+      let ft = Ast.func_type_of fenv.g.m ti in
+      let args, st = popn st (List.length ft.Types.params) in
+      List.iter escape_site args;
+      (* anything in the table may run: every live segment may be
+         freed, so nothing downstream is provably live *)
+      let live = havoc_live st.live in
+      Some (push_n Top (List.length ft.Types.results) { st with live })
+
+(* A [strcpy] whose source is a constant address into a data segment
+   has a statically known length: scan for the NUL and check the
+   destination as a store of that many bytes. *)
+and check_strcpy fenv st ~id args =
+  match args with
+  | [ (Ptr _ as dst); src ] -> (
+      let addr =
+        match iv_of src with Some iv -> Interval.singleton iv | None -> None
+      in
+      match addr with
+      | None -> ()
+      | Some a ->
+          List.iter
+            (fun (d : Ast.data) ->
+              let base = d.d_offset in
+              let len = Int64.of_int (String.length d.d_bytes) in
+              if a >= base && a < Int64.add base len then
+                let start = Int64.to_int (Int64.sub a base) in
+                match String.index_from_opt d.d_bytes start '\000' with
+                | None -> ()
+                | Some nul ->
+                    let l = Int64.of_int (nul - start + 1) in
+                    check_access fenv st ~id ~addr:dst
+                      ~len:(Interval.const l) ~is_store:true ~elide_ok:false)
+            fenv.g.m.Ast.datas)
+  | _ -> ()
+
+and handle_call fenv st ~id fidx =
+  let g = fenv.g in
+  let ft = Ast.type_of_func g.m fidx in
+  let nresults = List.length ft.Types.results in
+  let args_topfirst, st = popn st (List.length ft.Types.params) in
+  let args = List.rev args_topfirst in
+  let name = func_name g fidx in
+  if name = "strcpy" then check_strcpy fenv st ~id args;
+  if fidx < g.n_imports then begin
+    (* host function: pointers escape, but hosts cannot free guest
+       segments, so liveness survives the call *)
+    List.iter escape_site args;
+    Some (push_n Top nresults st)
+  end
+  else if List.mem fidx fenv.active || fenv.depth >= 12 then begin
+    (* recursion (or a pathological call chain): havoc *)
+    List.iter escape_site args;
+    Some (push_n Top nresults { st with live = havoc_live st.live })
+  end
+  else
+    let path = Printf.sprintf "%s#%d>%s" fenv.path id name in
+    match
+      analyze_func g ~path ~active:(fidx :: fenv.active)
+        ~depth:(fenv.depth + 1) ~root:false fidx args st.live st.g0
+    with
+    | None -> None (* the callee never returns on any path *)
+    | Some (rets, live, g0) ->
+        Some { st with stack = List.rev rets @ st.stack; live; g0 }
+
+(* Analyze one function activation under a concrete call string.
+   Returns the (joined) return values, liveness map and stack-pointer
+   global at exit, or [None] if no path returns. *)
+and analyze_func g ~path ~active ~depth ~root fidx args live g0 =
+  let lidx = fidx - g.n_imports in
+  let f = g.funcs.(lidx) in
+  let ft = g.ftypes.(lidx) in
+  let nparams = List.length ft.Types.params in
+  let locals =
+    Array.make (nparams + List.length f.Ast.locals) (Int (Interval.const 0L))
+  in
+  List.iteri (fun i v -> if i < nparams then locals.(i) <- demote_cross v) args;
+  let st = { locals; stack = []; g0; live } in
+  let fenv =
+    {
+      g;
+      path;
+      verdict_row = (if g.blacklist.(lidx) then [||] else g.verdicts.(lidx));
+      active;
+      depth;
+    }
+  in
+  let arity = List.length ft.Types.results in
+  let frame = { f_arity = arity; f_pend = None } in
+  let ft_exit = eval_seq fenv [ frame ] st g.nodes.(lidx) in
+  let fall =
+    Option.map (fun s -> (take arity s.stack, { s with stack = [] })) ft_exit
+  in
+  match join_exit fall frame.f_pend with
+  | None -> None
+  | Some (rets, sx) ->
+      (* leak check: heap sites this activation allocated and neither
+         freed, escaped nor returned. The root activation is exempt —
+         allocations held until program exit are reclaimed wholesale. *)
+      if g.recording && not root then begin
+        let fname = func_name g fidx in
+        let returned s =
+          List.exists
+            (function Ptr { site; _ } -> site == s | _ -> false)
+            rets
+        in
+        List.iter
+          (fun s ->
+            if
+              s.s_kind = Heap && s.s_path = path && (not s.s_escaped)
+              && (not s.s_multi)
+              && (not s.s_leaked_reported)
+              && not (returned s)
+            then
+              match IMap.find_opt s.s_id sx.live with
+              | Some Live ->
+                  s.s_leaked_reported <- true;
+                  diag fenv ~id:s.s_instr ~severity:Definite
+                    (Printf.sprintf "segment %s leaked: still live when %s returns"
+                       s.s_key fname)
+              | Some MaybeFreed ->
+                  s.s_leaked_reported <- true;
+                  diag fenv ~id:s.s_instr ~severity:Possible
+                    (Printf.sprintf
+                       "segment %s possibly leaked on some path through %s"
+                       s.s_key fname)
+              | _ -> ())
+          g.all_sites
+      end;
+      Some (List.map demote_cross rets, sx.live, sx.g0)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-module analysis                                               *)
+(* ------------------------------------------------------------------ *)
+
+type analysis = {
+  a_diags : diag list;  (** sorted by (path, instruction, message) *)
+  a_verdicts : int array array;
+      (** per local function, per basic-instruction id:
+          0 = never visited, 1 = proven elidable, 2 = not provable *)
+  a_nbasic : int array;  (** basic-instruction count per local function *)
+  a_entry : int option;  (** the analyzed entry function index, if any *)
+}
+
+let compare_diag a b =
+  match compare a.d_path b.d_path with
+  | 0 -> (
+      match compare a.d_instr b.d_instr with
+      | 0 -> compare a.d_msg b.d_msg
+      | c -> c)
+  | c -> c
+
+(* The export the analysis is rooted at: [main] (what elaboration emits
+   for the C entry point), falling back to [_start] then the start
+   function. *)
+let entry_func (m : Ast.module_) =
+  let exported name =
+    List.find_map
+      (fun (e : Ast.export) ->
+        match e.ex_desc with
+        | Ast.Func_export i when e.ex_name = name -> Some i
+        | _ -> None)
+      m.exports
+  in
+  match exported "main" with
+  | Some i -> Some i
+  | None -> ( match exported "_start" with Some i -> Some i | None -> m.start)
+
+let analyze (m : Ast.module_) : analysis =
+  let n_imports = Ast.num_imports m in
+  let funcs = Array.of_list m.funcs in
+  let ftypes =
+    Array.map (fun (f : Ast.func) -> Ast.func_type_of m f.Ast.ftype) funcs
+  in
+  let nbasic = Array.make (Array.length funcs) 0 in
+  let nodes =
+    Array.mapi
+      (fun i (f : Ast.func) ->
+        let next = ref 0 in
+        let ns = build_block next f.Ast.body in
+        nbasic.(i) <- !next;
+        ns)
+      funcs
+  in
+  let g =
+    {
+      m;
+      n_imports;
+      funcs;
+      ftypes;
+      nodes;
+      nbasic;
+      blacklist = compute_blacklist m funcs n_imports;
+      verdicts = Array.map (fun n -> Array.make n 0) nbasic;
+      sites = Hashtbl.create 64;
+      all_sites = [];
+      site_count = 0;
+      sp_count = 0;
+      diags = [];
+      diag_seen = Hashtbl.create 64;
+      recording = true;
+    }
+  in
+  let entry =
+    match entry_func m with
+    | Some i when i >= n_imports -> Some i
+    | _ -> None
+  in
+  (match entry with
+  | None -> ()
+  | Some fidx ->
+      let ft = Ast.type_of_func m fidx in
+      let args =
+        List.map
+          (fun (ty : Types.val_type) ->
+            match ty with
+            | Types.I32 -> Int Interval.i32_full
+            | Types.I64 -> Int Interval.top
+            | _ -> Top)
+          ft.Types.params
+      in
+      g.sp_count <- 1;
+      let g0 = Sp (0, Interval.const 0L) in
+      ignore
+        (analyze_func g ~path:(func_name g fidx) ~active:[ fidx ] ~depth:0
+           ~root:true fidx args IMap.empty g0));
+  {
+    a_diags = List.sort compare_diag g.diags;
+    a_verdicts = g.verdicts;
+    a_nbasic = g.nbasic;
+    a_entry = entry;
+  }
+
+let severity_string = function Definite -> "definite" | Possible -> "possible"
+
+let pp_diag ppf d =
+  Format.fprintf ppf "%s @%d: [%s] %s" d.d_path d.d_instr
+    (severity_string d.d_severity) d.d_msg
+
+let diag_to_string d = Format.asprintf "%a" pp_diag d
+

@@ -1,0 +1,39 @@
+(** Check-elision planning: turn {!Absint} verdicts into the
+    per-function bitsets {!Wasm.Code.prepare} consumes.
+
+    A bit is set only for verdict 1 — an access proven in-bounds on a
+    definitely-live, single-allocation segment in {e every} analyzed
+    context. Unvisited accesses (verdict 0: dead code, or functions
+    reachable from the indirect-call table) stay checked. *)
+
+type plan = {
+  bitsets : Bytes.t array;  (** per local function, indexed like the module *)
+  proven : int;  (** accesses whose granule check will be skipped *)
+  considered : int;  (** accesses the analysis visited *)
+}
+
+let of_analysis (a : Absint.analysis) : plan =
+  let proven = ref 0 and considered = ref 0 in
+  let bitsets =
+    Array.mapi
+      (fun i row ->
+        let n = a.Absint.a_nbasic.(i) in
+        let any = ref false in
+        let b = Bytes.make ((n + 7) / 8) '\000' in
+        Array.iteri
+          (fun id v ->
+            if v > 0 then incr considered;
+            if v = 1 then begin
+              incr proven;
+              any := true;
+              let byte = id lsr 3 in
+              Bytes.set b byte
+                (Char.chr (Char.code (Bytes.get b byte) lor (1 lsl (id land 7))))
+            end)
+          row;
+        if !any then b else Bytes.empty)
+      a.Absint.a_verdicts
+  in
+  { bitsets; proven = !proven; considered = !considered }
+
+let plan (m : Wasm.Ast.module_) : plan = of_analysis (Absint.analyze m)

@@ -1,0 +1,260 @@
+(** Int64 intervals with open bounds — the numeric half of the abstract
+    domain. [None] stands for -oo (as a lower bound) or +oo (as an upper
+    bound). All operations are conservative: when an exact result would
+    need case analysis we don't do (or could overflow), the result
+    widens toward infinity, never narrows.
+
+    Widths: the interpreter's i32 operations are modeled by clamping
+    results to the i32 value range ({!clamp32}) — a result that cannot
+    be proven to stay in range becomes the full i32 range, which is
+    sound because the runtime wraps. *)
+
+type t = { lo : int64 option; hi : int64 option }
+
+let top = { lo = None; hi = None }
+let const c = { lo = Some c; hi = Some c }
+let of_bounds lo hi = { lo; hi }
+let range lo hi = { lo = Some lo; hi = Some hi }
+
+let bool_ = range 0L 1L
+let nonneg = { lo = Some 0L; hi = None }
+
+let singleton t =
+  match (t.lo, t.hi) with
+  | Some a, Some b when Int64.equal a b -> Some a
+  | _ -> None
+
+let is_const c t = match singleton t with Some v -> Int64.equal v c | None -> false
+
+let lo_ge t c = match t.lo with Some l -> l >= c | None -> false
+let is_nonneg t = lo_ge t 0L
+let hi_finite t = t.hi <> None
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let mem c t =
+  (match t.lo with Some l -> c >= l | None -> true)
+  && match t.hi with Some h -> c <= h | None -> true
+
+(* meet: None (empty interval) means the path is unreachable *)
+let meet a b =
+  let lo =
+    match (a.lo, b.lo) with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (Int64.max x y)
+  in
+  let hi =
+    match (a.hi, b.hi) with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (Int64.min x y)
+  in
+  match (lo, hi) with
+  | Some l, Some h when l > h -> None
+  | _ -> Some { lo; hi }
+
+let join a b =
+  let lo =
+    match (a.lo, b.lo) with
+    | None, _ | _, None -> None
+    | Some x, Some y -> Some (Int64.min x y)
+  in
+  let hi =
+    match (a.hi, b.hi) with
+    | None, _ | _, None -> None
+    | Some x, Some y -> Some (Int64.max x y)
+  in
+  { lo; hi }
+
+(** Per-bound widening of [next] against the previous iterate [prev]: a
+    bound that moved since the last iteration goes to infinity, a
+    stable bound is kept — so loop counters keep the bound their
+    initialisation pins while the moving bound blows up (and is later
+    re-narrowed by branch refinement). *)
+let widen ~prev ~next =
+  let lo =
+    match (prev.lo, next.lo) with
+    | Some p, Some n when n >= p -> Some p
+    | _ -> None
+  in
+  let hi =
+    match (prev.hi, next.hi) with
+    | Some p, Some n when n <= p -> Some p
+    | _ -> None
+  in
+  { lo; hi }
+
+(* Overflow-checked int64 arithmetic: [None] = overflowed. *)
+let add_exact a b =
+  let s = Int64.add a b in
+  if a >= 0L = (b >= 0L) && s >= 0L <> (a >= 0L) then None else Some s
+
+let mul_exact a b =
+  if Int64.equal a 0L || Int64.equal b 0L then Some 0L
+  else
+    let p = Int64.mul a b in
+    if Int64.equal (Int64.div p b) a && not (Int64.equal p Int64.min_int)
+    then Some p
+    else None
+
+(* A bound sum that overflows widens to infinity in its own direction. *)
+let bound_add a b =
+  match (a, b) with
+  | Some x, Some y -> add_exact x y
+  | _ -> None
+
+let add a b = { lo = bound_add a.lo b.lo; hi = bound_add a.hi b.hi }
+
+let neg a =
+  let flip = function
+    | Some x when not (Int64.equal x Int64.min_int) -> Some (Int64.neg x)
+    | _ -> None
+  in
+  { lo = flip a.hi; hi = flip a.lo }
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (singleton a, singleton b) with
+  | Some x, Some y -> (
+      match mul_exact x y with Some p -> const p | None -> top)
+  | _ ->
+      if is_nonneg a && is_nonneg b then
+        let lo =
+          match (a.lo, b.lo) with
+          | Some x, Some y -> (
+              match mul_exact x y with Some p -> Some p | None -> Some 0L)
+          | _ -> Some 0L
+        in
+        let hi =
+          match (a.hi, b.hi) with
+          | Some x, Some y -> mul_exact x y
+          | _ -> None
+        in
+        { lo; hi }
+      else top
+
+(* Division/remainder: only the shapes the analyzer meets are made
+   precise — everything else is sound-but-top. *)
+
+let div_s a b =
+  match singleton b with
+  | Some d when d > 0L && is_nonneg a ->
+      let q = function Some x -> Some (Int64.div x d) | None -> None in
+      { lo = (match a.lo with Some l -> Some (Int64.div l d) | None -> Some 0L);
+        hi = q a.hi }
+  | _ -> top
+
+let rem_u a b =
+  match singleton b with
+  | Some d when d > 0L ->
+      if is_nonneg a && (match a.hi with Some h -> h < d | None -> false)
+      then a
+      else range 0L (Int64.sub d 1L)
+  | _ -> if is_nonneg a then { lo = Some 0L; hi = a.hi } else top
+
+let rem_s a b =
+  match singleton b with
+  | Some d when d > 0L && is_nonneg a ->
+      let cap = Int64.sub d 1L in
+      { lo = Some 0L;
+        hi = (match a.hi with Some h -> Some (Int64.min h cap) | None -> Some cap) }
+  | _ -> if is_nonneg a then { lo = Some 0L; hi = a.hi } else top
+
+let logand a b =
+  match (singleton a, singleton b) with
+  | Some x, Some y -> const (Int64.logand x y)
+  | _, Some m when m >= 0L -> range 0L m
+  | Some m, _ when m >= 0L -> range 0L m
+  | _ -> top
+
+(* Smallest all-ones mask covering [v] — or/xor of nonnegative values
+   stays under it. *)
+let rec ones_cover v = if v <= 0L then 0L else Int64.logor v (ones_cover (Int64.shift_right_logical v 1))
+
+let logor a b =
+  match (singleton a, singleton b) with
+  | Some x, Some y -> const (Int64.logor x y)
+  | _ ->
+      if is_nonneg a && is_nonneg b then
+        match (a.hi, b.hi) with
+        | Some x, Some y -> range 0L (ones_cover (Int64.max x y))
+        | _ -> { lo = Some 0L; hi = None }
+      else top
+
+let logxor a b =
+  match (singleton a, singleton b) with
+  | Some x, Some y -> const (Int64.logxor x y)
+  | _ ->
+      if is_nonneg a && is_nonneg b then
+        match (a.hi, b.hi) with
+        | Some x, Some y -> range 0L (ones_cover (Int64.max x y))
+        | _ -> { lo = Some 0L; hi = None }
+      else top
+
+let shl a b =
+  match singleton b with
+  | Some s when s >= 0L && s < 64L -> (
+      let s = Int64.to_int s in
+      match (singleton a, is_nonneg a) with
+      | Some x, _ ->
+          let r = Int64.shift_left x s in
+          if Int64.equal (Int64.shift_right r s) x then const r else top
+      | None, true ->
+          let sh = function
+            | Some x ->
+                let r = Int64.shift_left x s in
+                if Int64.equal (Int64.shift_right r s) x then Some r else None
+            | None -> None
+          in
+          { lo = Some 0L; hi = sh a.hi }
+      | _ -> top)
+  | _ -> top
+
+let shr_u a b =
+  match singleton b with
+  | Some 0L -> a
+  | Some s when s > 0L && s < 64L ->
+      let s = Int64.to_int s in
+      if is_nonneg a then
+        { lo = Some 0L;
+          hi =
+            (match a.hi with
+            | Some h -> Some (Int64.shift_right_logical h s)
+            | None -> None) }
+      else range 0L (Int64.shift_right_logical (-1L) s)
+  | _ -> top
+
+let shr_s a b =
+  match singleton b with
+  | Some s when s >= 0L && s < 64L ->
+      let s = Int64.to_int s in
+      let sh = function Some x -> Some (Int64.shift_right x s) | None -> None in
+      { lo = sh a.lo; hi = sh a.hi }
+  | _ -> top
+
+(* i32 value range *)
+let i32_min = Int64.of_int32 Int32.min_int
+let i32_max = Int64.of_int32 Int32.max_int
+let i32_full = range i32_min i32_max
+
+(** Clamp an i32 operation result: in-range intervals pass through,
+    anything that may wrap becomes the full i32 range. *)
+let clamp32 t =
+  match (t.lo, t.hi) with
+  | Some l, Some h when l >= i32_min && h <= i32_max -> t
+  | _ -> i32_full
+
+(** Zero-extension of an i32 value to i64. *)
+let extend_u32 t =
+  if is_nonneg t then t else range 0L 0xffff_ffffL
+
+let pp ppf t =
+  let b ppf = function
+    | Some v -> Format.fprintf ppf "%Ld" v
+    | None -> Format.pp_print_string ppf "?"
+  in
+  match singleton t with
+  | Some v -> Format.fprintf ppf "%Ld" v
+  | None -> Format.fprintf ppf "[%a,%a]" b t.lo b t.hi
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,50 @@
+(** cage-lint: deterministic whole-module diagnostics from the
+    {!Absint} dataflow — statically-definite use-after-free, double
+    free, constant out-of-bounds accesses (including bulk
+    [memory.fill]/[memory.copy] spans and [strcpy] from constant
+    strings), untagged pointers flowing into checked accesses, and
+    segments leaked on some path.
+
+    Output is fully deterministic (sorted, deduplicated), so it can be
+    golden-diffed in CI. *)
+
+type t = {
+  diags : Absint.diag list;
+  definite : int;
+  possible : int;
+  elide_proven : int;
+  elide_considered : int;
+}
+
+let run (m : Wasm.Ast.module_) : t =
+  let a = Absint.analyze m in
+  let p = Elide.of_analysis a in
+  let definite, possible =
+    List.fold_left
+      (fun (d, po) (x : Absint.diag) ->
+        match x.d_severity with
+        | Absint.Definite -> (d + 1, po)
+        | Absint.Possible -> (d, po + 1))
+      (0, 0) a.Absint.a_diags
+  in
+  {
+    diags = a.Absint.a_diags;
+    definite;
+    possible;
+    elide_proven = p.Elide.proven;
+    elide_considered = p.Elide.considered;
+  }
+
+let clean t = t.diags = []
+
+(** Render one line per diagnostic plus a summary line — the exact
+    format [cage_lint] prints and the lint golden pins. *)
+let to_lines t =
+  List.map Absint.diag_to_string t.diags
+  @ [
+      Printf.sprintf "%d definite, %d possible; %d/%d checked accesses elidable"
+        t.definite t.possible t.elide_proven t.elide_considered;
+    ]
+
+let pp ppf t =
+  List.iter (fun l -> Format.fprintf ppf "%s@." l) (to_lines t)

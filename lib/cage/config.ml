@@ -31,6 +31,10 @@ type t = {
   internal_safety : bool;    (** segments + tag checks (Eqs. 1-10) *)
   ptr_auth : bool;           (** sign/authenticate function pointers *)
   mte_mode : Arch.Mte.mode;  (** how violations surface *)
+  elide_checks : bool;
+      (** skip MTE granule checks the static analyzer proved redundant
+          (accesses in-bounds on definitely-live segments); off by
+          default in every Table 3 variant *)
 }
 
 (** The six Table 3 variants, in the paper's order. *)
@@ -42,6 +46,7 @@ let baseline_wasm32 = {
   internal_safety = false;
   ptr_auth = false;
   mte_mode = Arch.Mte.Disabled;
+  elide_checks = false;
 }
 
 let baseline_wasm64 = {
@@ -51,6 +56,7 @@ let baseline_wasm64 = {
   internal_safety = false;
   ptr_auth = false;
   mte_mode = Arch.Mte.Disabled;
+  elide_checks = false;
 }
 
 let mem_safety = {
@@ -60,6 +66,7 @@ let mem_safety = {
   internal_safety = true;
   ptr_auth = false;
   mte_mode = Arch.Mte.Sync;
+  elide_checks = false;
 }
 
 let ptr_auth = {
@@ -69,6 +76,7 @@ let ptr_auth = {
   internal_safety = false;
   ptr_auth = true;
   mte_mode = Arch.Mte.Disabled;
+  elide_checks = false;
 }
 
 let sandboxing = {
@@ -78,6 +86,7 @@ let sandboxing = {
   internal_safety = false;
   ptr_auth = false;
   mte_mode = Arch.Mte.Sync;
+  elide_checks = false;
 }
 
 let full = {
@@ -87,7 +96,13 @@ let full = {
   internal_safety = true;
   ptr_auth = true;
   mte_mode = Arch.Mte.Sync;
+  elide_checks = false;
 }
+
+(** A variant with static check elision switched on (the name is left
+    unchanged so reports and golden files keyed by configuration name
+    stay comparable with and without elision). *)
+let with_elision t = { t with elide_checks = true }
 
 (** All Table 3 rows, in order. *)
 let table3 =

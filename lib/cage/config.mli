@@ -21,6 +21,9 @@ type t = {
   internal_safety : bool;    (** segments + tag checks (Eqs. 1-10) *)
   ptr_auth : bool;           (** sign/authenticate function pointers *)
   mte_mode : Arch.Mte.mode;  (** how violations surface *)
+  elide_checks : bool;
+      (** skip MTE granule checks the static analyzer proved redundant;
+          off in every Table 3 variant (see {!with_elision}) *)
 }
 
 (** {1 The Table 3 rows} *)
@@ -42,6 +45,10 @@ val sandboxing : t
 
 (** Everything combined: the CAGE row. *)
 val full : t
+
+val with_elision : t -> t
+(** The same variant with static check elision switched on. The name is
+    kept so reports keyed by configuration stay comparable. *)
 
 val table3 : t list
 (** All six variants, in the paper's order. *)

@@ -137,10 +137,16 @@ let cycles (cpu : Cpu_model.t) (cfg : Config.t) (m : Wasm.Meter.t) : float =
     float_of_int m.call_indirect *. cpu.indirect_call_cost
   in
   let accesses = float_of_int (Wasm.Meter.mem_accesses m) in
+  (* Accesses whose MTE granule check was statically elided pay no tag
+     check; the software *bounds* component is never elided, so the
+     Software_bounds path stays on the full access count. *)
+  let tag_checked =
+    Float.max 0.0 (accesses -. float_of_int m.elided_checks)
+  in
   let check_cycles =
     match cfg.sandbox with
     | Config.Software_bounds -> accesses *. cpu.bounds_check_cost
-    | Config.Mte_sandbox -> accesses *. cpu.mte_check_cost
+    | Config.Mte_sandbox -> tag_checked *. cpu.mte_check_cost
     | Config.Guard_pages -> 0.0
   in
   (* Internal safety also tag-checks every access (the hardware does it
@@ -148,7 +154,7 @@ let cycles (cpu : Cpu_model.t) (cfg : Config.t) (m : Wasm.Meter.t) : float =
      the same cache-resident check penalty). *)
   let internal_check_cycles =
     if cfg.internal_safety && cfg.sandbox <> Config.Mte_sandbox then
-      accesses *. cpu.mte_check_cost
+      tag_checked *. cpu.mte_check_cost
     else 0.0
   in
   issue_cycles +. latency_exposure +. dispatch_cycles +. check_cycles

@@ -241,10 +241,17 @@ let run_cell ~seed ~index site (cfg : Cage.Config.t) mode =
 
 let default_seed = 7
 
-(** Run the whole matrix. Deterministic in [seed]. *)
-let run ?(seed = default_seed) () =
+(** Run the whole matrix. Deterministic in [seed]. With [~elide:true]
+    every configuration gets static check elision switched on — the
+    classifications (and therefore the golden rendering) must come out
+    identical, because elision only ever skips checks on accesses the
+    analyzer proved cannot fault. *)
+let run ?(seed = default_seed) ?(elide = false) () =
   compile_cache := [];
   reference_cache := [];
+  let configs =
+    if elide then List.map Cage.Config.with_elision configs else configs
+  in
   let index = ref 0 in
   List.concat_map
     (fun site ->

@@ -1,0 +1,99 @@
+(** Elision soundness gate: a differential fuzz run proving that static
+    check elision never changes program outcomes.
+
+    For each seed, a random Fuzzgen program runs twice under the same
+    configuration — once normally, once with {!Cage.Config.with_elision}
+    — and both results must match each other {e and} the reference
+    interpreter. The elided run must also agree on the load/store event
+    counts (elision skips the granule check, never the access), and
+    across the whole sweep at least one check must actually have been
+    elided, otherwise the gate is testing nothing. *)
+
+type report = {
+  ed_config : Cage.Config.t;
+  ed_seeds : int;
+  ed_failures : string list;   (** one line per divergence, oldest first *)
+  ed_elided : int;             (** total granule checks skipped *)
+  ed_elidable_static : int;    (** accesses the analyzer proved, summed *)
+}
+
+type outcome = Value of int32 | Trap of string
+
+let outcome_to_string = function
+  | Value v -> Printf.sprintf "%ld" v
+  | Trap m -> Printf.sprintf "trap(%s)" m
+
+let run_once ~cfg ~seed source =
+  let meter = Wasm.Meter.create () in
+  let outcome =
+    try Value (Libc.Run.ret_i32 (Libc.Run.run ~cfg ~meter ~seed source))
+    with Wasm.Instance.Trap msg -> Trap msg
+  in
+  (outcome, meter)
+
+let run ?(cfg = Cage.Config.mem_safety) ?(count = 200) ?(seed0 = 0) () =
+  let failures = ref [] in
+  let elided = ref 0 in
+  let static = ref 0 in
+  let fail seed fmt =
+    Printf.ksprintf
+      (fun m -> failures := Printf.sprintf "seed %d: %s" seed m :: !failures)
+      fmt
+  in
+  for i = 0 to count - 1 do
+    let seed = seed0 + i in
+    let prog = Workloads.Fuzzgen.generate ~seed in
+    let source = Workloads.Fuzzgen.render prog in
+    let expected = Workloads.Fuzzgen.reference prog in
+    let plain, m0 = run_once ~cfg ~seed source in
+    let elide_cfg = Cage.Config.with_elision cfg in
+    let elid, m1 = run_once ~cfg:elide_cfg ~seed source in
+    (match plain with
+    | Value v when v <> expected ->
+        fail seed "baseline diverged from reference: %ld <> %ld" v expected
+    | Trap m -> fail seed "baseline trapped: %s" m
+    | Value _ -> ());
+    if plain <> elid then
+      fail seed "elision changed the outcome: %s <> %s"
+        (outcome_to_string plain) (outcome_to_string elid);
+    if
+      m0.Wasm.Meter.loads <> m1.Wasm.Meter.loads
+      || m0.Wasm.Meter.stores <> m1.Wasm.Meter.stores
+    then
+      fail seed "elision changed the access counts: %d/%d <> %d/%d"
+        m0.Wasm.Meter.loads m0.Wasm.Meter.stores m1.Wasm.Meter.loads
+        m1.Wasm.Meter.stores;
+    elided := !elided + m1.Wasm.Meter.elided_checks
+  done;
+  (* The static side of the ledger, for the report only: re-analyze one
+     representative module so the summary can show proven/considered. *)
+  (let prog = Workloads.Fuzzgen.generate ~seed:seed0 in
+   let opts = Minic.Driver.options_of_config cfg in
+   let prelude = Libc.Source.prelude_of_config cfg in
+   let compiled =
+     Minic.Driver.compile ~opts ~prelude (Workloads.Fuzzgen.render prog)
+   in
+   let plan = Analysis.Elide.plan compiled.Minic.Driver.co_module in
+   static := plan.Analysis.Elide.proven);
+  if !elided = 0 then
+    failures :=
+      "no check was elided across the whole sweep; the gate is vacuous"
+      :: !failures;
+  {
+    ed_config = cfg;
+    ed_seeds = count;
+    ed_failures = List.rev !failures;
+    ed_elided = !elided;
+    ed_elidable_static = !static;
+  }
+
+let ok r = r.ed_failures = []
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>elide-diff: %d seeds under %s: %s@ elided %d granule checks at \
+     runtime (representative plan: %d accesses proven)@]"
+    r.ed_seeds r.ed_config.Cage.Config.name
+    (if ok r then "all outcomes identical"
+     else Printf.sprintf "%d FAILURES" (List.length r.ed_failures))
+    r.ed_elided r.ed_elidable_static

@@ -23,6 +23,15 @@ let run ?(cfg = Cage.Config.baseline_wasm64) ?meter ?(seed = 0)
   let compiled = Minic.Driver.compile ~opts ~prelude source in
   let wasi = Wasi.create () in
   let config = Cage.Config.instance_config ?meter ~seed cfg in
+  let config =
+    if cfg.Cage.Config.elide_checks then
+      {
+        config with
+        Wasm.Instance.elide =
+          (Analysis.Elide.plan compiled.co_module).Analysis.Elide.bitsets;
+      }
+    else config
+  in
   let instance =
     Wasm.Exec.instantiate ~config ~imports:(Wasi.imports wasi)
       compiled.co_module

@@ -42,6 +42,16 @@ type t =
   | Func_leave of { idx : int; name : string }
   | Crash of { cls : string; msg : string }
   | Spawn of { instance : int }
+  | Check_elided
+      (** a load/store whose MTE granule check was skipped because the
+          static analyzer proved it in-bounds on a live segment *)
+  | Stack_sanitize of {
+      total : int;
+      instrumented : int;
+      escaping : int;
+      unsafe_gep : int;
+      guards : int;
+    }  (** per-module stack-sanitizer decision totals (Algorithm 1) *)
 
 let access_to_string = function Load -> "load" | Store -> "store"
 
@@ -63,6 +73,8 @@ let name = function
   | Func_leave _ -> "func"
   | Crash _ -> "crash"
   | Spawn _ -> "spawn"
+  | Check_elided -> "check-elided"
+  | Stack_sanitize _ -> "stack-sanitize"
 
 (** Default simulated-cycle cost of the event itself, on top of the
     one-cycle-per-interpreted-op clock: rough Cortex-X3 prices from the
@@ -83,6 +95,8 @@ let cost = function
   | Host_call _ -> 20
   | Func_enter _ | Func_leave _ -> 2
   | Crash _ | Spawn _ -> 0
+  | Check_elided -> 0  (* the whole point: the check costs nothing *)
+  | Stack_sanitize _ -> 0
 
 (** Human-readable one-liner (black-box recorder, debugging). *)
 let pp ppf ev =
@@ -116,5 +130,10 @@ let pp ppf ev =
   | Func_leave { idx; name } -> f "leave %s (f%d)" name idx
   | Crash { cls; msg } -> f "crash [%s] %s" cls msg
   | Spawn { instance } -> f "spawn instance %d" instance
+  | Check_elided -> f "check-elided"
+  | Stack_sanitize { total; instrumented; escaping; unsafe_gep; guards } ->
+      f "stack-sanitize slots=%d instrumented=%d escaping=%d unsafe-gep=%d \
+         guards=%d"
+        total instrumented escaping unsafe_gep guards
 
 let to_string ev = Format.asprintf "%a" pp ev

@@ -162,6 +162,12 @@ type cage = {
   seg_size : histogram;
   span_len : histogram;
   fuel_per_call : histogram;
+  checks_elided : counter;
+  stack_slots : counter;
+  stack_instrumented : counter;
+  stack_escaping : counter;
+  stack_unsafe_gep : counter;
+  stack_guards : counter;
 }
 
 (* Sequential [let]s, not record-field expressions: OCaml evaluates
@@ -238,6 +244,30 @@ let cage () =
       ~help:"Watchdog fuel consumed per supervised invocation (log2 buckets)"
       "cage_fuel_per_call"
   in
+  let checks_elided =
+    counter r ~help:"MTE granule checks skipped (statically proven safe)"
+      "cage_checks_elided_total"
+  in
+  let stack_slots =
+    counter r ~help:"Stack slots seen by the sanitizer"
+      "cage_stack_slots_total"
+  in
+  let stack_instrumented =
+    counter r ~help:"Stack slots instrumented with tagged segments"
+      "cage_stack_slots_instrumented_total"
+  in
+  let stack_escaping =
+    counter r ~help:"Stack slots whose address escapes"
+      "cage_stack_slots_escaping_total"
+  in
+  let stack_unsafe_gep =
+    counter r ~help:"Stack slots accessed through unsafe GEPs"
+      "cage_stack_slots_unsafe_gep_total"
+  in
+  let stack_guards =
+    counter r ~help:"Guard slots inserted between stack frames"
+      "cage_stack_guard_slots_total"
+  in
   {
     registry = r;
     tag_faults;
@@ -259,6 +289,12 @@ let cage () =
     seg_size;
     span_len;
     fuel_per_call;
+    checks_elided;
+    stack_slots;
+    stack_instrumented;
+    stack_escaping;
+    stack_unsafe_gep;
+    stack_guards;
   }
 
 let observe_event m (ev : Event.t) =
@@ -286,3 +322,10 @@ let observe_event m (ev : Event.t) =
   | Func_leave _ -> ()
   | Crash _ -> inc m.crashes
   | Spawn _ -> inc m.spawns
+  | Check_elided -> inc m.checks_elided
+  | Stack_sanitize { total; instrumented; escaping; unsafe_gep; guards } ->
+      inc ~by:total m.stack_slots;
+      inc ~by:instrumented m.stack_instrumented;
+      inc ~by:escaping m.stack_escaping;
+      inc ~by:unsafe_gep m.stack_unsafe_gep;
+      inc ~by:guards m.stack_guards

@@ -130,7 +130,14 @@ let args_json b (ev : Event.t) =
   | Crash { cls; msg } ->
       field true "class" (str cls);
       field false "message" (str msg)
-  | Spawn { instance } -> field true "instance" (string_of_int instance));
+  | Spawn { instance } -> field true "instance" (string_of_int instance)
+  | Check_elided -> ()
+  | Stack_sanitize { total; instrumented; escaping; unsafe_gep; guards } ->
+      field true "total" (string_of_int total);
+      field false "instrumented" (string_of_int instrumented);
+      field false "escaping" (string_of_int escaping);
+      field false "unsafe_gep" (string_of_int unsafe_gep);
+      field false "guards" (string_of_int guards));
   Buffer.add_char b '}'
 
 (* Function enter/leave become duration-begin/end phases so Chrome draws

@@ -92,24 +92,42 @@ let check_tags (inst : Instance.t) access ~addr ~tag ~len =
   | Arch.Mte.Allowed | Arch.Mte.Deferred _ -> ()
   | Arch.Mte.Faulted f -> raise_tag_fault inst f
 
-(** Bounds + tag check + metering for a scalar load of [len] bytes. *)
-let load (inst : Instance.t) mem ~addr ~tag ~len =
+(* An elided access: the static analyzer proved the span in-bounds on a
+   definitely-live segment, so the MTE granule check (and its span-check
+   observability event) is skipped. The bounds check stays — elision
+   removes the {e tag} check only, never the sandbox. *)
+let note_elided (inst : Instance.t) =
+  (match inst.meter with
+  | Some m -> m.Meter.elided_checks <- m.Meter.elided_checks + 1
+  | None -> ());
+  if Obs.Hook.enabled () then Obs.Hook.event Obs.Event.Check_elided
+
+(** Bounds + tag check + metering for a scalar load of [len] bytes.
+    [~elide:true] skips the tag check (statically proven safe). *)
+let load ?(elide = false) (inst : Instance.t) mem ~addr ~tag ~len =
   if not (Memory.in_bounds mem ~addr ~len) then
     trap "bounds: out of bounds memory access";
-  Obs.Hook.span_check len;
-  check_tags inst Arch.Mte.Load ~addr ~tag ~len:(Int64.of_int len);
+  if elide then note_elided inst
+  else begin
+    Obs.Hook.span_check len;
+    check_tags inst Arch.Mte.Load ~addr ~tag ~len:(Int64.of_int len)
+  end;
   match inst.meter with
   | Some m ->
       m.Meter.loads <- m.Meter.loads + 1;
       m.Meter.load_bytes <- m.Meter.load_bytes + len
   | None -> ()
 
-(** Bounds + tag check + metering for a scalar store of [len] bytes. *)
-let store (inst : Instance.t) mem ~addr ~tag ~len =
+(** Bounds + tag check + metering for a scalar store of [len] bytes.
+    [~elide:true] skips the tag check (statically proven safe). *)
+let store ?(elide = false) (inst : Instance.t) mem ~addr ~tag ~len =
   if not (Memory.in_bounds mem ~addr ~len) then
     trap "bounds: out of bounds memory access";
-  Obs.Hook.span_check len;
-  check_tags inst Arch.Mte.Store ~addr ~tag ~len:(Int64.of_int len);
+  if elide then note_elided inst
+  else begin
+    Obs.Hook.span_check len;
+    check_tags inst Arch.Mte.Store ~addr ~tag ~len:(Int64.of_int len)
+  end;
   match inst.meter with
   | Some m ->
       m.Meter.stores <- m.Meter.stores + 1;

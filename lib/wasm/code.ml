@@ -21,7 +21,12 @@ type label =
           hard trap, never a silent arity-0 branch *)
 
 type instr =
-  | Basic of Ast.instr  (** no intra-function control flow *)
+  | Basic of Ast.instr * int
+      (** no intra-function control flow; the [int] is the instruction's
+          preorder id within its function (list order, block/loop bodies
+          recursed, [if] then-branch before else-branch — the exact
+          numbering {!Analysis} replicates over the AST, so a static
+          elision proof for id [n] applies to this instruction) *)
   | Block of int * instr array  (** label arity, body *)
   | Loop of instr array  (** loop labels have arity 0 (MVP shorthand) *)
   | If of int * instr array * instr array
@@ -30,7 +35,15 @@ type instr =
   | BrTable of label array * label
   | Return of int  (** function result arity *)
 
-type func = { body : instr array; result_arity : int }
+type func = {
+  body : instr array;
+  result_arity : int;
+  elide : Bytes.t;
+      (** bitset over basic-instruction ids (byte [id/8], bit [id mod 8]):
+          a set bit means a whole-module analysis proved this load/store
+          in-bounds on a definitely-live segment, so the MTE granule
+          check may be skipped. [Bytes.empty] = no elision. *)
+}
 
 let block_arity : Ast.block_type -> int = function
   | Ast.ValBlock None -> 0
@@ -43,18 +56,27 @@ let resolve arities n =
   | Some arity -> L { depth = n; arity }
   | None -> Bad_label n
 
-let rec prepare_block arities (instrs : Ast.instr list) : instr array =
-  Array.of_list (List.map (prepare_instr arities) instrs)
+(* Explicit left-to-right recursion: the id counter in [next] makes the
+   traversal order part of the numbering contract. *)
+let rec prepare_block next arities (instrs : Ast.instr list) : instr array =
+  let rec go acc = function
+    | [] -> Array.of_list (List.rev acc)
+    | i :: rest ->
+        let p = prepare_instr next arities i in
+        go (p :: acc) rest
+  in
+  go [] instrs
 
-and prepare_instr arities : Ast.instr -> instr = function
+and prepare_instr next arities : Ast.instr -> instr = function
   | Ast.Block (bt, body) ->
       let a = block_arity bt in
-      Block (a, prepare_block (a :: arities) body)
-  | Ast.Loop (_, body) -> Loop (prepare_block (0 :: arities) body)
+      Block (a, prepare_block next (a :: arities) body)
+  | Ast.Loop (_, body) -> Loop (prepare_block next (0 :: arities) body)
   | Ast.If (bt, then_, else_) ->
       let a = block_arity bt in
       let arities = a :: arities in
-      If (a, prepare_block arities then_, prepare_block arities else_)
+      let then_ = prepare_block next arities then_ in
+      If (a, then_, prepare_block next arities else_)
   | Ast.Br n -> Br (resolve arities n)
   | Ast.BrIf n -> BrIf (resolve arities n)
   | Ast.BrTable (targets, default) ->
@@ -62,8 +84,21 @@ and prepare_instr arities : Ast.instr -> instr = function
         (Array.of_list (List.map (resolve arities) targets),
          resolve arities default)
   | Ast.Return -> Return (List.nth arities (List.length arities - 1))
-  | i -> Basic i
+  | i ->
+      let id = !next in
+      incr next;
+      Basic (i, id)
 
-(** Prepare a function body whose type has [result_arity] results. *)
-let prepare ~result_arity (body : Ast.instr list) : func =
-  { body = prepare_block [ result_arity ] body; result_arity }
+(** True when basic-instruction id [id] is marked elidable in [elide]. *)
+let elidable elide id =
+  let byte = id lsr 3 in
+  byte < Bytes.length elide
+  && Char.code (Bytes.unsafe_get elide byte) land (1 lsl (id land 7)) <> 0
+
+(** Prepare a function body whose type has [result_arity] results.
+    [elide], when given, is the per-function bitset produced by the
+    static analyzer (see {!elidable}). *)
+let prepare ?(elide = Bytes.empty) ~result_arity (body : Ast.instr list) :
+    func =
+  let next = ref 0 in
+  { body = prepare_block next [ result_arity ] body; result_arity; elide }

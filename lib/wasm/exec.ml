@@ -269,7 +269,8 @@ let drain_deferred (inst : Instance.t) =
           inst.last_fault <- Some f;
           trap "deferred: %a" Arch.Mte.pp_fault f)
 
-let do_load (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memarg) =
+let do_load ?elide (inst : Instance.t) stack (ty : Types.num_type) pack
+    (ma : Ast.memarg) =
   let mem = memory inst in
   let addr, tag = Checked.resolve_addr (pop stack) ma.offset in
   let size =
@@ -277,7 +278,7 @@ let do_load (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memar
     | None -> ( match ty with I32 | F32 -> 4 | I64 | F64 -> 8)
     | Some (p, _) -> ( match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4)
   in
-  Checked.load inst mem ~addr ~tag ~len:size;
+  Checked.load ?elide inst mem ~addr ~tag ~len:size;
   let v =
     try
       match (ty, pack) with
@@ -303,7 +304,8 @@ let do_load (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memar
   in
   push stack v
 
-let do_store (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.memarg) =
+let do_store ?elide (inst : Instance.t) stack (ty : Types.num_type) pack
+    (ma : Ast.memarg) =
   let mem = memory inst in
   let v = pop stack in
   let addr, tag = Checked.resolve_addr (pop stack) ma.offset in
@@ -312,7 +314,7 @@ let do_store (inst : Instance.t) stack (ty : Types.num_type) pack (ma : Ast.mema
     | None -> ( match ty with I32 | F32 -> 4 | I64 | F64 -> 8)
     | Some p -> ( match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4)
   in
-  Checked.store inst mem ~addr ~tag ~len:size;
+  Checked.store ?elide inst mem ~addr ~tag ~len:size;
   try
     match (ty, pack, v) with
     | I32, None, Values.I32 x -> Memory.store_i32 mem addr x
@@ -485,20 +487,25 @@ let take_branch stack : Code.label -> 'a = function
   | Code.L { depth; arity } -> raise (Branch (depth, popn stack arity))
   | Code.Bad_label n -> trap "branch depth %d out of range" n
 
-let rec eval (inst : Instance.t) ~depth locals stack (code : Code.instr array) =
-  Array.iter (eval_instr inst ~depth locals stack) code
+(* [elide] is the current function's elision bitset (Code.func.elide),
+   threaded down so the Load/Store dispatch can test its instruction id
+   in O(1); [Bytes.empty] when no analysis ran. *)
+let rec eval (inst : Instance.t) ~depth ~elide locals stack
+    (code : Code.instr array) =
+  Array.iter (eval_instr inst ~depth ~elide locals stack) code
 
-and eval_instr (inst : Instance.t) ~depth locals stack (ins : Code.instr) =
+and eval_instr (inst : Instance.t) ~depth ~elide locals stack
+    (ins : Code.instr) =
   obs_tick inst;
   match ins with
-  | Code.Basic i -> eval_basic inst ~depth locals stack i
+  | Code.Basic (i, id) -> eval_basic inst ~depth ~elide locals stack i id
   | Code.Block (_, body) -> (
-      try eval inst ~depth locals stack body with
+      try eval inst ~depth ~elide locals stack body with
       | Branch (0, vs) -> List.iter (push stack) vs
       | Branch (n, vs) -> raise (Branch (n - 1, vs)))
   | Code.Loop body ->
       let rec iter () =
-        match eval inst ~depth locals stack body with
+        match eval inst ~depth ~elide locals stack body with
         | () -> ()
         | exception Branch (0, _) ->
             meter_br inst;
@@ -510,7 +517,7 @@ and eval_instr (inst : Instance.t) ~depth locals stack (ins : Code.instr) =
       meter_br inst;
       let c = pop_i32 stack in
       let body = if not (Int32.equal c 0l) then then_ else else_ in
-      try eval inst ~depth locals stack body with
+      try eval inst ~depth ~elide locals stack body with
       | Branch (0, vs) -> List.iter (push stack) vs
       | Branch (n, vs) -> raise (Branch (n - 1, vs)))
   | Code.Br l ->
@@ -534,7 +541,8 @@ and eval_instr (inst : Instance.t) ~depth locals stack (ins : Code.instr) =
       | None -> ());
       raise (Ret (popn stack arity))
 
-and eval_basic (inst : Instance.t) ~depth locals stack (ins : Ast.instr) =
+and eval_basic (inst : Instance.t) ~depth ~elide locals stack
+    (ins : Ast.instr) (id : int) =
   let meter f = match inst.meter with Some m -> f m | None -> () in
   match ins with
   | Unreachable -> trap "unreachable executed"
@@ -671,8 +679,10 @@ and eval_basic (inst : Instance.t) ~depth locals stack (ins : Ast.instr) =
   | Cvtop op ->
       meter (fun m -> m.cvt <- m.cvt + 1);
       push stack (eval_cvtop op (pop stack))
-  | Load (ty, pack, ma) -> do_load inst stack ty pack ma
-  | Store (ty, pack, ma) -> do_store inst stack ty pack ma
+  | Load (ty, pack, ma) ->
+      do_load ~elide:(Code.elidable elide id) inst stack ty pack ma
+  | Store (ty, pack, ma) ->
+      do_store ~elide:(Code.elidable elide id) inst stack ty pack ma
   | MemorySize ->
       let mem = memory inst in
       let pages = Memory.size_pages mem in
@@ -767,7 +777,7 @@ and invoke_idx (inst : Instance.t) ~depth stack i =
           (Obs.Event.Func_enter { idx = i; name = Instance.func_name inst i })
       end;
       let fstack = ref [] in
-      (try eval inst ~depth locals fstack code.Code.body
+      (try eval inst ~depth ~elide:code.Code.elide locals fstack code.Code.body
        with
       | Ret vs -> List.iter (push fstack) vs
       | Branch (_, vs) -> List.iter (push fstack) vs);
@@ -869,8 +879,13 @@ let instantiate ?(config = Instance.default_config)
         else
           let f = List.nth m.funcs (i - n_imports) in
           let ty = List.nth m.types f.ftype in
+          let elide =
+            let j = i - n_imports in
+            if j < Array.length config.elide then config.elide.(j)
+            else Bytes.empty
+          in
           let code =
-            Code.prepare ~result_arity:(List.length ty.results) f.body
+            Code.prepare ~elide ~result_arity:(List.length ty.results) f.body
           in
           Wasm_func { inst_id = id; func = f; ty; code })
   in

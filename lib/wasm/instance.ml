@@ -71,6 +71,10 @@ type config = {
   seed : int;
   meter : Meter.t option;
   fuel : int;  (** initial watchdog budget; [-1] = unlimited *)
+  elide : Bytes.t array;
+      (** per-local-function elision bitsets from the static analyzer
+          (index = function index minus imports, see {!Code.elidable});
+          [[||]] (the default) disables elision entirely *)
 }
 
 let default_config = {
@@ -83,6 +87,7 @@ let default_config = {
   seed = 0;
   meter = None;
   fuel = -1;
+  elide = [||];
 }
 
 let func_type = function

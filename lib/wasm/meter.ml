@@ -39,6 +39,11 @@ type t = {
   mutable seg_free_granules : int;
   mutable ptr_sign : int;
   mutable ptr_auth : int;
+  mutable elided_checks : int;
+      (** loads/stores whose MTE granule check was skipped because the
+          static analyzer proved them safe. Counted {e in addition to}
+          [loads]/[stores] (the access itself still happens), so it is
+          deliberately not part of {!total} or {!pp}. *)
 }
 
 let create () = {
@@ -49,7 +54,7 @@ let create () = {
   bulk_fill = 0; bulk_copy = 0;
   seg_new = 0; seg_new_granules = 0; seg_set_tag = 0;
   seg_set_tag_granules = 0; seg_free = 0; seg_free_granules = 0;
-  ptr_sign = 0; ptr_auth = 0;
+  ptr_sign = 0; ptr_auth = 0; elided_checks = 0;
 }
 
 let reset t =
@@ -60,7 +65,8 @@ let reset t =
   t.stores <- 0; t.store_bytes <- 0; t.mem_grow <- 0;
   t.bulk_fill <- 0; t.bulk_copy <- 0; t.seg_new <- 0;
   t.seg_new_granules <- 0; t.seg_set_tag <- 0; t.seg_set_tag_granules <- 0;
-  t.seg_free <- 0; t.seg_free_granules <- 0; t.ptr_sign <- 0; t.ptr_auth <- 0
+  t.seg_free <- 0; t.seg_free_granules <- 0; t.ptr_sign <- 0;
+  t.ptr_auth <- 0; t.elided_checks <- 0
 
 (** Total executed wasm operations (rough instruction count). *)
 let total t =
@@ -77,8 +83,11 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<v>ops: %d@ loads: %d (%d B)@ stores: %d (%d B)@ calls: %d (+%d \
      indirect)@ bulk: fill %d / copy %d@ segments: new %d (%d gr) / set_tag \
-     %d (%d gr) / free %d (%d gr)@ pac: sign %d / auth %d@]"
+     %d (%d gr) / free %d (%d gr)@ pac: sign %d / auth %d"
     (total t) t.loads t.load_bytes t.stores t.store_bytes t.call
     t.call_indirect t.bulk_fill t.bulk_copy t.seg_new t.seg_new_granules
     t.seg_set_tag t.seg_set_tag_granules t.seg_free t.seg_free_granules
-    t.ptr_sign t.ptr_auth
+    t.ptr_sign t.ptr_auth;
+  if t.elided_checks > 0 then
+    Format.fprintf ppf "@ elided tag checks: %d" t.elided_checks;
+  Format.fprintf ppf "@]"

@@ -117,6 +117,20 @@ let require_cage ctx name =
   if (memory ctx).mem_idx <> Types.Idx64 then
     error "%s requires a 64-bit (memory64) memory" name
 
+(* Extra static checks for the three segment instructions: the static
+   offset must respect 16-byte MTE granule alignment (a misaligned
+   segment base can never be tagged), and the memory must actually have
+   tag space — a zero-min-page memory has no granules to tag, so every
+   segment op on it would be a guaranteed runtime trap. Rejecting both
+   at validation time instead keeps "validated implies taggable". *)
+let require_segment ctx name o =
+  require_cage ctx name;
+  if o < 0L then error "%s: negative offset" name;
+  if Int64.rem o 16L <> 0L then
+    error "%s: offset %Ld is not 16-byte granule aligned" name o;
+  if (memory ctx).mem_limits.Types.min = 0L then
+    error "%s: memory has no tag space (zero minimum pages)" name
+
 let check_align (ma : Ast.memarg) ~natural =
   if ma.align < 0 || (1 lsl ma.align) > natural then
     error "alignment 2^%d larger than natural %d" ma.align natural;
@@ -329,20 +343,17 @@ let rec instr ctx (ins : Ast.instr) =
       let a = addr_ty ctx in
       pop ctx a; pop ctx a; pop ctx a
   | SegmentNew o ->
-      require_cage ctx "segment.new";
-      if o < 0L then error "segment.new: negative offset";
+      require_segment ctx "segment.new" o;
       pop ctx Types.I64;
       pop ctx Types.I64;
       push ctx Types.I64
   | SegmentSetTag o ->
-      require_cage ctx "segment.set_tag";
-      if o < 0L then error "segment.set_tag: negative offset";
+      require_segment ctx "segment.set_tag" o;
       pop ctx Types.I64;
       pop ctx Types.I64;
       pop ctx Types.I64
   | SegmentFree o ->
-      require_cage ctx "segment.free";
-      if o < 0L then error "segment.free: negative offset";
+      require_segment ctx "segment.free" o;
       pop ctx Types.I64;
       pop ctx Types.I64
   | PointerSign ->

@@ -21,6 +21,19 @@ diff test/golden/detection_matrix.golden _build/detection_matrix.out
 echo "== chaos fuzz (200 seeded programs)"
 dune exec bin/cage_chaos.exe -- fuzz --count 200
 
+echo "== cage-lint (golden diff: quickstart + CVE suite)"
+{ dune exec bin/cage_lint.exe -- examples/quickstart.c
+  dune exec bin/cage_lint.exe -- --cve-suite
+} > _build/lint.out
+diff test/golden/lint.golden _build/lint.out
+
+echo "== check-elision differential (200 seeded programs)"
+dune exec bin/cage_chaos.exe -- elidediff --count 200
+
+echo "== detection matrix with elision (must match the golden byte-for-byte)"
+dune exec bin/cage_chaos.exe -- matrix --seed 7 --elide > _build/detection_matrix_elide.out
+diff test/golden/detection_matrix.golden _build/detection_matrix_elide.out
+
 echo "== metrics snapshot (golden diff, quickstart seed 7)"
 dune exec bin/cage_run.exe -- examples/quickstart.c --config CAGE --seed 7 \
   --metrics > _build/metrics.out 2>/dev/null || true  # guest tag fault: exit 1 by design

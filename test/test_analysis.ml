@@ -1,0 +1,194 @@
+(* Tests for the whole-module tag-safety analyzer (cage-lint) and the
+   check-elision plan it derives. *)
+
+module I = Analysis.Interval
+
+let iv = Alcotest.testable (fun ppf (t : I.t) ->
+    let b = function Some v -> Int64.to_string v | None -> "_" in
+    Format.fprintf ppf "[%s,%s]" (b t.I.lo) (b t.I.hi))
+    I.equal
+
+(* ------------------------------------------------------------------ *)
+(* Interval arithmetic                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_basics () =
+  Alcotest.(check iv) "add" (I.range 3L 7L) (I.add (I.range 1L 2L) (I.range 2L 5L));
+  Alcotest.(check iv) "sub" (I.range (-4L) 0L)
+    (I.sub (I.range 1L 2L) (I.range 2L 5L));
+  Alcotest.(check iv) "mul nonneg" (I.range 0L 10L)
+    (I.mul (I.range 0L 2L) (I.range 0L 5L));
+  Alcotest.(check iv) "mul mixed signs is top" I.top
+    (I.mul (I.range (-2L) 2L) (I.range 0L 5L));
+  Alcotest.(check iv) "join" (I.range 0L 9L) (I.join (I.range 0L 2L) (I.range 7L 9L));
+  Alcotest.(check (option iv)) "meet" (Some (I.range 2L 5L))
+    (I.meet (I.range 0L 5L) (I.range 2L 9L));
+  Alcotest.(check (option iv)) "empty meet" None
+    (I.meet (I.range 0L 1L) (I.range 5L 9L))
+
+let test_interval_widen () =
+  (* widening drops the moving bound to infinity, keeps the stable one *)
+  let w = I.widen ~prev:(I.range 0L 4L) ~next:(I.range 0L 8L) in
+  Alcotest.(check iv) "hi widens" (I.of_bounds (Some 0L) None) w;
+  let w = I.widen ~prev:(I.range 0L 4L) ~next:(I.range 0L 4L) in
+  Alcotest.(check iv) "stable stays" (I.range 0L 4L) w
+
+let test_interval_overflow_safe () =
+  (* bound arithmetic near Int64 extremes must go to top, not wrap *)
+  let huge = I.const Int64.max_int in
+  let r = I.add huge (I.const 1L) in
+  Alcotest.(check bool) "overflowing add has no finite hi" true (r.I.hi = None);
+  Alcotest.(check (option int64)) "exact add detects overflow" None
+    (I.add_exact Int64.max_int 1L)
+
+let test_interval_bitops () =
+  (* logand with a nonneg constant mask is bounded by the mask *)
+  let m = I.logand I.top (I.const 0xffL) in
+  Alcotest.(check bool) "mask bounds result" true
+    (I.is_nonneg m && match m.I.hi with Some h -> h <= 0xffL | None -> false);
+  let u = I.rem_u I.top (I.const 8L) in
+  Alcotest.(check bool) "rem_u bounded" true
+    (I.is_nonneg u && match u.I.hi with Some h -> h <= 7L | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-module lint                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let compile ?(cfg = Cage.Config.mem_safety) source =
+  let opts = Minic.Driver.options_of_config cfg in
+  let prelude = Libc.Source.prelude_of_config cfg in
+  (Minic.Driver.compile ~opts ~prelude source).Minic.Driver.co_module
+
+let lint ?cfg source = Analysis.Lint.run (compile ?cfg source)
+
+let test_cve_suite_all_flagged () =
+  (* every Table 2 known-bad pattern must produce at least one
+     diagnostic before execution *)
+  List.iter
+    (fun (e : Workloads.Cve_suite.entry) ->
+      let t = lint e.source in
+      if Analysis.Lint.clean t then
+        Alcotest.failf "%s: no diagnostics for a known-bad program" e.cve)
+    Workloads.Cve_suite.entries
+
+let test_cve_uaf_definite () =
+  (* the three UAF recreations are statically definite *)
+  List.iter
+    (fun cve ->
+      let e =
+        List.find
+          (fun (e : Workloads.Cve_suite.entry) -> e.cve = cve)
+          Workloads.Cve_suite.entries
+      in
+      let t = lint e.Workloads.Cve_suite.source in
+      Alcotest.(check bool)
+        (cve ^ " has a definite diagnostic")
+        true (t.Analysis.Lint.definite >= 1))
+    [ "CVE-2021-22940"; "CVE-2021-33574"; "CVE-2020-1752"; "CVE-2019-11932" ]
+
+let test_polybench_clean () =
+  (* correct programs: zero diagnostics, nonzero elision *)
+  List.iter
+    (fun (k : Workloads.Polybench.kernel) ->
+      let t = lint k.k_source in
+      if not (Analysis.Lint.clean t) then
+        Alcotest.failf "%s: spurious diagnostics:@ %s" k.k_name
+          (String.concat "\n" (Analysis.Lint.to_lines t));
+      if t.Analysis.Lint.elide_proven = 0 then
+        Alcotest.failf "%s: no access proven elidable" k.k_name)
+    Workloads.Polybench.all
+
+let test_quickstart_one_bug () =
+  (* tests run from _build/default/test; walk up until the example is
+     found so this works from the source tree too *)
+  let rec find dir n =
+    let p = Filename.concat dir "examples/quickstart.c" in
+    if Sys.file_exists p then p
+    else if n = 0 then Alcotest.fail "examples/quickstart.c not found"
+    else find (Filename.concat dir Filename.parent_dir_name) (n - 1)
+  in
+  let source =
+    In_channel.with_open_text (find Filename.current_dir_name 6)
+      In_channel.input_all
+  in
+  let t = lint source in
+  Alcotest.(check int) "exactly one diagnostic" 1
+    (List.length t.Analysis.Lint.diags);
+  Alcotest.(check int) "it is possible, not definite" 1
+    t.Analysis.Lint.possible
+
+(* ------------------------------------------------------------------ *)
+(* Elision                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_elide_plan_nonempty () =
+  let m = compile (List.hd Workloads.Polybench.all).Workloads.Polybench.k_source in
+  let p = Analysis.Elide.plan m in
+  Alcotest.(check bool) "some accesses proven" true (p.Analysis.Elide.proven > 0);
+  Alcotest.(check bool) "proven <= considered" true
+    (p.Analysis.Elide.proven <= p.Analysis.Elide.considered)
+
+let test_elide_differential () =
+  (* a small in-process slice of the 200-seed CI gate *)
+  let r = Harness.Elide_diff.run ~count:8 ~seed0:3000 () in
+  if not (Harness.Elide_diff.ok r) then
+    Alcotest.failf "elision diverged:@ %s"
+      (String.concat "\n" r.Harness.Elide_diff.ed_failures);
+  Alcotest.(check bool) "checks actually elided" true
+    (r.Harness.Elide_diff.ed_elided > 0)
+
+let test_elide_preserves_trap () =
+  (* a program with a real bug must still trap identically with
+     elision on: the analyzer only elides proven-safe accesses *)
+  let source =
+    {|
+      int main() {
+        long *p = (long*)malloc(32);
+        p[0] = 1;
+        free(p);
+        return (int)p[0];  /* UAF: must tag-fault either way */
+      }
+    |}
+  in
+  let trap_of cfg =
+    match Libc.Run.run ~cfg source with
+    | _ -> None
+    | exception Wasm.Instance.Trap msg -> Some msg
+  in
+  let plain = trap_of Cage.Config.mem_safety in
+  let elided = trap_of (Cage.Config.with_elision Cage.Config.mem_safety) in
+  (* allocation-tag numbers in the message vary with the global tag
+     draw, so compare the fault class, not the exact rendering *)
+  let is_tag_fault = function
+    | Some msg -> Astring.String.is_infix ~affix:"tag fault" msg
+    | None -> false
+  in
+  Alcotest.(check bool) "baseline tag-faults" true (is_tag_fault plain);
+  Alcotest.(check bool) "elided run tag-faults too" true (is_tag_fault elided)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "interval",
+        [
+          tc "basics" test_interval_basics;
+          tc "widening" test_interval_widen;
+          tc "overflow safe" test_interval_overflow_safe;
+          tc "bit operations" test_interval_bitops;
+        ] );
+      ( "lint",
+        [
+          tc "cve suite all flagged" test_cve_suite_all_flagged;
+          tc "uaf entries definite" test_cve_uaf_definite;
+          tc "polybench clean" test_polybench_clean;
+          tc "quickstart one bug" test_quickstart_one_bug;
+        ] );
+      ( "elision",
+        [
+          tc "plan nonempty" test_elide_plan_nonempty;
+          tc "differential slice" test_elide_differential;
+          tc "trap preserved" test_elide_preserves_trap;
+        ] );
+    ]

@@ -726,6 +726,66 @@ let test_unsafe_stack_instrumented () =
   Alcotest.(check int) "dynamic index instrumented" 1
     c.Minic.Driver.co_sanitizer.Minic.Stack_sanitizer.instrumented
 
+(* Escape-analysis corner cases: every way of laundering a slot address
+   out of direct addressing position must mark the slot as escaping —
+   missing any of these would leave a reachable stack slot untagged. *)
+
+let escaping_of src =
+  let opts = Minic.Driver.options_of_config Cage.Config.mem_safety in
+  let c = Minic.Driver.compile ~opts src in
+  c.Minic.Driver.co_sanitizer.Minic.Stack_sanitizer.escaping
+
+let test_escape_cvt_laundering () =
+  (* the address round-trips through an int: the Cvt chain must reset
+     the "safe addressing context" flag even though the final use is a
+     load address *)
+  let src =
+    {|
+      long f() {
+        long a[2];
+        a[0] = 5;
+        return *(long*)(long)(int)(long)&a[0];
+      }
+      int main() { return (int)f(); }
+    |}
+  in
+  Alcotest.(check int) "cast-laundered address escapes" 1 (escaping_of src)
+
+let test_escape_store_reload () =
+  (* the address is written to memory and reloaded; the reload is
+     untrackable, so the store itself must count as an escape *)
+  let src =
+    {|
+      int g() {
+        int a[2];
+        int *save[1];
+        save[0] = &a[0];
+        int *p = save[0];
+        *p = 3;
+        return a[0];
+      }
+      int main() { return g(); }
+    |}
+  in
+  Alcotest.(check int) "stored-then-reloaded address escapes" 1
+    (escaping_of src)
+
+let test_escape_arith_mixed () =
+  (* address + offset materialised as a plain value (not under a
+     load/store) and dereferenced later *)
+  let src =
+    {|
+      int h() {
+        long a[4];
+        a[1] = 7;
+        long v = (long)&a[0] + 8;
+        return (int)*(long*)v;
+      }
+      int main() { return h(); }
+    |}
+  in
+  Alcotest.(check int) "arithmetic-mixed address escapes" 1 (escaping_of src)
+
 let test_instrument_all_ablation () =
   let src =
     {|
@@ -1027,6 +1087,9 @@ let () =
           tc "stack overflow" test_stack_overflow_caught;
           tc "safe stack untouched" test_safe_stack_not_instrumented;
           tc "unsafe stack instrumented" test_unsafe_stack_instrumented;
+          tc "escape via cast laundering" test_escape_cvt_laundering;
+          tc "escape via store/reload" test_escape_store_reload;
+          tc "escape via arithmetic" test_escape_arith_mixed;
           tc "instrument-all ablation" test_instrument_all_ablation;
           tc "pauth config" test_pauth_config_runs;
           tc "full CAGE" test_full_cage_runs_everything;

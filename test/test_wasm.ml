@@ -495,6 +495,53 @@ let test_validate_pointer_sign_type () =
     (module_of
        [ (ft [] [ Types.I64 ], [], [ Ast.I32Const 0l; Ast.PointerSign ]) ])
 
+let test_validate_segment_unaligned_offset () =
+  expect_invalid ~substring:"granule aligned"
+    (module_of
+       [ (ft [] [ Types.I64 ], [],
+          [ Ast.I64Const 0L; Ast.I64Const 16L; Ast.SegmentNew 8L ]) ])
+
+let test_validate_segment_negative_offset () =
+  expect_invalid ~substring:"negative offset"
+    (module_of
+       [ (ft [] [], [],
+          [ Ast.I64Const 0L; Ast.I64Const 16L; Ast.SegmentFree (-16L) ]) ])
+
+let test_validate_segment_no_tag_space () =
+  (* zero minimum pages: no granules exist, every segment op would trap *)
+  let mem0 =
+    { Types.mem_idx = Types.Idx64;
+      mem_limits = { Types.min = 0L; max = Some 16L } }
+  in
+  expect_invalid ~substring:"tag space"
+    (module_of ~memory:(Some mem0)
+       [ (ft [] [ Types.I64 ], [],
+          [ Ast.I64Const 0L; Ast.I64Const 16L; Ast.SegmentNew 0L ]) ])
+
+let test_validate_segment_operand_types () =
+  (* segment.new takes [i64 i64]; an i32 length must be rejected *)
+  expect_invalid ~substring:"type mismatch"
+    (module_of
+       [ (ft [] [ Types.I64 ], [],
+          [ Ast.I64Const 0L; Ast.I32Const 16l; Ast.SegmentNew 0L ]) ]);
+  (* segment.set_tag takes [i64 i64 i64] *)
+  expect_invalid ~substring:"type mismatch"
+    (module_of
+       [ (ft [] [], [],
+          [ Ast.I32Const 0l; Ast.I64Const 0L; Ast.I64Const 32L;
+            Ast.SegmentSetTag 0L ]) ]);
+  (* segment.free takes [i64 i64] and pushes nothing *)
+  expect_invalid ~substring:"type mismatch"
+    (module_of
+       [ (ft [] [], [],
+          [ Ast.I64Const 0L; Ast.I32Const 32l; Ast.SegmentFree 0L ]) ])
+
+let test_validate_segment_requires_memory () =
+  expect_invalid ~substring:"memory"
+    (module_of ~memory:None
+       [ (ft [] [ Types.I64 ], [],
+          [ Ast.I64Const 0L; Ast.I64Const 16L; Ast.SegmentNew 0L ]) ])
+
 (* ------------------------------------------------------------------ *)
 (* Cage extension semantics                                            *)
 (* ------------------------------------------------------------------ *)
@@ -1226,6 +1273,11 @@ let () =
           tc "cage requires memory64" test_validate_cage_requires_memory64;
           tc "cage typing accepts" test_validate_cage_typing;
           tc "pointer_sign wants i64" test_validate_pointer_sign_type;
+          tc "segment unaligned offset" test_validate_segment_unaligned_offset;
+          tc "segment negative offset" test_validate_segment_negative_offset;
+          tc "segment no tag space" test_validate_segment_no_tag_space;
+          tc "segment operand types" test_validate_segment_operand_types;
+          tc "segment requires memory" test_validate_segment_requires_memory;
         ] );
       ( "cage-extension",
         [
