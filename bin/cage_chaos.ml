@@ -8,7 +8,8 @@ let usage () =
   prerr_endline
     "usage: cage_chaos matrix [--seed N] [--elide]\n\
     \       cage_chaos fuzz [--count N] [--seed N]\n\
-    \       cage_chaos elidediff [--count N] [--seed N]";
+    \       cage_chaos elidediff [--count N] [--seed N]\n\
+    \       cage_chaos served [--seed N]";
   exit 2
 
 let int_flag argv name ~default =
@@ -35,6 +36,13 @@ let () =
       Format.printf "%a@." Harness.Detection_matrix.pp_fuzz_stats stats;
       List.iter print_endline stats.Harness.Detection_matrix.fz_failures;
       if stats.Harness.Detection_matrix.fz_failures <> [] then exit 1
+  | _ :: "served" :: rest ->
+      (* the detection matrix's serving-path companion: every fault
+         site driven through pool + supervisor + retry *)
+      let seed = int_flag rest "--seed" ~default:7 in
+      let rows = Harness.Serve_bench.served_matrix ~seed () in
+      Harness.Serve_bench.render_served ~seed Format.std_formatter rows;
+      if Harness.Serve_bench.served_violations rows <> [] then exit 1
   | _ :: "elidediff" :: rest ->
       let seed0 = int_flag rest "--seed" ~default:0 in
       let count = int_flag rest "--count" ~default:200 in

@@ -6,9 +6,17 @@
     drawn from the policy is installed globally and the hardware models
     ([Mte.check], [Pac.auth], the checked-access layer, the segment
     instructions) consult it at the exact points where a real bit-flip,
-    glitch or lost interrupt would land. Everything is driven by one
-    seeded PRNG, so a (seed, policy) pair replays the identical fault
-    sequence — the detection matrix and the chaos fuzzer depend on it.
+    glitch or lost interrupt would land.
+
+    Randomness is split into per-{e lane} streams: a lane is one
+    victim instance's stable identity (its spawn ordinal — the
+    supervisor sets the lane at every invocation boundary), and each
+    lane's PRNG is derived from (engine seed, lane). Injection budgets
+    and per-site caps are accounted per lane too. The consequence is
+    the property pool-concurrent serving depends on: instance [i]'s
+    fault sequence is a function of the policy and [i] alone, so any
+    interleaving of draws across instances replays the identical
+    per-instance fault sequences.
 
     When no engine is installed every hook is a single load-and-compare
     on the [None] fast path: the uninstrumented hot path is untouched. *)
@@ -40,10 +48,11 @@ type policy = {
   probability : float;        (** default chance a visited site fires *)
   site_probability : (site * float) list;  (** per-site overrides *)
   sites : site list;          (** sites armed at all *)
-  max_injections : int;       (** total injection budget *)
+  max_injections : int;       (** per-lane injection budget *)
   site_max : (site * int) list;
-      (** per-site caps within the total budget — e.g. one tag flip but
-          unlimited dropped TFSR latches for the lost-interrupt model *)
+      (** per-site caps within the per-lane budget — e.g. one tag flip
+          but unlimited dropped TFSR latches for the lost-interrupt
+          model *)
 }
 
 let policy ?(probability = 1.0) ?(site_probability = [])
@@ -53,25 +62,53 @@ let policy ?(probability = 1.0) ?(site_probability = [])
 type injection = {
   inj_site : site;
   inj_index : int;               (** 0-based order of injection *)
+  inj_lane : int;                (** lane (instance) the fault landed in *)
   mutable inj_detail : string;   (** filled in by the injecting hook *)
+}
+
+(* One lane = one victim identity. The PRNG is derived from
+   (policy seed, lane), and budgets are tracked here, so a lane's
+   behaviour is independent of every other lane's draw history. *)
+type lane_state = {
+  ln_lane : int;
+  ln_rng : Random.State.t;
+  mutable ln_count : int;
+  mutable ln_site_counts : (site * int) list;
 }
 
 type t = {
   pol : policy;
-  rng : Random.State.t;
-  mutable injected : injection list;  (* newest first *)
+  mutable lanes : lane_state list;     (* keyed by ln_lane *)
+  mutable cur : lane_state;            (* the lane draws land in *)
+  mutable injected : injection list;   (* newest first, all lanes *)
   mutable scribble_at : int64 option;
       (* a Heap_scribble records the doomed address here; the runtime
          applies the write at the next synchronization point, once the
          allocator has finished publishing the free-list link *)
 }
 
+let lane_state pol lane =
+  {
+    ln_lane = lane;
+    ln_rng = Random.State.make [| pol.seed; lane |];
+    ln_count = 0;
+    ln_site_counts = [];
+  }
+
 let create pol =
-  { pol; rng = Random.State.make [| pol.seed |]; injected = [];
-    scribble_at = None }
+  let l0 = lane_state pol 0 in
+  { pol; lanes = [ l0 ]; cur = l0; injected = []; scribble_at = None }
 
 let count t = List.length t.injected
 let injections t = List.rev t.injected
+
+let lane_injections t lane =
+  List.rev (List.filter (fun i -> i.inj_lane = lane) t.injected)
+
+let lane_count t lane =
+  match List.find_opt (fun l -> l.ln_lane = lane) t.lanes with
+  | Some l -> l.ln_count
+  | None -> 0
 
 let pp_injection ppf i =
   Format.fprintf ppf "%s%s" (site_to_string i.inj_site)
@@ -91,6 +128,24 @@ let with_engine t f =
   install t;
   Fun.protect ~finally:uninstall f
 
+(** Switch the engine onto a lane: all subsequent draws are charged to
+    (and randomized by) that lane's stream. The supervisor calls this
+    at every invocation boundary with the instance's stable spawn
+    ordinal; no-op when no engine is installed. *)
+let set_lane lane =
+  match !hook with
+  | None -> ()
+  | Some t -> (
+      match List.find_opt (fun l -> l.ln_lane = lane) t.lanes with
+      | Some l -> t.cur <- l
+      | None ->
+          let l = lane_state t.pol lane in
+          t.lanes <- l :: t.lanes;
+          t.cur <- l)
+
+let current_lane () =
+  match !hook with None -> 0 | Some t -> t.cur.ln_lane
+
 let site_probability t site =
   match List.assq_opt site t.pol.site_probability with
   | Some p -> p
@@ -99,29 +154,41 @@ let site_probability t site =
 (** Roll the dice at a fault site. [true] means the caller must inject
     the fault now (the injection is already recorded; use {!note} to
     attach a human-readable detail). Always [false] with no engine
-    installed, a filtered site, or an exhausted budget. *)
+    installed, a filtered site, or an exhausted (per-lane) budget. *)
 let draw site =
   match !hook with
   | None -> false
   | Some t ->
       if not (List.memq site t.pol.sites) then false
-      else if count t >= t.pol.max_injections then false
-      else if
-        match List.assq_opt site t.pol.site_max with
-        | None -> false
-        | Some cap ->
-            List.length
-              (List.filter (fun i -> i.inj_site == site) t.injected)
-            >= cap
-      then false
       else
-        let p = site_probability t site in
-        let fire = p >= 1.0 || Random.State.float t.rng 1.0 < p in
-        if fire then
-          t.injected <-
-            { inj_site = site; inj_index = count t; inj_detail = "" }
-            :: t.injected;
-        fire
+        let ln = t.cur in
+        if ln.ln_count >= t.pol.max_injections then false
+        else if
+          match List.assq_opt site t.pol.site_max with
+          | None -> false
+          | Some cap -> (
+              match List.assq_opt site ln.ln_site_counts with
+              | Some n -> n >= cap
+              | None -> false)
+        then false
+        else
+          let p = site_probability t site in
+          let fire = p >= 1.0 || Random.State.float ln.ln_rng 1.0 < p in
+          if fire then begin
+            ln.ln_count <- ln.ln_count + 1;
+            ln.ln_site_counts <-
+              (site,
+               1
+               + (match List.assq_opt site ln.ln_site_counts with
+                 | Some n -> n
+                 | None -> 0))
+              :: List.remove_assq site ln.ln_site_counts;
+            t.injected <-
+              { inj_site = site; inj_index = count t; inj_lane = ln.ln_lane;
+                inj_detail = "" }
+              :: t.injected
+          end;
+          fire
 
 (** Attach a detail string to the most recent injection. *)
 let note fmt =
@@ -132,10 +199,11 @@ let note fmt =
       | _ -> ())
     fmt
 
-(** Deterministic corruption parameter from the engine PRNG (0 when no
-    engine is installed — only meaningful after a successful {!draw}). *)
+(** Deterministic corruption parameter from the current lane's PRNG
+    (0 when no engine is installed — only meaningful after a successful
+    {!draw}). *)
 let rand_int n =
-  match !hook with None -> 0 | Some t -> Random.State.int t.rng n
+  match !hook with None -> 0 | Some t -> Random.State.int t.cur.ln_rng n
 
 (* ------------------------------------------------------------------ *)
 (* Heap-scribble plumbing                                              *)

@@ -3,8 +3,16 @@
     A policy names the fault sites to arm, per-site probabilities and an
     injection budget; an installed engine is consulted by the hardware
     models at the exact points where a real bit-flip, glitch or lost
-    interrupt would land. One seeded PRNG drives everything, so a
-    (seed, policy) pair replays the identical fault sequence.
+    interrupt would land.
+
+    Randomness is split into per-{e lane} streams: a lane is one victim
+    instance's stable identity (its spawn ordinal within its process —
+    the supervisor switches lanes at every invocation boundary with
+    {!set_lane}). Each lane's PRNG is derived from (engine seed, lane)
+    and budgets are accounted per lane, so instance [i]'s fault
+    sequence is a function of the policy and [i] alone: any
+    interleaving of draws across instances — any pool scheduling order
+    — replays the identical per-instance fault sequences.
 
     With no engine installed every hook reduces to a single
     load-and-compare ([None] fast path): the uninstrumented hot path is
@@ -33,10 +41,11 @@ type policy = {
   probability : float;        (** default chance a visited site fires *)
   site_probability : (site * float) list;  (** per-site overrides *)
   sites : site list;          (** sites armed at all *)
-  max_injections : int;       (** total injection budget *)
+  max_injections : int;       (** per-lane injection budget *)
   site_max : (site * int) list;
-      (** per-site caps within the total budget — e.g. one tag flip but
-          unlimited dropped TFSR latches for the lost-interrupt model *)
+      (** per-site caps within the per-lane budget — e.g. one tag flip
+          but unlimited dropped TFSR latches for the lost-interrupt
+          model *)
 }
 
 val policy :
@@ -48,21 +57,30 @@ val policy :
   site list ->
   policy
 (** [probability] defaults to 1.0 (fire on first visit),
-    [max_injections] to 1, [site_max] to no per-site cap. *)
+    [max_injections] to 1 per lane, [site_max] to no per-site cap. *)
 
 type injection = {
   inj_site : site;
   inj_index : int;               (** 0-based order of injection *)
+  inj_lane : int;                (** lane (instance) the fault landed in *)
   mutable inj_detail : string;   (** filled in by the injecting hook *)
 }
 
 type t
-(** A live engine: policy + PRNG + injection log. *)
+(** A live engine: policy + per-lane PRNGs + injection log. *)
 
 val create : policy -> t
 val count : t -> int
+(** Total injections performed so far, across all lanes. *)
+
 val injections : t -> injection list
 (** Injections performed so far, in chronological order. *)
+
+val lane_count : t -> int -> int
+(** Injections charged to one lane. *)
+
+val lane_injections : t -> int -> injection list
+(** One lane's injections, in chronological order. *)
 
 val pp_injection : Format.formatter -> injection -> unit
 
@@ -74,20 +92,29 @@ val active : unit -> t option
 val with_engine : t -> (unit -> 'a) -> 'a
 (** Install around [f], uninstalling even on exception. *)
 
+val set_lane : int -> unit
+(** Switch the engine onto a lane: subsequent draws are charged to (and
+    randomized by) that lane's stream. Called by the supervisor at
+    invocation boundaries with the instance's stable spawn ordinal;
+    no-op when no engine is installed. Lane 0 is the ambient default. *)
+
+val current_lane : unit -> int
+(** The lane draws currently land in (0 when no engine is installed). *)
+
 (** {1 Hook API — called from the hardware models} *)
 
 val draw : site -> bool
 (** Roll the dice at a fault site. [true] means the caller must inject
     the fault now (the injection is already recorded; use {!note} to
     attach detail). Always [false] with no engine installed, a filtered
-    site, or an exhausted budget. *)
+    site, or an exhausted per-lane budget. *)
 
 val note : ('a, Format.formatter, unit, unit) format4 -> 'a
 (** Attach a detail string to the most recent injection. *)
 
 val rand_int : int -> int
-(** Deterministic corruption parameter from the engine PRNG (0 when no
-    engine is installed). *)
+(** Deterministic corruption parameter from the current lane's PRNG
+    (0 when no engine is installed). *)
 
 (** {1 Heap-scribble plumbing}
 

@@ -118,3 +118,24 @@ let grow t ~new_size_bytes =
 
 let iteri t ~f =
   Bytes.iteri (fun i c -> f i (Tag.of_int (Char.code c))) t.tags
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = { snap_tags : Bytes.t; snap_size : int }
+
+let snapshot t = { snap_tags = Bytes.copy t.tags; snap_size = t.size }
+
+(* Restore in place — the [t] bound into an [Mte.t] keeps its identity
+   (growth also mutates in place, so the binding never goes stale). *)
+let restore t s =
+  if Bytes.length t.tags = Bytes.length s.snap_tags then
+    Bytes.blit s.snap_tags 0 t.tags 0 (Bytes.length s.snap_tags)
+  else t.tags <- Bytes.copy s.snap_tags;
+  t.size <- s.snap_size
+
+let snapshot_bytes s = (Bytes.length s.snap_tags + 1) / 2
+let snapshot_to_string s = Bytes.to_string s.snap_tags
+
+let to_string t = Bytes.to_string t.tags

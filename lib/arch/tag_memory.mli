@@ -65,3 +65,24 @@ val grow : t -> new_size_bytes:int -> t
 val iteri : t -> f:(int -> Tag.t -> unit) -> unit
 (** Iterate over granules in address order; the [int] is the granule
     index. *)
+
+(** {1 Snapshots}
+
+    A frozen copy of the whole tag space, for instance pools that
+    freeze tags alongside linear memory and restore per request. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** Restore in place: the [t] bound into an MTE checker keeps its
+    identity, so the checker's binding never goes stale. *)
+
+val snapshot_bytes : snapshot -> int
+(** Modeled tag-storage payload of the image (4 bits per granule). *)
+
+val snapshot_to_string : snapshot -> string
+(** One byte per granule (low nibble is the tag) — fidelity tests. *)
+
+val to_string : t -> string
+(** The live tag bytes (fidelity tests compare against a snapshot). *)

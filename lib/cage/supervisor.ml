@@ -127,20 +127,56 @@ type t = {
   process : Process.t;
   fuel_budget : int;  (** per-invocation watchdog budget; -1 = off *)
   black_box : int;    (** trace events embedded in a post-mortem *)
+  max_quarantined : int;
+      (** retained post-mortems cap: a crash storm keeps only the
+          newest this-many records (membership is never dropped) *)
   mutable quarantined : (int * post_mortem) list;  (* newest first *)
+  mutable quarantine_ids : int list;
+      (* membership, separate from the capped post-mortem store: an
+         evicted record must not silently un-quarantine its instance *)
 }
 
-let create ?(fuel = -1) ?(black_box = 8) process =
-  { process; fuel_budget = fuel; black_box; quarantined = [] }
+let create ?(fuel = -1) ?(black_box = 8) ?(max_quarantined = 256) process =
+  if max_quarantined < 1 then
+    invalid_arg "Supervisor.create: max_quarantined must be >= 1";
+  { process; fuel_budget = fuel; black_box; max_quarantined;
+    quarantined = []; quarantine_ids = [] }
 
 let process t = t.process
 
-let spawn ?meter ?imports t m = Process.spawn ?meter ?imports t.process m
+let spawn ?meter ?imports ?lane t m =
+  Process.spawn ?meter ?imports ?lane t.process m
 
 let quarantined t = List.rev t.quarantined
 
 let is_quarantined t (inst : Wasm.Instance.t) =
-  List.mem_assoc inst.Wasm.Instance.id t.quarantined
+  List.mem inst.Wasm.Instance.id t.quarantine_ids
+
+(** Lift an instance out of quarantine — the pool's self-healing path,
+    called after the slot has been restored from its frozen snapshot.
+    Retained post-mortems are kept (the crash history stays
+    inspectable); only the membership bit clears. *)
+let release t (inst : Wasm.Instance.t) =
+  t.quarantine_ids <-
+    List.filter (fun id -> id <> inst.Wasm.Instance.id) t.quarantine_ids
+
+(* Retain a fresh post-mortem under the cap: oldest-first eviction so a
+   crash storm cannot grow supervisor memory without bound. *)
+let retain t id pm =
+  if not (List.mem id t.quarantine_ids) then
+    t.quarantine_ids <- id :: t.quarantine_ids;
+  let q = (id, pm) :: t.quarantined in
+  if List.length q > t.max_quarantined then begin
+    let keep = List.filteri (fun i _ -> i < t.max_quarantined) q in
+    let evicted = List.filteri (fun i _ -> i >= t.max_quarantined) q in
+    List.iter
+      (fun (eid, _) ->
+        if Obs.Hook.enabled () then
+          Obs.Hook.event (Obs.Event.Quarantine_evicted { instance = eid }))
+      evicted;
+    t.quarantined <- keep
+  end
+  else t.quarantined <- q
 
 let snapshot ?(black_box = 0) (inst : Wasm.Instance.t) cls msg =
   let mode =
@@ -196,6 +232,12 @@ let run_thunk t (inst : Wasm.Instance.t) f =
       (snapshot ~black_box:t.black_box inst Quarantine
          (Printf.sprintf "instance %d is quarantined" inst.Wasm.Instance.id))
   else begin
+    (* Every draw the chaos engine makes during this invocation is
+       charged to (and randomized by) this instance's stable lane, so
+       pool-concurrent runs replay identical per-instance fault
+       sequences regardless of dispatch order. *)
+    Arch.Fault_inject.set_lane (Process.lane t.process inst);
+    if Obs.Hook.enabled () then Obs.Hook.set_instance inst.Wasm.Instance.id;
     inst.Wasm.Instance.fuel <- t.fuel_budget;
     inst.Wasm.Instance.last_fault <- None;
     inst.Wasm.Instance.call_stack <- [];
@@ -215,7 +257,7 @@ let run_thunk t (inst : Wasm.Instance.t) f =
       let pm = snapshot ~black_box:t.black_box inst cls msg in
       inst.Wasm.Instance.fuel <- -1;
       inst.Wasm.Instance.call_stack <- [];
-      t.quarantined <- (inst.Wasm.Instance.id, pm) :: t.quarantined;
+      retain t inst.Wasm.Instance.id pm;
       Crashed pm
     in
     match f () with

@@ -60,17 +60,23 @@ type outcome =
 
 type t
 
-val create : ?fuel:int -> ?black_box:int -> Process.t -> t
+val create :
+  ?fuel:int -> ?black_box:int -> ?max_quarantined:int -> Process.t -> t
 (** Supervisor over a process. [fuel] is the per-invocation watchdog
     budget in branches+calls (default [-1]: no watchdog). [black_box]
     is how many final trace events a post-mortem embeds when an
-    [Obs] tracer is installed (default 8). *)
+    [Obs] tracer is installed (default 8). [max_quarantined] (default
+    256) caps the retained post-mortems: beyond it the oldest records
+    are evicted (a [cage_quarantine_evicted_total] bump each) so a
+    crash storm cannot grow supervisor memory without bound —
+    quarantine {e membership} is never dropped, only the record. *)
 
 val process : t -> Process.t
 
 val spawn :
   ?meter:Wasm.Meter.t ->
   ?imports:(string * string * Wasm.Instance.host_func) list ->
+  ?lane:int ->
   t ->
   Wasm.Ast.module_ ->
   Wasm.Instance.t
@@ -87,6 +93,13 @@ val run_thunk : t -> Wasm.Instance.t -> (unit -> Wasm.Values.t list) -> outcome
     (drivers that wrap [Exec.invoke] themselves, e.g. the libc shims). *)
 
 val quarantined : t -> (int * post_mortem) list
-(** Quarantined instances (id, first crash) in crash order. *)
+(** Retained post-mortems (id, crash record) in crash order — at most
+    [max_quarantined] of them, newest kept. *)
 
 val is_quarantined : t -> Wasm.Instance.t -> bool
+
+val release : t -> Wasm.Instance.t -> unit
+(** Lift an instance out of quarantine — the pool's self-healing path,
+    called after the slot was restored from its frozen snapshot.
+    Retained post-mortems stay inspectable; only the membership bit
+    clears. *)

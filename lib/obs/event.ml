@@ -42,6 +42,20 @@ type t =
   | Func_leave of { idx : int; name : string }
   | Crash of { cls : string; msg : string }
   | Spawn of { instance : int }
+  | Snapshot_restore of { instance : int; bytes : int }
+      (** a pool slot rewound to its frozen post-[_start] image
+          (memory + tags + globals + table + PRNG), [bytes] of payload *)
+  | Quarantine_evicted of { instance : int }
+      (** a retained post-mortem dropped by the supervisor's
+          oldest-first quarantine cap *)
+  | Request_retry of { tenant : string; attempt : int }
+      (** a contained-fault request re-admitted with backoff *)
+  | Request_shed of { tenant : string; reason : string }
+      (** an arrival refused by admission control ([reason] is
+          ["queue"], ["breaker"] or ["attempts"]) *)
+  | Breaker_trip of { tenant : string }
+      (** a per-tenant circuit breaker opened after consecutive
+          crashes *)
   | Check_elided
       (** a load/store whose MTE granule check was skipped because the
           static analyzer proved it in-bounds on a live segment *)
@@ -73,6 +87,11 @@ let name = function
   | Func_leave _ -> "func"
   | Crash _ -> "crash"
   | Spawn _ -> "spawn"
+  | Snapshot_restore _ -> "snapshot.restore"
+  | Quarantine_evicted _ -> "quarantine-evicted"
+  | Request_retry _ -> "request-retry"
+  | Request_shed _ -> "request-shed"
+  | Breaker_trip _ -> "breaker-trip"
   | Check_elided -> "check-elided"
   | Stack_sanitize _ -> "stack-sanitize"
 
@@ -95,6 +114,11 @@ let cost = function
   | Host_call _ -> 20
   | Func_enter _ | Func_leave _ -> 2
   | Crash _ | Spawn _ -> 0
+  | Snapshot_restore { bytes; _ } ->
+      (* stream the frozen image back at a modeled 64 B/cycle *)
+      50 + (bytes / 64)
+  | Quarantine_evicted _ -> 0
+  | Request_retry _ | Request_shed _ | Breaker_trip _ -> 0
   | Check_elided -> 0  (* the whole point: the check costs nothing *)
   | Stack_sanitize _ -> 0
 
@@ -130,6 +154,15 @@ let pp ppf ev =
   | Func_leave { idx; name } -> f "leave %s (f%d)" name idx
   | Crash { cls; msg } -> f "crash [%s] %s" cls msg
   | Spawn { instance } -> f "spawn instance %d" instance
+  | Snapshot_restore { instance; bytes } ->
+      f "snapshot.restore instance %d (%d B)" instance bytes
+  | Quarantine_evicted { instance } ->
+      f "quarantine-evicted instance %d" instance
+  | Request_retry { tenant; attempt } ->
+      f "request-retry tenant=%s attempt=%d" tenant attempt
+  | Request_shed { tenant; reason } ->
+      f "request-shed tenant=%s reason=%s" tenant reason
+  | Breaker_trip { tenant } -> f "breaker-trip tenant=%s" tenant
   | Check_elided -> f "check-elided"
   | Stack_sanitize { total; instrumented; escaping; unsafe_gep; guards } ->
       f "stack-sanitize slots=%d instrumented=%d escaping=%d unsafe-gep=%d \

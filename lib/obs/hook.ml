@@ -58,6 +58,13 @@ let span_check len =
       Metrics.observe m.Metrics.span_len (float_of_int len)
   | _ -> ()
 
+(** Observe one tenant queue depth sample (taken at each arrival). *)
+let queue_depth n =
+  match !hook with
+  | Some { metrics = Some m; _ } ->
+      Metrics.observe m.Metrics.queue_depth (float_of_int n)
+  | _ -> ()
+
 (** Observe the fuel one supervised invocation consumed. *)
 let fuel_used n =
   match !hook with

@@ -168,6 +168,12 @@ type cage = {
   stack_escaping : counter;
   stack_unsafe_gep : counter;
   stack_guards : counter;
+  pool_restores : counter;
+  quarantine_evicted : counter;
+  requests_retried : counter;
+  requests_shed : counter;
+  breaker_trips : counter;
+  queue_depth : histogram;
 }
 
 (* Sequential [let]s, not record-field expressions: OCaml evaluates
@@ -268,6 +274,32 @@ let cage () =
     counter r ~help:"Guard slots inserted between stack frames"
       "cage_stack_guard_slots_total"
   in
+  let pool_restores =
+    counter r ~help:"Pool slots restored from their frozen snapshot"
+      "cage_pool_restores_total"
+  in
+  let quarantine_evicted =
+    counter r ~help:"Post-mortems evicted by the supervisor quarantine cap"
+      "cage_quarantine_evicted_total"
+  in
+  let requests_retried =
+    counter r ~help:"Requests re-admitted after a contained fault"
+      "cage_requests_retried_total"
+  in
+  let requests_shed =
+    counter r ~help:"Arrivals refused by admission control"
+      "cage_requests_shed_total"
+  in
+  let breaker_trips =
+    counter r ~help:"Per-tenant circuit-breaker trips"
+      "cage_breaker_trips_total"
+  in
+  let queue_depth =
+    histogram r
+      ~help:"Per-tenant queue depth sampled at each arrival (log2 buckets)"
+      ~bounds:(log2_bounds ~lo:1.0 ~hi:1024.0 ())
+      "cage_serve_queue_depth"
+  in
   {
     registry = r;
     tag_faults;
@@ -295,6 +327,12 @@ let cage () =
     stack_escaping;
     stack_unsafe_gep;
     stack_guards;
+    pool_restores;
+    quarantine_evicted;
+    requests_retried;
+    requests_shed;
+    breaker_trips;
+    queue_depth;
   }
 
 let observe_event m (ev : Event.t) =
@@ -322,6 +360,11 @@ let observe_event m (ev : Event.t) =
   | Func_leave _ -> ()
   | Crash _ -> inc m.crashes
   | Spawn _ -> inc m.spawns
+  | Snapshot_restore _ -> inc m.pool_restores
+  | Quarantine_evicted _ -> inc m.quarantine_evicted
+  | Request_retry _ -> inc m.requests_retried
+  | Request_shed _ -> inc m.requests_shed
+  | Breaker_trip _ -> inc m.breaker_trips
   | Check_elided -> inc m.checks_elided
   | Stack_sanitize { total; instrumented; escaping; unsafe_gep; guards } ->
       inc ~by:total m.stack_slots;

@@ -131,6 +131,18 @@ let args_json b (ev : Event.t) =
       field true "class" (str cls);
       field false "message" (str msg)
   | Spawn { instance } -> field true "instance" (string_of_int instance)
+  | Snapshot_restore { instance; bytes } ->
+      field true "instance" (string_of_int instance);
+      field false "bytes" (string_of_int bytes)
+  | Quarantine_evicted { instance } ->
+      field true "instance" (string_of_int instance)
+  | Request_retry { tenant; attempt } ->
+      field true "tenant" (str tenant);
+      field false "attempt" (string_of_int attempt)
+  | Request_shed { tenant; reason } ->
+      field true "tenant" (str tenant);
+      field false "reason" (str reason)
+  | Breaker_trip { tenant } -> field true "tenant" (str tenant)
   | Check_elided -> ()
   | Stack_sanitize { total; instrumented; escaping; unsafe_gep; guards } ->
       field true "total" (string_of_int total);

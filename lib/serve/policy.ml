@@ -1,0 +1,172 @@
+(** Robustness policy: what the serving runtime does when things go
+    wrong, separated from the machinery that does it.
+
+    Three mechanisms, all deliberately boring:
+
+    - {e admission control}: per-tenant queue bounds shed load at the
+      door instead of letting one tenant's backlog starve the pool;
+    - {e bounded retry with backoff}: a request that died to a
+      {e contained} fault (chaos injection, watchdog, transient host
+      error) is retried a bounded number of times with exponential
+      backoff plus jitter — a request that died to a {e definite guest
+      bug} (unreachable, genuine trap, stack exhaustion) is never
+      retried, because replaying a deterministic bug burns capacity to
+      reproduce the same crash;
+    - {e circuit breaker}: a tenant whose requests keep crashing is
+      tripped open and its traffic shed during a cooldown, then probed
+      half-open — one success re-closes, one failure re-opens. *)
+
+type retry = {
+  max_attempts : int;     (** total tries per request, first included *)
+  backoff_base : int;     (** first retry delay, simulated cycles *)
+  backoff_factor : int;   (** exponential multiplier per attempt *)
+  backoff_cap : int;      (** delay ceiling, cycles *)
+  jitter : int;           (** uniform extra delay in [0, jitter) *)
+}
+
+type breaker_cfg = {
+  trip_after : int;       (** consecutive crashes that open the breaker *)
+  cooldown : int;         (** cycles open before the half-open probe *)
+}
+
+type t = {
+  queue_bound : int;      (** per-tenant waiting requests before shed *)
+  deadline : int;         (** per-request wall budget, cycles *)
+  retry : retry;
+  breaker : breaker_cfg;
+  heal_capacity : int;    (** restart-storm token bucket size *)
+  heal_refill : int;      (** cycles per restored heal token *)
+  heal_interval : int;    (** cycles between self-healing sweeps *)
+}
+
+let default =
+  {
+    queue_bound = 64;
+    deadline = 2_000_000;
+    retry =
+      {
+        max_attempts = 3;
+        backoff_base = 2_000;
+        backoff_factor = 4;
+        backoff_cap = 200_000;
+        jitter = 1_000;
+      };
+    breaker = { trip_after = 8; cooldown = 500_000 };
+    heal_capacity = 4;
+    heal_refill = 50_000;
+    heal_interval = 20_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Retry classification                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Only contained faults are worth a second try: chaos-injected tag /
+    PAC / bounds damage, a blown watchdog, or a host hiccup might not
+    recur on a pristine snapshot. [Unreachable], [Guest_trap] and
+    [Stack] are the guest's own deterministic bugs — the retry would
+    crash identically. [Quarantine] is a serving-layer bookkeeping
+    error, not a fault. *)
+let retryable (cls : Cage.Supervisor.fault_class) =
+  match cls with
+  | Cage.Supervisor.Tag_fault | Cage.Supervisor.Deferred_tag_fault
+  | Cage.Supervisor.Pac_auth | Cage.Supervisor.Bounds
+  | Cage.Supervisor.Fuel | Cage.Supervisor.Host_error ->
+      true
+  | Cage.Supervisor.Stack | Cage.Supervisor.Unreachable
+  | Cage.Supervisor.Guest_trap | Cage.Supervisor.Quarantine ->
+      false
+
+(** Backoff before retry [attempt] (1-based: the delay preceding the
+    second try is [attempt = 1]). Exponential, capped, jittered from
+    the caller's dedicated retry PRNG so backoff randomness never
+    perturbs chaos or arrival streams. *)
+let backoff r rng ~attempt =
+  let rec exp_delay a d =
+    if a <= 1 || d >= r.backoff_cap then d
+    else exp_delay (a - 1) (d * r.backoff_factor)
+  in
+  let d = min r.backoff_cap (exp_delay attempt r.backoff_base) in
+  d + if r.jitter > 0 then Random.State.int rng r.jitter else 0
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type breaker_state =
+  | Closed
+  | Open of int   (** shedding until this cycle, then half-open probe *)
+  | Half_open     (** one probe in flight decides close vs re-open *)
+
+type breaker = {
+  cfg : breaker_cfg;
+  mutable state : breaker_state;
+  mutable consecutive : int;   (* crash run length while closed *)
+  mutable trips : int;
+}
+
+let breaker_create cfg = { cfg; state = Closed; consecutive = 0; trips = 0 }
+let breaker_trips b = b.trips
+
+let breaker_state b ~now =
+  (match b.state with
+  | Open until when now >= until -> b.state <- Half_open
+  | _ -> ());
+  b.state
+
+(** May a request for this tenant enter the system at [now]?
+    Half-open admits (the probe); open sheds. *)
+let breaker_admits b ~now =
+  match breaker_state b ~now with Closed | Half_open -> true | Open _ -> false
+
+let breaker_success b = b.consecutive <- 0; b.state <- Closed
+
+(** Record a crash; returns [true] when this crash trips the breaker
+    open (callers emit the trip event / metric exactly once). *)
+let breaker_crash b ~now =
+  match b.state with
+  | Half_open ->
+      (* the probe failed: straight back to open, counted as a trip *)
+      b.trips <- b.trips + 1;
+      b.consecutive <- 0;
+      b.state <- Open (now + b.cfg.cooldown);
+      true
+  | Open _ -> false
+  | Closed ->
+      b.consecutive <- b.consecutive + 1;
+      if b.consecutive >= b.cfg.trip_after then begin
+        b.trips <- b.trips + 1;
+        b.consecutive <- 0;
+        b.state <- Open (now + b.cfg.cooldown);
+        true
+      end
+      else false
+
+(* ------------------------------------------------------------------ *)
+(* Restart-storm rate limiting                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Token bucket on the simulated clock: self-healing spends one token
+    per slot restart, so a tenant crashing every request cannot turn
+    the pool into a restart treadmill — heals beyond the budget wait
+    for refill, and the slot stays quarantined (capacity degrades
+    gracefully instead of thrashing). *)
+type bucket = {
+  capacity : int;
+  refill_every : int;        (* cycles per restored token *)
+  mutable tokens : int;
+  mutable last_refill : int; (* cycle of the last refill accounting *)
+}
+
+let bucket_create ~capacity ~refill_every =
+  { capacity; refill_every; tokens = capacity; last_refill = 0 }
+
+let bucket_take b ~now =
+  if b.refill_every > 0 && now > b.last_refill then begin
+    let gained = (now - b.last_refill) / b.refill_every in
+    if gained > 0 then begin
+      b.tokens <- min b.capacity (b.tokens + gained);
+      b.last_refill <- b.last_refill + (gained * b.refill_every)
+    end
+  end;
+  if b.tokens > 0 then (b.tokens <- b.tokens - 1; true) else false

@@ -39,7 +39,10 @@ and t = {
   pac_config : Arch.Pac.config;
   exclude : Arch.Tag.Exclude.t;  (** tags irg-style allocation avoids *)
   enforce_tags : bool;       (** internal memory safety on/off *)
-  rng : Random.State.t;
+  mutable rng : Random.State.t;
+      (** tag-draw PRNG; mutable so a snapshot restore can rewind it —
+          a restored instance must draw the same [irg] tag sequence the
+          frozen one would have *)
   meter : Meter.t option;
   mutable fuel : int;
       (** watchdog budget: branches/calls left before a ["fuel:"] trap;

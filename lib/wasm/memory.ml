@@ -136,6 +136,32 @@ let copy t ~dst ~src ~len =
   Bytes.blit t.data (Int64.to_int src) t.data (Int64.to_int dst)
     (Int64.to_int len)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A frozen copy of the full memory state. [restore] blits back in
+   place when the sizes still match (the overwhelmingly common case for
+   a serving pool: request handlers rarely grow memory), so restoring
+   is one big memcpy, no allocation. *)
+
+type snapshot = { snap_data : Bytes.t; snap_pages : int64 }
+
+let snapshot t = { snap_data = Bytes.copy t.data; snap_pages = t.pages }
+
+let restore t s =
+  if Bytes.length t.data = Bytes.length s.snap_data then
+    Bytes.blit s.snap_data 0 t.data 0 (Bytes.length s.snap_data)
+  else t.data <- Bytes.copy s.snap_data;
+  t.pages <- s.snap_pages
+
+let snapshot_bytes s = Bytes.length s.snap_data
+let snapshot_to_string s = Bytes.to_string s.snap_data
+
+(** The current contents as a string (tests compare restored state
+    against a frozen image byte for byte). *)
+let to_string t = Bytes.to_string t.data
+
 (** Read [len] raw bytes (for WASI-style host functions). *)
 let read_string t ~addr ~len =
   check t ~addr ~len;

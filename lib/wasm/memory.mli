@@ -69,6 +69,30 @@ val fill : t -> addr:int64 -> len:int64 -> int -> unit
 val copy : t -> dst:int64 -> src:int64 -> len:int64 -> unit
 (** [memory.copy]: overlapping-safe. *)
 
+(** {1 Snapshots}
+
+    A frozen copy of the whole memory state, for instance pools that
+    instantiate once and restore per request. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Freeze the current contents and size. *)
+
+val restore : t -> snapshot -> unit
+(** Restore contents and size from a frozen image. When the size is
+    unchanged this is one in-place blit — no allocation. Handles both
+    grown and shrunk memories by replacing the backing store. *)
+
+val snapshot_bytes : snapshot -> int
+(** Payload size in bytes (restore-cost accounting). *)
+
+val snapshot_to_string : snapshot -> string
+(** The frozen contents (fidelity tests). *)
+
+val to_string : t -> string
+(** The live contents (fidelity tests compare against a snapshot). *)
+
 val read_string : t -> addr:int64 -> len:int -> string
 (** Raw bytes (for WASI-style host functions). *)
 

@@ -39,6 +39,17 @@ dune exec bin/cage_run.exe -- examples/quickstart.c --config CAGE --seed 7 \
   --metrics > _build/metrics.out 2>/dev/null || true  # guest tag fault: exit 1 by design
 diff test/golden/metrics.golden _build/metrics.out
 
+echo "== serving-path detection matrix (golden diff, seed 7)"
+dune exec bin/cage_chaos.exe -- served --seed 7 > _build/served_matrix.out
+diff test/golden/served_matrix.golden _build/served_matrix.out
+
+echo "== serving smoke (zero escapes, all tenants >= 80% chaos-on goodput)"
+dune exec bin/cage_serve.exe -- --smoke > _build/serve_smoke.out || {
+  cat _build/serve_smoke.out; exit 1; }
+grep -q "escaped under chaos : 0" _build/serve_smoke.out || {
+  echo "FAIL: serving smoke reported escapes"; cat _build/serve_smoke.out
+  exit 1; }
+
 echo "== observability overhead gate (disabled <= 2%)"
 dune exec bench/main.exe -- obsoverhead > /dev/null
 disabled_pct=$(sed -n 's/.*"disabled_overhead_pct": \([0-9.]*\).*/\1/p' BENCH_obsoverhead.json)

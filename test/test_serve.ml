@@ -1,0 +1,486 @@
+(* Tests for the serving runtime: snapshot/restore fidelity, per-lane
+   chaos determinism, the quarantine cap, the robustness policy pieces
+   (breaker, backoff, restart-storm bucket), the discrete-event
+   scheduler, and end-to-end serving invariants under chaos. *)
+
+open Wasm
+
+let value = Alcotest.testable Values.pp Values.equal
+
+(* ------------------------------------------------------------------ *)
+(* Builders (same shapes as test_supervisor)                            *)
+(* ------------------------------------------------------------------ *)
+
+let ft params results = { Types.params; results }
+
+let mem64 =
+  { Types.mem_idx = Types.Idx64;
+    mem_limits = { Types.min = 1L; max = Some 16L } }
+
+let module_of funcs =
+  let types = List.map (fun (ty, _, _) -> ty) funcs in
+  {
+    Ast.empty_module with
+    types;
+    funcs =
+      List.mapi
+        (fun i (_, locals, body) ->
+          { Ast.ftype = i; locals; body; fname = Some (Printf.sprintf "f%d" i) })
+        funcs;
+    memory = Some mem64;
+    exports =
+      List.mapi
+        (fun i _ ->
+          { Ast.ex_name = Printf.sprintf "f%d" i; ex_desc = Ast.Func_export i })
+        funcs;
+  }
+
+let const_module =
+  module_of [ (ft [] [ Types.I32 ], [], [ Ast.I32Const 41l ]) ]
+
+let run_main sup inst = Cage.Supervisor.run sup inst "main" []
+
+let finished_of = function
+  | Cage.Supervisor.Finished vs -> vs
+  | Cage.Supervisor.Crashed pm ->
+      Alcotest.failf "unexpected crash: %s" pm.Cage.Supervisor.pm_message
+
+let crash_of = function
+  | Cage.Supervisor.Crashed pm -> pm
+  | Cage.Supervisor.Finished _ -> Alcotest.fail "expected a crash"
+
+(* A supervised MiniC guest under [cfg], serve-sized memory. *)
+let minic_guest ?(seed = 11) cfg source =
+  let m = Harness.Serve_bench.compile cfg source in
+  let proc = Cage.Process.create ~config:cfg ~seed () in
+  let sup = Cage.Supervisor.create ~fuel:2_000_000 proc in
+  let imports, _ = Harness.Serve_bench.wasi_imports () in
+  let inst = Cage.Supervisor.spawn ~imports sup m in
+  (sup, inst)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot/restore fidelity                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_roundtrip () =
+  let sup, inst =
+    minic_guest Cage.Config.full Harness.Serve_bench.compute_source
+  in
+  let snap = Serve.Snapshot.capture inst in
+  Alcotest.(check bool) "fresh instance matches its own snapshot" true
+    (Serve.Snapshot.matches snap inst);
+  let first = finished_of (run_main sup inst) in
+  (* the run dirtied the heap (mallocs, tag draws, stores) *)
+  Alcotest.(check bool) "running dirties the image" false
+    (Serve.Snapshot.matches snap inst);
+  Serve.Snapshot.restore snap inst;
+  Alcotest.(check bool)
+    "restore brings memory, tags, globals and table back byte-identical"
+    true
+    (Serve.Snapshot.matches snap inst);
+  let second = finished_of (run_main sup inst) in
+  Alcotest.(check (list value)) "restored instance replays the same result"
+    first second
+
+let test_snapshot_replay_is_exact () =
+  (* without the PRNG rewind the second run would draw different irg
+     tags; with it, N restore-run cycles all agree *)
+  let sup, inst =
+    minic_guest Cage.Config.full Harness.Serve_bench.compute_source
+  in
+  let snap = Serve.Snapshot.capture inst in
+  let results =
+    List.init 4 (fun _ ->
+        Serve.Snapshot.restore snap inst;
+        finished_of (run_main sup inst))
+  in
+  List.iter
+    (fun r -> Alcotest.(check (list value)) "every replay identical" (List.hd results) r)
+    results
+
+let test_crashed_then_restored () =
+  let sup, inst =
+    minic_guest Cage.Config.full Harness.Serve_bench.malicious_source
+  in
+  let snap = Serve.Snapshot.capture inst in
+  let pm1 = crash_of (run_main sup inst) in
+  Serve.Snapshot.restore snap inst;
+  Cage.Supervisor.release sup inst;
+  let pm2 = crash_of (run_main sup inst) in
+  Alcotest.(check string) "a restored crasher crashes identically"
+    pm1.Cage.Supervisor.pm_message pm2.Cage.Supervisor.pm_message;
+  Alcotest.(check bool) "and it really re-ran (not a quarantine refusal)"
+    true
+    (pm2.Cage.Supervisor.pm_class <> Cage.Supervisor.Quarantine)
+
+(* ------------------------------------------------------------------ *)
+(* Per-lane chaos streams: scheduling-order independence                *)
+(* ------------------------------------------------------------------ *)
+
+let lane_pol =
+  Arch.Fault_inject.policy ~seed:99 ~probability:0.5 ~max_injections:1000
+    [ Arch.Fault_inject.Tag_flip ]
+
+(* Draw [n] times on [lane], recording the outcomes. *)
+let draws_on lane n =
+  Arch.Fault_inject.set_lane lane;
+  List.init n (fun _ -> Arch.Fault_inject.draw Arch.Fault_inject.Tag_flip)
+
+let test_lane_streams_independent_of_interleaving () =
+  (* sequential: all of lane 0, then all of lane 1 *)
+  let e1 = Arch.Fault_inject.create lane_pol in
+  let seq0, seq1 =
+    Arch.Fault_inject.with_engine e1 (fun () ->
+        let a = draws_on 0 40 in
+        let b = draws_on 1 40 in
+        (a, b))
+  in
+  (* interleaved: lanes alternate every 5 draws — as a pool scheduler
+     bouncing between two slots would *)
+  let e2 = Arch.Fault_inject.create lane_pol in
+  let int0, int1 =
+    Arch.Fault_inject.with_engine e2 (fun () ->
+        let a = ref [] and b = ref [] in
+        for _ = 1 to 8 do
+          a := !a @ draws_on 0 5;
+          b := !b @ draws_on 1 5
+        done;
+        (!a, !b))
+  in
+  Alcotest.(check (list bool)) "lane 0 stream unchanged by interleaving"
+    seq0 int0;
+  Alcotest.(check (list bool)) "lane 1 stream unchanged by interleaving"
+    seq1 int1;
+  Alcotest.(check bool) "lanes draw distinct streams" true (seq0 <> seq1);
+  Alcotest.(check int) "per-lane charging matches"
+    (Arch.Fault_inject.lane_count e1 0)
+    (Arch.Fault_inject.lane_count e2 0)
+
+let test_lane_budget_is_per_lane () =
+  let pol =
+    Arch.Fault_inject.policy ~seed:7 ~max_injections:2
+      [ Arch.Fault_inject.Tag_flip ]
+  in
+  let e = Arch.Fault_inject.create pol in
+  Arch.Fault_inject.with_engine e (fun () ->
+      ignore (draws_on 0 10);
+      ignore (draws_on 1 10));
+  Alcotest.(check int) "lane 0 spent its own budget" 2
+    (Arch.Fault_inject.lane_count e 0);
+  Alcotest.(check int) "lane 1 spent its own budget" 2
+    (Arch.Fault_inject.lane_count e 1);
+  Alcotest.(check int) "total is the sum" 4 (Arch.Fault_inject.count e)
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine cap                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_quarantine_cap () =
+  let proc =
+    Cage.Process.create ~config:Cage.Config.baseline_wasm64 ~seed:3 ()
+  in
+  let sup = Cage.Supervisor.create ~max_quarantined:2 proc in
+  let insts =
+    List.init 5 (fun _ -> Cage.Supervisor.spawn sup const_module)
+  in
+  let metrics = Obs.Metrics.cage () in
+  Obs.Hook.with_sink (Obs.Hook.make ~metrics ()) (fun () ->
+      List.iter
+        (fun inst ->
+          ignore
+            (crash_of
+               (Cage.Supervisor.run_thunk sup inst (fun () ->
+                    failwith "boom"))))
+        insts);
+  Alcotest.(check int) "retained post-mortems capped" 2
+    (List.length (Cage.Supervisor.quarantined sup));
+  (* the cap evicts records, never membership *)
+  List.iter
+    (fun inst ->
+      Alcotest.(check bool) "every crasher still quarantined" true
+        (Cage.Supervisor.is_quarantined sup inst))
+    insts;
+  Alcotest.(check int) "evictions counted" 3
+    metrics.Obs.Metrics.quarantine_evicted.Obs.Metrics.c_value;
+  (* newest records survive: the last crash is among the retained *)
+  let last = List.nth insts 4 in
+  Alcotest.(check bool) "newest post-mortem retained" true
+    (List.exists
+       (fun (id, _) -> id = last.Instance.id)
+       (Cage.Supervisor.quarantined sup));
+  Cage.Supervisor.release sup last;
+  Alcotest.(check bool) "release clears membership" false
+    (Cage.Supervisor.is_quarantined sup last)
+
+(* ------------------------------------------------------------------ *)
+(* Policy: breaker, backoff, restart-storm bucket                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_breaker_lifecycle () =
+  let b =
+    Serve.Policy.breaker_create
+      { Serve.Policy.trip_after = 3; cooldown = 100 }
+  in
+  Alcotest.(check bool) "closed admits" true
+    (Serve.Policy.breaker_admits b ~now:0);
+  Alcotest.(check bool) "first crashes do not trip" false
+    (Serve.Policy.breaker_crash b ~now:1);
+  ignore (Serve.Policy.breaker_crash b ~now:2);
+  Alcotest.(check bool) "third consecutive crash trips" true
+    (Serve.Policy.breaker_crash b ~now:3);
+  Alcotest.(check bool) "open sheds" false
+    (Serve.Policy.breaker_admits b ~now:50);
+  Alcotest.(check bool) "after cooldown the half-open probe admits" true
+    (Serve.Policy.breaker_admits b ~now:150);
+  Alcotest.(check bool) "probe failure re-opens (and counts as a trip)" true
+    (Serve.Policy.breaker_crash b ~now:151);
+  Alcotest.(check bool) "re-opened sheds again" false
+    (Serve.Policy.breaker_admits b ~now:200);
+  ignore (Serve.Policy.breaker_admits b ~now:300);
+  Serve.Policy.breaker_success b;
+  Alcotest.(check bool) "probe success closes" true
+    (Serve.Policy.breaker_admits b ~now:301);
+  Alcotest.(check int) "two trips recorded" 2 (Serve.Policy.breaker_trips b)
+
+let test_breaker_success_resets_run () =
+  let b =
+    Serve.Policy.breaker_create
+      { Serve.Policy.trip_after = 3; cooldown = 100 }
+  in
+  ignore (Serve.Policy.breaker_crash b ~now:1);
+  ignore (Serve.Policy.breaker_crash b ~now:2);
+  Serve.Policy.breaker_success b;
+  Alcotest.(check bool) "a success interrupts the crash run" false
+    (Serve.Policy.breaker_crash b ~now:3);
+  Alcotest.(check int) "no trips" 0 (Serve.Policy.breaker_trips b)
+
+let test_backoff_shape () =
+  let r =
+    { Serve.Policy.max_attempts = 5; backoff_base = 100; backoff_factor = 2;
+      backoff_cap = 500; jitter = 0 }
+  in
+  let rng = Random.State.make [| 1 |] in
+  Alcotest.(check int) "first retry waits the base" 100
+    (Serve.Policy.backoff r rng ~attempt:1);
+  Alcotest.(check int) "second doubles" 200
+    (Serve.Policy.backoff r rng ~attempt:2);
+  Alcotest.(check int) "growth is capped" 500
+    (Serve.Policy.backoff r rng ~attempt:5);
+  let j = { r with Serve.Policy.jitter = 50 } in
+  let d = Serve.Policy.backoff j rng ~attempt:1 in
+  Alcotest.(check bool) "jitter stays within its bound" true
+    (d >= 100 && d < 150)
+
+let test_bucket_rate_limits () =
+  let b = Serve.Policy.bucket_create ~capacity:2 ~refill_every:100 in
+  Alcotest.(check bool) "token 1" true (Serve.Policy.bucket_take b ~now:0);
+  Alcotest.(check bool) "token 2" true (Serve.Policy.bucket_take b ~now:0);
+  Alcotest.(check bool) "bucket empty: the restart storm is stopped" false
+    (Serve.Policy.bucket_take b ~now:50);
+  Alcotest.(check bool) "a refill period restores one token" true
+    (Serve.Policy.bucket_take b ~now:120);
+  Alcotest.(check bool) "but only one" false
+    (Serve.Policy.bucket_take b ~now:130);
+  Alcotest.(check bool) "refill never exceeds capacity" true
+    (Serve.Policy.bucket_take b ~now:10_000);
+  Alcotest.(check bool) "capacity is 2" true
+    (Serve.Policy.bucket_take b ~now:10_000);
+  Alcotest.(check bool) "not 3" false (Serve.Policy.bucket_take b ~now:10_000)
+
+let test_retryable_classes () =
+  let open Cage.Supervisor in
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool)
+        (fault_class_to_string cls ^ " retries") true
+        (Serve.Policy.retryable cls))
+    [ Tag_fault; Deferred_tag_fault; Pac_auth; Bounds; Fuel; Host_error ];
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool)
+        (fault_class_to_string cls ^ " never retries") false
+        (Serve.Policy.retryable cls))
+    [ Stack; Unreachable; Guest_trap; Quarantine ]
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order_and_ties () =
+  let h = Serve.Scheduler.Heap.create () in
+  Serve.Scheduler.Heap.push h ~time:30 "c";
+  Serve.Scheduler.Heap.push h ~time:10 "a1";
+  Serve.Scheduler.Heap.push h ~time:10 "a2";
+  Serve.Scheduler.Heap.push h ~time:20 "b";
+  let order =
+    List.init 4 (fun _ ->
+        match Serve.Scheduler.Heap.pop h with
+        | Some (_, v) -> v
+        | None -> Alcotest.fail "heap empty early")
+  in
+  Alcotest.(check (list string))
+    "time order, ties broken by insertion sequence"
+    [ "a1"; "a2"; "b"; "c" ] order;
+  Alcotest.(check bool) "drained" true (Serve.Scheduler.Heap.is_empty h)
+
+let test_fuel_sliced_round_robin () =
+  let cpu = Serve.Scheduler.create ~cores:1 ~quantum:10 in
+  Serve.Scheduler.submit cpu "long" ~demand:25;
+  Serve.Scheduler.submit cpu "short" ~demand:5;
+  let h = Serve.Scheduler.Heap.create () in
+  let completions = ref [] in
+  (match Serve.Scheduler.dispatch cpu ~now:0 with
+  | Some s -> Serve.Scheduler.Heap.push h ~time:s.Serve.Scheduler.s_end (`S s)
+  | None -> Alcotest.fail "core should dispatch");
+  let rec drain () =
+    match Serve.Scheduler.Heap.pop h with
+    | None -> ()
+    | Some (now, `S s) ->
+        (match Serve.Scheduler.slice_done cpu s with
+        | Some payload -> completions := (payload, now) :: !completions
+        | None -> ());
+        let rec refill () =
+          match Serve.Scheduler.dispatch cpu ~now with
+          | Some s' ->
+              Serve.Scheduler.Heap.push h ~time:s'.Serve.Scheduler.s_end (`S s');
+              refill ()
+          | None -> ()
+        in
+        refill ();
+        drain ()
+  in
+  drain ();
+  (* long runs 10, short runs 5 to completion, long 10, long 5:
+     short completes at t=15, long at t=30 — the quantum kept the
+     short request from waiting out the long one *)
+  Alcotest.(check (list (pair string int)))
+    "slice interleaving lets the short request finish first"
+    [ ("short", 15); ("long", 30) ]
+    (List.rev !completions)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end serving invariants                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mini_config requests seed =
+  { Serve.Server.default_config with Serve.Server.requests; seed; slots = 2 }
+
+let test_serving_accounting_conserves () =
+  let report =
+    Serve.Server.run
+      ~chaos:(Harness.Serve_bench.chaos_policy ~seed:5)
+      (mini_config 300 5)
+      (Harness.Serve_bench.tenants ~seed:5 ())
+  in
+  List.iter
+    (fun (tr : Serve.Server.tenant_report) ->
+      Alcotest.(check int)
+        (tr.Serve.Server.tr_name ^ ": ok + failed + shed = requests")
+        tr.Serve.Server.tr_requests
+        (tr.Serve.Server.tr_ok + tr.Serve.Server.tr_failed
+        + tr.Serve.Server.tr_shed))
+    report.Serve.Server.rp_tenants;
+  Alcotest.(check int) "totals conserve too" report.Serve.Server.rp_requests
+    (report.Serve.Server.rp_ok + report.Serve.Server.rp_failed
+    + report.Serve.Server.rp_shed);
+  Alcotest.(check int) "nothing escaped" 0 report.Serve.Server.rp_escaped
+
+let test_serving_deterministic () =
+  let go () =
+    let r =
+      Serve.Server.run
+        ~chaos:(Harness.Serve_bench.chaos_policy ~seed:9)
+        (mini_config 250 9)
+        (Harness.Serve_bench.tenants ~seed:9 ())
+    in
+    ( r.Serve.Server.rp_ok, r.Serve.Server.rp_failed, r.Serve.Server.rp_shed,
+      r.Serve.Server.rp_crashes, r.Serve.Server.rp_retries,
+      r.Serve.Server.rp_makespan, r.Serve.Server.rp_p99,
+      r.Serve.Server.rp_injections )
+  in
+  let a = go () and b = go () in
+  Alcotest.(check bool) "two chaos-on runs replay identically" true (a = b)
+
+let test_malicious_tenant_contained () =
+  let report =
+    Serve.Server.run (mini_config 300 11)
+      (Harness.Serve_bench.tenants ~seed:11 ())
+  in
+  let tr name =
+    match Serve.Server.tenant_of report name with
+    | Some t -> t
+    | None -> Alcotest.failf "missing tenant %s" name
+  in
+  Alcotest.(check bool) "malicious tenant crashed" true
+    ((tr "malicious").Serve.Server.tr_crashes > 0);
+  Alcotest.(check int) "malicious tenant never succeeds" 0
+    (tr "malicious").Serve.Server.tr_ok;
+  Alcotest.(check bool) "its breaker tripped" true
+    ((tr "malicious").Serve.Server.tr_breaker_trips > 0);
+  (* chaos is off: the well-behaved neighbours are untouched *)
+  List.iter
+    (fun name ->
+      let t = tr name in
+      Alcotest.(check int)
+        (name ^ " loses nothing to the noisy neighbour")
+        t.Serve.Server.tr_requests t.Serve.Server.tr_ok)
+    [ "compute"; "fuzz" ]
+
+let test_served_sites_recover () =
+  (* the serving path absorbs a single-shot tag flip: crash, retry on
+     a pristine snapshot, succeed *)
+  let cell =
+    Harness.Serve_bench.served_cell ~seed:7 ~index:1
+      Arch.Fault_inject.Tag_flip Arch.Mte.Sync
+  in
+  Alcotest.(check string) "tag-flip x sync recovers through serving"
+    "recovered" cell
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip fidelity" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "replay exact" `Quick test_snapshot_replay_is_exact;
+          Alcotest.test_case "crashed then restored" `Quick
+            test_crashed_then_restored;
+        ] );
+      ( "lanes",
+        [
+          Alcotest.test_case "interleaving independence" `Quick
+            test_lane_streams_independent_of_interleaving;
+          Alcotest.test_case "budget per lane" `Quick test_lane_budget_is_per_lane;
+        ] );
+      ( "quarantine",
+        [ Alcotest.test_case "cap + eviction metric" `Quick test_quarantine_cap ]
+      );
+      ( "policy",
+        [
+          Alcotest.test_case "breaker lifecycle" `Quick test_breaker_lifecycle;
+          Alcotest.test_case "breaker success resets" `Quick
+            test_breaker_success_resets_run;
+          Alcotest.test_case "backoff shape" `Quick test_backoff_shape;
+          Alcotest.test_case "restart-storm bucket" `Quick test_bucket_rate_limits;
+          Alcotest.test_case "retryable classes" `Quick test_retryable_classes;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "heap order + ties" `Quick test_heap_order_and_ties;
+          Alcotest.test_case "fuel-sliced round robin" `Quick
+            test_fuel_sliced_round_robin;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "accounting conserves" `Quick
+            test_serving_accounting_conserves;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_serving_deterministic;
+          Alcotest.test_case "malicious tenant contained" `Quick
+            test_malicious_tenant_contained;
+          Alcotest.test_case "served site recovers" `Quick
+            test_served_sites_recover;
+        ] );
+    ]
