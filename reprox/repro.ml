@@ -1,0 +1,15 @@
+(* cores=1: two near-simultaneous requests; if the completion branch
+   never re-dispatches, the second job strands in the ready queue and
+   the Heal event self-perpetuates forever. *)
+let () =
+  let tenants = Harness.Serve_bench.tenants ~seed:42 () in
+  let compute = List.hd tenants in
+  let config =
+    { Serve.Server.default_config with
+      Serve.Server.cores = 1; requests = 8; slots = 4;
+      arrival_gap = 1 (* all arrivals land nearly together *) }
+  in
+  let report = Serve.Server.run config [ compute ] in
+  Printf.printf "DONE ok=%d failed=%d shed=%d requests=%d\n%!"
+    report.Serve.Server.rp_ok report.Serve.Server.rp_failed
+    report.Serve.Server.rp_shed report.Serve.Server.rp_requests
