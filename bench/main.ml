@@ -491,12 +491,21 @@ let run_obsoverhead () =
     !best
   in
   let meter = Wasm.Meter.create () in
-  let run_workload () =
+  let run_with cfg () =
     Wasm.Meter.reset meter;
-    Libc.Run.run ~cfg:Cage.Config.full ~meter kernel.Workloads.Polybench.k_source
+    ignore (Libc.Run.run ~cfg ~meter kernel.Workloads.Polybench.k_source)
+  in
+  (* The disabled-overhead model prices one obs_tick per interpreted op
+     and one span_check per access, so the gated measurement pins the
+     reference interpreter. The threaded engine batches those checks
+     per superinstruction and runs several times faster; its no-sink
+     runtime is reported informationally below. *)
+  let run_workload =
+    run_with (Cage.Config.with_engine Wasm.Instance.Interp Cage.Config.full)
   in
   Obs.Hook.uninstall ();
   let t_off = time run_workload in
+  let t_off_threaded = time (run_with Cage.Config.full) in
   let ops = Wasm.Meter.total meter in
   let mem = Wasm.Meter.mem_accesses meter in
   let t_full =
@@ -508,17 +517,27 @@ let run_obsoverhead () =
           run_workload)
   in
   (* The disabled fast path, exactly as the interpreter spells it: one
-     load of the hook ref and a branch. *)
+     load of the hook ref and a branch. Best-of-N like the workload
+     timings above — the ratio below divides this by a best-of-N
+     runtime, so a single load-inflated sample here would bias the
+     gate upward. *)
   let check_ns =
-    let n = 20_000_000 in
-    let acc = ref 0 in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to n do
-      match !Obs.Hook.hook with None -> () | Some _ -> incr acc
+    let n = 5_000_000 in
+    let once () =
+      let acc = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to n do
+        match !Obs.Hook.hook with None -> () | Some _ -> incr acc
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      ignore (Sys.opaque_identity !acc);
+      dt *. 1e9 /. float_of_int n
+    in
+    let best = ref (once ()) in
+    for _ = 2 to 20 do
+      best := Float.min !best (once ())
     done;
-    let dt = Unix.gettimeofday () -. t0 in
-    ignore (Sys.opaque_identity !acc);
-    dt *. 1e9 /. float_of_int n
+    !best
   in
   (* obs_tick once per interpreted op, span_check once per scalar
      memory access: the checks this workload actually executes. *)
@@ -530,7 +549,11 @@ let run_obsoverhead () =
   Harness.Report.table (!ppf_ref)
     ~header:[ "configuration"; "runtime"; "overhead" ]
     [
-      [ "no sink (measured)"; Harness.Report.seconds t_off; "baseline" ];
+      [ "no sink (measured, interp)"; Harness.Report.seconds t_off;
+        "baseline" ];
+      [ "no sink (measured, threaded)";
+        Harness.Report.seconds t_off_threaded;
+        Printf.sprintf "%.1fx faster" (t_off /. t_off_threaded) ];
       [ "no sink vs pre-obs (computed)"; Harness.Report.seconds t_off;
         Printf.sprintf "%.3f%%" disabled_pct ];
       [ "trace+metrics+profiler"; Harness.Report.seconds t_full;
@@ -546,13 +569,15 @@ let run_obsoverhead () =
     \  \"ops\": %d,\n\
     \  \"mem_accesses\": %d,\n\
     \  \"t_off_s\": %.9f,\n\
+    \  \"t_off_threaded_s\": %.9f,\n\
     \  \"t_full_s\": %.9f,\n\
     \  \"check_ns\": %.4f,\n\
     \  \"checks_per_run\": %d,\n\
     \  \"disabled_overhead_pct\": %.4f,\n\
     \  \"full_sink_overhead_pct\": %.2f\n\
      }\n"
-    ops mem t_off t_full check_ns checks disabled_pct full_pct;
+    ops mem t_off t_off_threaded t_full check_ns checks disabled_pct
+    full_pct;
   close_out oc;
   Format.fprintf (!ppf_ref) "  wrote BENCH_obsoverhead.json@."
 
@@ -630,6 +655,109 @@ let run_elide () =
     mean_frac mean_speedup;
   close_out oc;
   Format.fprintf (!ppf_ref) "  wrote BENCH_elide.json@."
+
+(* ------------------------------------------------------------------ *)
+(* Execution engines (BENCH_exec.json)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock comparison of the reference interpreter against the
+   direct-threaded engine on every PolyBench kernel. One compile per
+   kernel; every timed run gets a fresh instance (instantiation —
+   including threaded-code lowering — happens outside the timer, as a
+   serving pool would amortize it). Before timing, a metered
+   verification pass runs each kernel once per engine and asserts the
+   checksum and every meter counter agree, so the modeled cycle counts
+   (Cage.Lowering prices the meter, not the clock) are engine-invariant
+   by construction. *)
+let run_exec () =
+  Harness.Report.title (!ppf_ref)
+    "Execution engines: reference interpreter vs direct-threaded code";
+  let cfg = Cage.Config.baseline_wasm32 in
+  let core = Arch.Cpu_model.cortex_x3 in
+  let reps_interp = 3 and reps_threaded = 5 in
+  Obs.Hook.uninstall ();
+  let rows =
+    List.map
+      (fun (kernel : Workloads.Polybench.kernel) ->
+        let compiled =
+          let opts = Minic.Driver.options_of_config cfg in
+          let prelude = Libc.Source.prelude_of_config cfg in
+          (Minic.Driver.compile ~opts ~prelude kernel.k_source).co_module
+        in
+        let fresh ?meter engine =
+          let wasi = Libc.Wasi.create () in
+          let icfg =
+            Cage.Config.instance_config ?meter
+              (Cage.Config.with_engine engine cfg)
+          in
+          Wasm.Exec.instantiate ~config:icfg
+            ~imports:(Libc.Wasi.imports wasi) compiled
+        in
+        (* verification pass: outcomes and meters must be identical *)
+        let run_metered engine =
+          let meter = Wasm.Meter.create () in
+          let vs = Wasm.Exec.invoke (fresh ~meter engine) "main" [] in
+          (vs, meter)
+        in
+        let v_i, m_i = run_metered Wasm.Instance.Interp in
+        let v_t, m_t = run_metered Wasm.Instance.Threaded in
+        if v_i <> v_t then
+          failwith
+            (Printf.sprintf "%s: engines disagree on the result"
+               kernel.k_name);
+        if m_i <> m_t then
+          failwith
+            (Printf.sprintf "%s: engines disagree on the meter (%d vs %d ops)"
+               kernel.k_name (Wasm.Meter.total m_i) (Wasm.Meter.total m_t));
+        let time engine reps =
+          let best = ref infinity in
+          for _ = 1 to reps do
+            let inst = fresh engine in
+            let t0 = Unix.gettimeofday () in
+            ignore (Wasm.Exec.invoke inst "main" []);
+            best := Float.min !best (Unix.gettimeofday () -. t0)
+          done;
+          !best
+        in
+        let t_i = time Wasm.Instance.Interp reps_interp in
+        let t_t = time Wasm.Instance.Threaded reps_threaded in
+        let modeled = Cage.Lowering.seconds core cfg m_t in
+        (kernel.k_name, t_i, t_t, t_i /. t_t, modeled))
+      Workloads.Polybench.all
+  in
+  Harness.Report.table (!ppf_ref)
+    ~header:[ "kernel"; "interp"; "threaded"; "speedup"; "modeled" ]
+    (List.map
+       (fun (name, t_i, t_t, s, modeled) ->
+         [
+           name; Harness.Report.seconds t_i; Harness.Report.seconds t_t;
+           Printf.sprintf "%.2fx" s; Harness.Report.seconds modeled;
+         ])
+       rows);
+  let geomean =
+    exp
+      (List.fold_left (fun a (_, _, _, s, _) -> a +. log s) 0.0 rows
+      /. float_of_int (List.length rows))
+  in
+  Format.fprintf (!ppf_ref)
+    "  geomean speedup %.2fx over %d kernels (target: >= 5x; modeled \
+     cycles engine-invariant, meters bit-identical)@."
+    geomean (List.length rows);
+  let oc = open_out "BENCH_exec.json" in
+  Printf.fprintf oc "{\n  \"config\": %S,\n  \"core\": %S,\n  \"kernels\": [\n"
+    cfg.Cage.Config.name core.Arch.Cpu_model.name;
+  List.iteri
+    (fun i (name, t_i, t_t, s, modeled) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"interp_s\": %.9f, \"threaded_s\": %.9f, \
+         \"speedup\": %.3f, \"modeled_s\": %.9f }%s\n"
+        name t_i t_t s modeled
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"geomean_speedup\": %.3f\n}\n" geomean;
+  close_out oc;
+  Format.fprintf (!ppf_ref)
+    "  wrote BENCH_exec.json (threaded vs seed interpreter)@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benches (one per table/figure)                  *)
@@ -772,6 +900,7 @@ let experiments =
     ("memfast", run_memfast);
     ("obsoverhead", run_obsoverhead);
     ("elide", run_elide);
+    ("exec", run_exec);
     ("bechamel", run_bechamel);
   ]
 
@@ -779,7 +908,7 @@ let default_order =
   [
     "table1"; "fig4"; "fig14"; "fig15"; "fig16"; "table2"; "mem"; "startup";
     "collision"; "ablation"; "modes"; "escape"; "memfast"; "obsoverhead";
-    "elide"; "bechamel";
+    "elide"; "exec"; "bechamel";
   ]
 
 let () =

@@ -6,10 +6,12 @@
 
 let usage () =
   prerr_endline
-    "usage: cage_chaos matrix [--seed N] [--elide]\n\
-    \       cage_chaos fuzz [--count N] [--seed N]\n\
+    "usage: cage_chaos matrix [--seed N] [--elide] [--engine E]\n\
+    \       cage_chaos fuzz [--count N] [--seed N] [--engine E]\n\
     \       cage_chaos elidediff [--count N] [--seed N]\n\
-    \       cage_chaos served [--seed N]";
+    \       cage_chaos enginediff [--count N] [--seed N]\n\
+    \       cage_chaos served [--seed N] [--engine E]\n\
+     (E = interp | threaded; default threaded)";
   exit 2
 
 let int_flag argv name ~default =
@@ -21,18 +23,30 @@ let int_flag argv name ~default =
   in
   go argv
 
+let engine_flag argv =
+  let rec go = function
+    | [] -> Wasm.Instance.Threaded
+    | "--engine" :: "interp" :: _ -> Wasm.Instance.Interp
+    | "--engine" :: "threaded" :: _ -> Wasm.Instance.Threaded
+    | "--engine" :: _ :: _ -> usage ()
+    | _ :: rest -> go rest
+  in
+  go argv
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "matrix" :: rest ->
       let seed = int_flag rest "--seed" ~default:7 in
       let elide = List.mem "--elide" rest in
-      let results = Harness.Detection_matrix.run ~seed ~elide () in
+      let engine = engine_flag rest in
+      let results = Harness.Detection_matrix.run ~seed ~elide ~engine () in
       Harness.Detection_matrix.render ~seed Format.std_formatter results;
       if Harness.Detection_matrix.violations results <> [] then exit 1
   | _ :: "fuzz" :: rest ->
       let seed = int_flag rest "--seed" ~default:0xC405 in
       let count = int_flag rest "--count" ~default:200 in
-      let stats = Harness.Detection_matrix.chaos_fuzz ~seed ~count () in
+      let engine = engine_flag rest in
+      let stats = Harness.Detection_matrix.chaos_fuzz ~seed ~engine ~count () in
       Format.printf "%a@." Harness.Detection_matrix.pp_fuzz_stats stats;
       List.iter print_endline stats.Harness.Detection_matrix.fz_failures;
       if stats.Harness.Detection_matrix.fz_failures <> [] then exit 1
@@ -40,7 +54,8 @@ let () =
       (* the detection matrix's serving-path companion: every fault
          site driven through pool + supervisor + retry *)
       let seed = int_flag rest "--seed" ~default:7 in
-      let rows = Harness.Serve_bench.served_matrix ~seed () in
+      let engine = engine_flag rest in
+      let rows = Harness.Serve_bench.served_matrix ~seed ~engine () in
       Harness.Serve_bench.render_served ~seed Format.std_formatter rows;
       if Harness.Serve_bench.served_violations rows <> [] then exit 1
   | _ :: "elidediff" :: rest ->
@@ -50,4 +65,11 @@ let () =
       Format.printf "%a@." Harness.Elide_diff.pp r;
       List.iter print_endline r.Harness.Elide_diff.ed_failures;
       if not (Harness.Elide_diff.ok r) then exit 1
+  | _ :: "enginediff" :: rest ->
+      let seed0 = int_flag rest "--seed" ~default:0 in
+      let count = int_flag rest "--count" ~default:200 in
+      let r = Harness.Engine_diff.run ~count ~seed0 () in
+      Format.printf "%a@." Harness.Engine_diff.pp r;
+      List.iter print_endline r.Harness.Engine_diff.gd_failures;
+      if not (Harness.Engine_diff.ok r) then exit 1
   | _ -> usage ()

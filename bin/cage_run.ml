@@ -69,9 +69,33 @@ let elide =
          ~doc:"Run the static tag-safety analysis first and skip the MTE \
                granule checks it proved redundant.")
 
+let engine_conv =
+  let parse = function
+    | "interp" -> Ok Wasm.Instance.Interp
+    | "threaded" -> Ok Wasm.Instance.Threaded
+    | s ->
+        Error (`Msg (Printf.sprintf "unknown engine %S (interp|threaded)" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+      | Wasm.Instance.Interp -> "interp"
+      | Wasm.Instance.Threaded -> "threaded")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let engine =
+  Arg.(value & opt engine_conv Wasm.Instance.Threaded
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: 'threaded' (direct-threaded code, the \
+                 default) or 'interp' (the reference interpreter). \
+                 Results are identical either way; only wall-clock time \
+                 differs.")
+
 let run input config entry args show_meter trace_out show_metrics profile_out
-    seed elide =
+    seed elide engine =
   let config = if elide then Cage.Config.with_elision config else config in
+  let config = Cage.Config.with_engine engine config in
   let meter = Wasm.Meter.create () in
   let wasi = Libc.Wasi.create () in
   (* Observability sink: any of --trace/--metrics/--profile installs
@@ -182,6 +206,6 @@ let cmd =
   Cmd.v
     (Cmd.info "cage_run" ~doc)
     Term.(const run $ input $ config $ entry $ args $ show_meter $ trace_out
-          $ show_metrics $ profile_out $ seed $ elide)
+          $ show_metrics $ profile_out $ seed $ elide $ engine)
 
 let () = exit (Cmd.eval' cmd)

@@ -12,7 +12,8 @@
 
 let usage () =
   prerr_endline
-    "usage: cage_serve [--requests N] [--seed N] [--smoke] [--json FILE]";
+    "usage: cage_serve [--requests N] [--seed N] [--smoke] [--json FILE] \
+     [--engine interp|threaded]";
   exit 2
 
 let int_flag argv name ~default =
@@ -151,13 +152,19 @@ let () =
   let requests = int_flag argv "--requests" ~default:(if smoke then 4_000 else 100_000) in
   let seed = int_flag argv "--seed" ~default:42 in
   let json = str_flag argv "--json" ~default:(if smoke then "" else "BENCH_serve.json") in
+  let engine =
+    match str_flag argv "--engine" ~default:"threaded" with
+    | "interp" -> Wasm.Instance.Interp
+    | "threaded" -> Wasm.Instance.Threaded
+    | _ -> usage ()
+  in
   let time f =
     let t0 = Sys.time () in
     let r = f () in
     (r, Sys.time () -. t0)
   in
   let (cmp, wall) =
-    time (fun () -> Harness.Serve_bench.compare ~requests ~seed ())
+    time (fun () -> Harness.Serve_bench.compare ~requests ~seed ~engine ())
   in
   (* one wall figure per side is approximated by an even split; the
      simulated-cycle makespans are the meaningful clocks *)

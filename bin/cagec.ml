@@ -65,8 +65,36 @@ let elide =
          ~doc:"Run the static tag-safety analysis and print the \
                check-elision plan (accesses proven safe per module).")
 
+let wfusion =
+  Arg.(value & flag & info [ "Wfusion" ]
+         ~doc:"Print per-function threaded-code superinstruction decisions \
+               and the module totals as Cage metrics counters.")
+
+let engine_conv =
+  let parse = function
+    | "interp" -> Ok Wasm.Instance.Interp
+    | "threaded" -> Ok Wasm.Instance.Threaded
+    | s ->
+        Error (`Msg (Printf.sprintf "unknown engine %S (interp|threaded)" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+      | Wasm.Instance.Interp -> "interp"
+      | Wasm.Instance.Threaded -> "threaded")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let engine =
+  Arg.(value & opt engine_conv Wasm.Instance.Threaded
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine recorded in the configuration (and used \
+                 by anything that runs the output): 'threaded' (default) \
+                 or 'interp'.")
+
 let run input output config emit_wat no_libc instrument_all stats wstack
-    elide =
+    elide wfusion engine =
+  let config = Cage.Config.with_engine engine config in
   let source = In_channel.with_open_text input In_channel.input_all in
   let opts =
     { (Minic.Driver.options_of_config config) with
@@ -118,6 +146,42 @@ let run input output config emit_wat no_libc instrument_all stats wstack
           "elision: %d of %d checked accesses proven safe@."
           plan.Analysis.Elide.proven plan.Analysis.Elide.considered
       end;
+      if wfusion then begin
+        (* Lower every function exactly as instantiation would (same
+           elision plan when requested) and report what fused. *)
+        let elide_sets =
+          if elide || config.Cage.Config.elide_checks then
+            (Analysis.Elide.plan compiled.co_module).Analysis.Elide.bitsets
+          else [||]
+        in
+        let fstats =
+          Wasm.Compile.module_stats ~elide:elide_sets compiled.co_module
+        in
+        List.iter
+          (fun (s : Wasm.Xcode.stats) ->
+            if s.Wasm.Xcode.st_instrs > 0 || not s.Wasm.Xcode.st_supported
+            then Format.eprintf "%a@." Wasm.Xcode.pp_stats s)
+          fstats;
+        let total f =
+          List.fold_left (fun acc s -> acc + f s) 0 fstats
+        in
+        let m = Obs.Metrics.cage () in
+        Obs.Metrics.observe_event m
+          (Obs.Event.Code_fuse
+             {
+               instrs = total (fun s -> s.Wasm.Xcode.st_instrs);
+               fused = total (fun s -> s.Wasm.Xcode.st_fused);
+               accesses = total (fun s -> s.Wasm.Xcode.st_accesses);
+               elided = total (fun s -> s.Wasm.Xcode.st_elided);
+             });
+        String.split_on_char '
+'
+          (Obs.Metrics.prometheus_string m.Obs.Metrics.registry)
+        |> List.iter (fun line ->
+               if String.length line >= 10
+                  && String.sub line 0 10 = "cage_fused"
+               then Format.eprintf "%s@." line)
+      end;
       if emit_wat then
         print_string (Wasm.Text.to_string compiled.co_module)
       else begin
@@ -136,6 +200,6 @@ let cmd =
     (Cmd.info "cagec" ~doc)
     Term.(
       const run $ input $ output $ config $ emit_wat $ no_libc
-      $ instrument_all $ stats $ wstack $ elide)
+      $ instrument_all $ stats $ wstack $ elide $ wfusion $ engine)
 
 let () = exit (Cmd.eval cmd)

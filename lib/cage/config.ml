@@ -35,6 +35,10 @@ type t = {
       (** skip MTE granule checks the static analyzer proved redundant
           (accesses in-bounds on definitely-live segments); off by
           default in every Table 3 variant *)
+  engine : Wasm.Instance.engine;
+      (** which execution engine drives instances of this variant;
+          [Threaded] everywhere (see {!with_engine} to force the
+          reference interpreter) *)
 }
 
 (** The six Table 3 variants, in the paper's order. *)
@@ -47,6 +51,7 @@ let baseline_wasm32 = {
   ptr_auth = false;
   mte_mode = Arch.Mte.Disabled;
   elide_checks = false;
+  engine = Wasm.Instance.Threaded;
 }
 
 let baseline_wasm64 = {
@@ -57,6 +62,7 @@ let baseline_wasm64 = {
   ptr_auth = false;
   mte_mode = Arch.Mte.Disabled;
   elide_checks = false;
+  engine = Wasm.Instance.Threaded;
 }
 
 let mem_safety = {
@@ -67,6 +73,7 @@ let mem_safety = {
   ptr_auth = false;
   mte_mode = Arch.Mte.Sync;
   elide_checks = false;
+  engine = Wasm.Instance.Threaded;
 }
 
 let ptr_auth = {
@@ -77,6 +84,7 @@ let ptr_auth = {
   ptr_auth = true;
   mte_mode = Arch.Mte.Disabled;
   elide_checks = false;
+  engine = Wasm.Instance.Threaded;
 }
 
 let sandboxing = {
@@ -87,6 +95,7 @@ let sandboxing = {
   ptr_auth = false;
   mte_mode = Arch.Mte.Sync;
   elide_checks = false;
+  engine = Wasm.Instance.Threaded;
 }
 
 let full = {
@@ -97,12 +106,18 @@ let full = {
   ptr_auth = true;
   mte_mode = Arch.Mte.Sync;
   elide_checks = false;
+  engine = Wasm.Instance.Threaded;
 }
 
 (** A variant with static check elision switched on (the name is left
     unchanged so reports and golden files keyed by configuration name
     stay comparable with and without elision). *)
 let with_elision t = { t with elide_checks = true }
+
+(** The same variant driven by a specific execution engine (the name is
+    unchanged: engine choice must never alter observable results, only
+    wall-clock time). *)
+let with_engine engine t = { t with engine }
 
 (** All Table 3 rows, in order. *)
 let table3 =
@@ -157,6 +172,7 @@ let instance_config ?meter ?(seed = 0) t =
     exclude = exclusion t;
     seed;
     meter;
+    engine = t.engine;
   }
 
 let pp ppf t =

@@ -24,6 +24,9 @@ type t = {
   elide_checks : bool;
       (** skip MTE granule checks the static analyzer proved redundant;
           off in every Table 3 variant (see {!with_elision}) *)
+  engine : Wasm.Instance.engine;
+      (** which execution engine drives instances of this variant;
+          [Threaded] in every named variant (see {!with_engine}) *)
 }
 
 (** {1 The Table 3 rows} *)
@@ -49,6 +52,12 @@ val full : t
 val with_elision : t -> t
 (** The same variant with static check elision switched on. The name is
     kept so reports keyed by configuration stay comparable. *)
+
+val with_engine : Wasm.Instance.engine -> t -> t
+(** The same variant driven by a specific execution engine. Engine
+    choice must never change observable results — outcomes, meters,
+    access counts and goldens are engine-invariant — only wall-clock
+    time. *)
 
 val table3 : t list
 (** All six variants, in the paper's order. *)

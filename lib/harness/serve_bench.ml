@@ -157,11 +157,14 @@ let gate ?(floor = 0.8) cmp =
 
 (** Run the mixed-tenant scenario twice — identical arrival schedule,
     chaos off then on — and return both reports. *)
-let compare ?(requests = 100_000) ?(seed = 42) () =
+let compare ?(requests = 100_000) ?(seed = 42)
+    ?(engine = Wasm.Instance.Threaded) () =
   let config =
     { Serve.Server.default_config with Serve.Server.requests; seed }
   in
-  let mk () = tenants ~seed () in
+  let mk () =
+    tenants ~cfg:(Cage.Config.with_engine engine Cage.Config.full) ~seed ()
+  in
   let cmp_off = Serve.Server.run config (mk ()) in
   let cmp_on = Serve.Server.run ~chaos:(chaos_policy ~seed) config (mk ()) in
   { cmp_off; cmp_on }
@@ -181,8 +184,11 @@ let compare ?(requests = 100_000) ?(seed = 42) () =
     - ["degraded"]: nothing escaped, but some requests were lost
       (shed, retry-exhausted) — graceful degradation;
     - ["ESCAPED"]: a corrupted result reached a client. *)
-let served_cell ~seed ~index site mode =
-  let cfg = { Cage.Config.full with Cage.Config.mte_mode = mode } in
+let served_cell ~engine ~seed ~index site mode =
+  let cfg =
+    Cage.Config.with_engine engine
+      { Cage.Config.full with Cage.Config.mte_mode = mode }
+  in
   let tenant =
     tenant_of_source cfg ~name:"victim" ~weight:1 ~seed:(seed + index)
       Detection_matrix.victim_source
@@ -206,7 +212,8 @@ let served_cell ~seed ~index site mode =
 
 (** One row per fault site, one column per MTE mode, full Cage config
     throughout. Deterministic in [seed] — golden-gated by CI. *)
-let served_matrix ?(seed = Detection_matrix.default_seed) () =
+let served_matrix ?(seed = Detection_matrix.default_seed)
+    ?(engine = Wasm.Instance.Threaded) () =
   let modes = Arch.Mte.[ Disabled; Sync; Async; Asymmetric ] in
   let index = ref 0 in
   List.map
@@ -215,7 +222,7 @@ let served_matrix ?(seed = Detection_matrix.default_seed) () =
         List.map
           (fun mode ->
             incr index;
-            (mode, served_cell ~seed ~index:!index site mode))
+            (mode, served_cell ~engine ~seed ~index:!index site mode))
           modes ))
     Arch.Fault_inject.all_sites
 

@@ -66,6 +66,16 @@ type t =
       unsafe_gep : int;
       guards : int;
     }  (** per-module stack-sanitizer decision totals (Algorithm 1) *)
+  | Code_fuse of {
+      instrs : int;
+      fused : int;
+      accesses : int;
+      elided : int;
+    }
+      (** per-module threaded-code lowering totals: source instructions
+          lowered, instructions absorbed into fused superinstructions,
+          memory accesses lowered, and accesses whose granule check was
+          elided at compile time *)
 
 let access_to_string = function Load -> "load" | Store -> "store"
 
@@ -94,6 +104,7 @@ let name = function
   | Breaker_trip _ -> "breaker-trip"
   | Check_elided -> "check-elided"
   | Stack_sanitize _ -> "stack-sanitize"
+  | Code_fuse _ -> "code-fuse"
 
 (** Default simulated-cycle cost of the event itself, on top of the
     one-cycle-per-interpreted-op clock: rough Cortex-X3 prices from the
@@ -121,6 +132,7 @@ let cost = function
   | Request_retry _ | Request_shed _ | Breaker_trip _ -> 0
   | Check_elided -> 0  (* the whole point: the check costs nothing *)
   | Stack_sanitize _ -> 0
+  | Code_fuse _ -> 0
 
 (** Human-readable one-liner (black-box recorder, debugging). *)
 let pp ppf ev =
@@ -168,5 +180,8 @@ let pp ppf ev =
       f "stack-sanitize slots=%d instrumented=%d escaping=%d unsafe-gep=%d \
          guards=%d"
         total instrumented escaping unsafe_gep guards
+  | Code_fuse { instrs; fused; accesses; elided } ->
+      f "code-fuse instrs=%d fused=%d accesses=%d elided=%d" instrs fused
+        accesses elided
 
 let to_string ev = Format.asprintf "%a" pp ev

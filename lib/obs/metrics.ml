@@ -168,6 +168,10 @@ type cage = {
   stack_escaping : counter;
   stack_unsafe_gep : counter;
   stack_guards : counter;
+  fused_instrs : counter;
+  fused_superinstr : counter;
+  fused_accesses : counter;
+  fused_elided : counter;
   pool_restores : counter;
   quarantine_evicted : counter;
   requests_retried : counter;
@@ -274,6 +278,23 @@ let cage () =
     counter r ~help:"Guard slots inserted between stack frames"
       "cage_stack_guard_slots_total"
   in
+  let fused_instrs =
+    counter r ~help:"Instructions lowered to threaded code"
+      "cage_fused_instrs_total"
+  in
+  let fused_superinstr =
+    counter r ~help:"Instructions absorbed into fused superinstructions"
+      "cage_fused_superinstr_total"
+  in
+  let fused_accesses =
+    counter r ~help:"Memory accesses lowered to threaded code"
+      "cage_fused_accesses_total"
+  in
+  let fused_elided =
+    counter r
+      ~help:"Lowered accesses whose granule check was elided at compile time"
+      "cage_fused_elided_total"
+  in
   let pool_restores =
     counter r ~help:"Pool slots restored from their frozen snapshot"
       "cage_pool_restores_total"
@@ -327,6 +348,10 @@ let cage () =
     stack_escaping;
     stack_unsafe_gep;
     stack_guards;
+    fused_instrs;
+    fused_superinstr;
+    fused_accesses;
+    fused_elided;
     pool_restores;
     quarantine_evicted;
     requests_retried;
@@ -372,3 +397,8 @@ let observe_event m (ev : Event.t) =
       inc ~by:escaping m.stack_escaping;
       inc ~by:unsafe_gep m.stack_unsafe_gep;
       inc ~by:guards m.stack_guards
+  | Code_fuse { instrs; fused; accesses; elided } ->
+      inc ~by:instrs m.fused_instrs;
+      inc ~by:fused m.fused_superinstr;
+      inc ~by:accesses m.fused_accesses;
+      inc ~by:elided m.fused_elided

@@ -149,7 +149,12 @@ let args_json b (ev : Event.t) =
       field false "instrumented" (string_of_int instrumented);
       field false "escaping" (string_of_int escaping);
       field false "unsafe_gep" (string_of_int unsafe_gep);
-      field false "guards" (string_of_int guards));
+      field false "guards" (string_of_int guards)
+  | Code_fuse { instrs; fused; accesses; elided } ->
+      field true "instrs" (string_of_int instrs);
+      field false "fused" (string_of_int fused);
+      field false "accesses" (string_of_int accesses);
+      field false "elided" (string_of_int elided));
   Buffer.add_char b '}'
 
 (* Function enter/leave become duration-begin/end phases so Chrome draws

@@ -35,37 +35,59 @@ let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
    is what makes "signed pointers cannot access memory" true. *)
 let noncanonical_mask = 0x00ff_0000_0000_0000L
 
-(** Resolve an address operand to (effective address, logical tag).
-    The tag is NOT stripped: it is what the access is checked with.
-    This is also where the chaos engine corrupts live pointers — a
-    flipped tag nibble ([Ptr_tag]) or stray signature bits ([Ptr_sig])
-    land here, between the producer of the pointer and the access. *)
+(** Resolve a 32-bit address operand: zero-extend and add the static
+    offset. i32 indices are untagged sandbox-relative offsets, so the
+    logical tag is always {!Arch.Tag.zero}. *)
+let resolve_addr_i32 (i : int32) (offset : int64) =
+  Int64.add (Int64.logand (Int64.of_int32 i) 0xffffffffL) offset
+
+(* The chaos corruptions, split per draw so the threaded engine's
+   native-int fast path can consume the draws itself and only fall into
+   these (boxed) arms on a hit. [corrupt_sig] runs after a [Ptr_sig]
+   hit — it still owes the [Ptr_tag] draw; [corrupt_tag] after a
+   [Ptr_sig] miss and [Ptr_tag] hit. *)
+let rec corrupt_sig (p : int64) =
+  let bit = 49 + Arch.Fault_inject.rand_int 6 in
+  Arch.Fault_inject.note "pointer 0x%Lx: stray signature bit %d" p bit;
+  let p = Int64.logor p (Int64.shift_left 1L bit) in
+  if Arch.Fault_inject.draw Arch.Fault_inject.Ptr_tag then corrupt_tag p else p
+
+and corrupt_tag (p : int64) =
+  let t = Arch.Tag.to_int (Arch.Ptr.tag p) in
+  let bad = (t + 1 + Arch.Fault_inject.rand_int 15) mod 16 in
+  Arch.Fault_inject.note "pointer 0x%Lx: tag %d -> %d" p t bad;
+  Arch.Ptr.with_tag p (Arch.Tag.of_int bad)
+
+(** Resolve a 64-bit (tagged-pointer) address operand to (effective
+    address, logical tag). The tag is NOT stripped: it is what the
+    access is checked with. This is also where the chaos engine
+    corrupts live pointers — a flipped tag nibble ([Ptr_tag]) or stray
+    signature bits ([Ptr_sig]) land here, between the producer of the
+    pointer and the access. *)
+let resolve_addr_i64 (p : int64) (offset : int64) =
+  let p =
+    if Arch.Fault_inject.draw Arch.Fault_inject.Ptr_sig then corrupt_sig p
+    else if Arch.Fault_inject.draw Arch.Fault_inject.Ptr_tag then corrupt_tag p
+    else p
+  in
+  if Int64.logand p noncanonical_mask <> 0L then
+    trap "bounds: non-canonical address 0x%Lx" p;
+  (Int64.add (Arch.Ptr.address p) offset, Arch.Ptr.tag p)
+
+(* Finish resolving an already-corrupted pointer on the native-int
+   path: same non-canonical check and address/tag split, result as a
+   native int. *)
+let resolve_corrupt_native (p : int64) (offset : int) : int * Arch.Tag.t =
+  if Int64.logand p noncanonical_mask <> 0L then
+    trap "bounds: non-canonical address 0x%Lx" p;
+  (Int64.to_int (Arch.Ptr.address p) + offset, Arch.Ptr.tag p)
+
+(** Resolve a boxed address operand (the interpreter's entry point;
+    the threaded engine calls the statically-typed variants above). *)
 let resolve_addr (idx : Values.t) (offset : int64) =
   match idx with
-  | Values.I32 i ->
-      (Int64.add (Int64.logand (Int64.of_int32 i) 0xffffffffL) offset,
-       Arch.Tag.zero)
-  | Values.I64 p ->
-      let p =
-        if Arch.Fault_inject.draw Arch.Fault_inject.Ptr_sig then begin
-          let bit = 49 + Arch.Fault_inject.rand_int 6 in
-          Arch.Fault_inject.note "pointer 0x%Lx: stray signature bit %d" p bit;
-          Int64.logor p (Int64.shift_left 1L bit)
-        end
-        else p
-      in
-      let p =
-        if Arch.Fault_inject.draw Arch.Fault_inject.Ptr_tag then begin
-          let t = Arch.Tag.to_int (Arch.Ptr.tag p) in
-          let bad = (t + 1 + Arch.Fault_inject.rand_int 15) mod 16 in
-          Arch.Fault_inject.note "pointer 0x%Lx: tag %d -> %d" p t bad;
-          Arch.Ptr.with_tag p (Arch.Tag.of_int bad)
-        end
-        else p
-      in
-      if Int64.logand p noncanonical_mask <> 0L then
-        trap "bounds: non-canonical address 0x%Lx" p;
-      (Int64.add (Arch.Ptr.address p) offset, Arch.Ptr.tag p)
+  | Values.I32 i -> (resolve_addr_i32 i offset, Arch.Tag.zero)
+  | Values.I64 p -> resolve_addr_i64 p offset
   | v -> trap "bad address operand %a" Values.pp v
 
 (* The tag-check verdict for one span. [Deferred] faults are latched in
@@ -92,6 +114,22 @@ let check_tags (inst : Instance.t) access ~addr ~tag ~len =
   | Arch.Mte.Allowed | Arch.Mte.Deferred _ -> ()
   | Arch.Mte.Faulted f -> raise_tag_fault inst f
 
+(* [check_tags] with native-int address/length, for the threaded
+   engine, which guards on [inst.enforce_tags] itself so the
+   untagged-config fast path never boxes the address. *)
+let check_tags_native (inst : Instance.t) access ~(addr : int) ~tag ~(len : int)
+    =
+  match inst.mte with
+  | None -> ()
+  | Some mte -> (
+      match
+        Arch.Mte.check mte access
+          ~ptr:(Arch.Ptr.with_tag (Int64.of_int addr) tag)
+          ~len:(Int64.of_int len)
+      with
+      | Arch.Mte.Allowed | Arch.Mte.Deferred _ -> ()
+      | Arch.Mte.Faulted f -> raise_tag_fault inst f)
+
 (* An elided access: the static analyzer proved the span in-bounds on a
    definitely-live segment, so the MTE granule check (and its span-check
    observability event) is skipped. The bounds check stays — elision
@@ -102,37 +140,63 @@ let note_elided (inst : Instance.t) =
   | None -> ());
   if Obs.Hook.enabled () then Obs.Hook.event Obs.Event.Check_elided
 
-(** Bounds + tag check + metering for a scalar load of [len] bytes.
-    [~elide:true] skips the tag check (statically proven safe). *)
-let load ?(elide = false) (inst : Instance.t) mem ~addr ~tag ~len =
-  if not (Memory.in_bounds mem ~addr ~len) then
-    trap "bounds: out of bounds memory access";
-  if elide then note_elided inst
-  else begin
-    Obs.Hook.span_check len;
-    check_tags inst Arch.Mte.Load ~addr ~tag ~len:(Int64.of_int len)
-  end;
+let meter_load (inst : Instance.t) ~len =
   match inst.meter with
   | Some m ->
       m.Meter.loads <- m.Meter.loads + 1;
       m.Meter.load_bytes <- m.Meter.load_bytes + len
   | None -> ()
 
-(** Bounds + tag check + metering for a scalar store of [len] bytes.
-    [~elide:true] skips the tag check (statically proven safe). *)
-let store ?(elide = false) (inst : Instance.t) mem ~addr ~tag ~len =
-  if not (Memory.in_bounds mem ~addr ~len) then
-    trap "bounds: out of bounds memory access";
-  if elide then note_elided inst
-  else begin
-    Obs.Hook.span_check len;
-    check_tags inst Arch.Mte.Store ~addr ~tag ~len:(Int64.of_int len)
-  end;
+let meter_store (inst : Instance.t) ~len =
   match inst.meter with
   | Some m ->
       m.Meter.stores <- m.Meter.stores + 1;
       m.Meter.store_bytes <- m.Meter.store_bytes + len
   | None -> ()
+
+(** Bounds + tag check + metering for a scalar load of [len] bytes. *)
+let load_checked (inst : Instance.t) mem ~addr ~tag ~len =
+  if not (Memory.in_bounds mem ~addr ~len) then
+    trap "bounds: out of bounds memory access";
+  Obs.Hook.span_check len;
+  check_tags inst Arch.Mte.Load ~addr ~tag ~len:(Int64.of_int len);
+  meter_load inst ~len
+
+(** The elided-load fast path: the static analyzer proved the access
+    safe, so only the bounds check and the metering remain — no tag
+    lookup, no span event. The threaded engine bakes the choice between
+    this and {!load_checked} into the compiled op, so the per-access
+    elision branch disappears entirely. *)
+let load_elided (inst : Instance.t) mem ~addr ~len =
+  if not (Memory.in_bounds mem ~addr ~len) then
+    trap "bounds: out of bounds memory access";
+  note_elided inst;
+  meter_load inst ~len
+
+let store_checked (inst : Instance.t) mem ~addr ~tag ~len =
+  if not (Memory.in_bounds mem ~addr ~len) then
+    trap "bounds: out of bounds memory access";
+  Obs.Hook.span_check len;
+  check_tags inst Arch.Mte.Store ~addr ~tag ~len:(Int64.of_int len);
+  meter_store inst ~len
+
+let store_elided (inst : Instance.t) mem ~addr ~len =
+  if not (Memory.in_bounds mem ~addr ~len) then
+    trap "bounds: out of bounds memory access";
+  note_elided inst;
+  meter_store inst ~len
+
+(** Bounds + tag check + metering for a scalar load of [len] bytes.
+    [~elide:true] skips the tag check (statically proven safe). *)
+let load ?(elide = false) (inst : Instance.t) mem ~addr ~tag ~len =
+  if elide then load_elided inst mem ~addr ~len
+  else load_checked inst mem ~addr ~tag ~len
+
+(** Bounds + tag check + metering for a scalar store of [len] bytes.
+    [~elide:true] skips the tag check (statically proven safe). *)
+let store ?(elide = false) (inst : Instance.t) mem ~addr ~tag ~len =
+  if elide then store_elided inst mem ~addr ~len
+  else store_checked inst mem ~addr ~tag ~len
 
 (* ------------------------------------------------------------------ *)
 (* Bulk operations                                                     *)

@@ -1,5 +1,14 @@
-(** The interpreter: wasm small-step semantics extended with the Cage
-    rules of paper Fig. 11.
+(** The execution driver: instantiation, invocation, and the
+    tree-walking interpreter.
+
+    Since the threaded-code engine landed, this module is a thin layer:
+    numeric semantics live in {!Numerics}, the engine-shared runtime
+    services (obs ticks, fuel, deferred-fault draining, Cage segment
+    instruction bodies) in {!Rt}, checked memory access in {!Checked},
+    and the hot path of a [Threaded]-engine instance in {!Compile}. The
+    tree walker below remains the reference semantics — it executes any
+    module, validated or not — and the per-function fallback for bodies
+    the threaded compiler declines.
 
     Loads and stores check allocation tags when the instance was
     instantiated with [enforce_tags] (Eqs. 1-4); the five Cage
@@ -12,190 +21,8 @@ open Instance
 exception Branch of int * Values.t list
 exception Ret of Values.t list
 
-let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
-let max_call_depth = 2000
-
-(* ------------------------------------------------------------------ *)
-(* Numeric operations                                                  *)
-(* ------------------------------------------------------------------ *)
-
-let eval_iunop32 (op : Ast.iunop) x =
-  match op with
-  | Clz -> Int32.of_int (Values.clz32 x)
-  | Ctz -> Int32.of_int (Values.ctz32 x)
-  | Popcnt -> Int32.of_int (Values.popcnt32 x)
-
-let eval_iunop64 (op : Ast.iunop) x =
-  match op with
-  | Clz -> Int64.of_int (Values.clz64 x)
-  | Ctz -> Int64.of_int (Values.ctz64 x)
-  | Popcnt -> Int64.of_int (Values.popcnt64 x)
-
-let eval_ibinop32 (op : Ast.ibinop) x y =
-  match op with
-  | Add -> Int32.add x y
-  | Sub -> Int32.sub x y
-  | Mul -> Int32.mul x y
-  | DivS ->
-      if Int32.equal y 0l then trap "integer divide by zero"
-      else if Int32.equal x Int32.min_int && Int32.equal y (-1l) then
-        trap "integer overflow"
-      else Int32.div x y
-  | DivU ->
-      if Int32.equal y 0l then trap "integer divide by zero"
-      else Int32.unsigned_div x y
-  | RemS ->
-      if Int32.equal y 0l then trap "integer divide by zero"
-      else if Int32.equal x Int32.min_int && Int32.equal y (-1l) then 0l
-      else Int32.rem x y
-  | RemU ->
-      if Int32.equal y 0l then trap "integer divide by zero"
-      else Int32.unsigned_rem x y
-  | And -> Int32.logand x y
-  | Or -> Int32.logor x y
-  | Xor -> Int32.logxor x y
-  | Shl -> Int32.shift_left x (Values.i32_shift_amount y)
-  | ShrS -> Int32.shift_right x (Values.i32_shift_amount y)
-  | ShrU -> Int32.shift_right_logical x (Values.i32_shift_amount y)
-  | Rotl -> Values.rotl32 x y
-  | Rotr -> Values.rotr32 x y
-
-let eval_ibinop64 (op : Ast.ibinop) x y =
-  match op with
-  | Add -> Int64.add x y
-  | Sub -> Int64.sub x y
-  | Mul -> Int64.mul x y
-  | DivS ->
-      if Int64.equal y 0L then trap "integer divide by zero"
-      else if Int64.equal x Int64.min_int && Int64.equal y (-1L) then
-        trap "integer overflow"
-      else Int64.div x y
-  | DivU ->
-      if Int64.equal y 0L then trap "integer divide by zero"
-      else Int64.unsigned_div x y
-  | RemS ->
-      if Int64.equal y 0L then trap "integer divide by zero"
-      else if Int64.equal x Int64.min_int && Int64.equal y (-1L) then 0L
-      else Int64.rem x y
-  | RemU ->
-      if Int64.equal y 0L then trap "integer divide by zero"
-      else Int64.unsigned_rem x y
-  | And -> Int64.logand x y
-  | Or -> Int64.logor x y
-  | Xor -> Int64.logxor x y
-  | Shl -> Int64.shift_left x (Values.i64_shift_amount y)
-  | ShrS -> Int64.shift_right x (Values.i64_shift_amount y)
-  | ShrU -> Int64.shift_right_logical x (Values.i64_shift_amount y)
-  | Rotl -> Values.rotl64 x y
-  | Rotr -> Values.rotr64 x y
-
-let eval_irelop32 (op : Ast.irelop) x y =
-  match op with
-  | Eq -> Int32.equal x y
-  | Ne -> not (Int32.equal x y)
-  | LtS -> Int32.compare x y < 0
-  | LtU -> Values.u32_lt x y
-  | GtS -> Int32.compare x y > 0
-  | GtU -> Values.u32_gt x y
-  | LeS -> Int32.compare x y <= 0
-  | LeU -> Values.u32_le x y
-  | GeS -> Int32.compare x y >= 0
-  | GeU -> Values.u32_ge x y
-
-let eval_irelop64 (op : Ast.irelop) x y =
-  match op with
-  | Eq -> Int64.equal x y
-  | Ne -> not (Int64.equal x y)
-  | LtS -> Int64.compare x y < 0
-  | LtU -> Values.u64_lt x y
-  | GtS -> Int64.compare x y > 0
-  | GtU -> Values.u64_gt x y
-  | LeS -> Int64.compare x y <= 0
-  | LeU -> Values.u64_le x y
-  | GeS -> Int64.compare x y >= 0
-  | GeU -> Values.u64_ge x y
-
-let eval_funop (op : Ast.funop) x =
-  match op with
-  | Neg -> -.x
-  | Abs -> Float.abs x
-  | Ceil -> Float.ceil x
-  | Floor -> Float.floor x
-  | Trunc -> Float.trunc x
-  | Nearest -> Float.round x (* close enough to round-to-even for our use *)
-  | Sqrt -> Float.sqrt x
-
-let eval_fbinop (op : Ast.fbinop) x y =
-  match op with
-  | FAdd -> x +. y
-  | FSub -> x -. y
-  | FMul -> x *. y
-  | FDiv -> x /. y
-  | FMin -> if Float.is_nan x || Float.is_nan y then Float.nan else Float.min x y
-  | FMax -> if Float.is_nan x || Float.is_nan y then Float.nan else Float.max x y
-  | Copysign -> Float.copy_sign x y
-
-let eval_frelop (op : Ast.frelop) x y =
-  match op with
-  | FEq -> x = y
-  | FNe -> x <> y
-  | FLt -> x < y
-  | FGt -> x > y
-  | FLe -> x <= y
-  | FGe -> x >= y
-
-let trunc_to_i32 ~signed x =
-  if Float.is_nan x then trap "invalid conversion to integer";
-  let t = Float.trunc x in
-  if signed then
-    if t >= 2147483648.0 || t < -2147483648.0 then trap "integer overflow"
-    else Int32.of_float t
-  else if t >= 4294967296.0 || t <= -1.0 then trap "integer overflow"
-  else Int64.to_int32 (Int64.of_float t)
-
-let trunc_to_i64 ~signed x =
-  if Float.is_nan x then trap "invalid conversion to integer";
-  let t = Float.trunc x in
-  if signed then
-    if t >= 9.22337203685477581e18 || t < -9.22337203685477581e18 then
-      trap "integer overflow"
-    else Int64.of_float t
-  else if t >= 1.8446744073709552e19 || t <= -1.0 then trap "integer overflow"
-  else if t >= 9.22337203685477581e18 then
-    (* wrap into the unsigned top half *)
-    Int64.add Int64.min_int (Int64.of_float (t -. 9.22337203685477581e18))
-  else Int64.of_float t
-
-let u32_to_float x = Int64.to_float (Int64.logand (Int64.of_int32 x) 0xffffffffL)
-
-let u64_to_float x =
-  if Int64.compare x 0L >= 0 then Int64.to_float x
-  else Int64.to_float (Int64.shift_right_logical x 1) *. 2.0
-
-let eval_cvtop (op : Ast.cvtop) (v : Values.t) : Values.t =
-  match (op, v) with
-  | I32WrapI64, I64 x -> I32 (Int64.to_int32 x)
-  | I64ExtendI32S, I32 x -> I64 (Int64.of_int32 x)
-  | I64ExtendI32U, I32 x -> I64 (Int64.logand (Int64.of_int32 x) 0xffffffffL)
-  | I32TruncF32S, F32 x | I32TruncF64S, F64 x -> I32 (trunc_to_i32 ~signed:true x)
-  | I32TruncF32U, F32 x | I32TruncF64U, F64 x -> I32 (trunc_to_i32 ~signed:false x)
-  | I64TruncF32S, F32 x | I64TruncF64S, F64 x -> I64 (trunc_to_i64 ~signed:true x)
-  | I64TruncF32U, F32 x | I64TruncF64U, F64 x -> I64 (trunc_to_i64 ~signed:false x)
-  | F32ConvertI32S, I32 x -> F32 (Values.to_f32 (Int32.to_float x))
-  | F32ConvertI32U, I32 x -> F32 (Values.to_f32 (u32_to_float x))
-  | F32ConvertI64S, I64 x -> F32 (Values.to_f32 (Int64.to_float x))
-  | F32ConvertI64U, I64 x -> F32 (Values.to_f32 (u64_to_float x))
-  | F64ConvertI32S, I32 x -> F64 (Int32.to_float x)
-  | F64ConvertI32U, I32 x -> F64 (u32_to_float x)
-  | F64ConvertI64S, I64 x -> F64 (Int64.to_float x)
-  | F64ConvertI64U, I64 x -> F64 (u64_to_float x)
-  | F32DemoteF64, F64 x -> F32 (Values.to_f32 x)
-  | F64PromoteF32, F32 x -> F64 x
-  | I32ReinterpretF32, F32 x -> I32 (Int32.bits_of_float x)
-  | I64ReinterpretF64, F64 x -> I64 (Int64.bits_of_float x)
-  | F32ReinterpretI32, I32 x -> F32 (Int32.float_of_bits x)
-  | F64ReinterpretI64, I64 x -> F64 (Int64.float_of_bits x)
-  | _ -> trap "conversion operand type mismatch"
+let trap fmt = Rt.trap fmt
+let max_call_depth = Rt.max_call_depth
 
 (* ------------------------------------------------------------------ *)
 (* Stack helpers                                                       *)
@@ -232,42 +59,6 @@ let popn stack n =
    layer: bounds check first (an out-of-bounds access is a sandbox
    violation and reported as such regardless of tag state), then the
    MTE tag check, then metering. *)
-
-(* A Heap_scribble injection recorded at segment-free time is applied
-   here, at the next synchronization point: by then the allocator has
-   published the chunk's free-list link, and the junk write lands on
-   live metadata. It models an asynchronous corruptor (racing thread,
-   errant DMA), which is also why it writes through [Memory] directly,
-   bypassing tag checks. *)
-let apply_pending_scribble (inst : Instance.t) =
-  match Arch.Fault_inject.take_scribble () with
-  | None -> ()
-  | Some addr -> (
-      match inst.mem with
-      | None -> ()
-      | Some mem -> (
-          let junk = Arch.Fault_inject.junk64 () in
-          Arch.Fault_inject.note "free-list link at 0x%Lx overwritten with 0x%Lx"
-            addr junk;
-          try Memory.store_i64 mem addr junk
-          with Memory.Out_of_bounds _ -> ()))
-
-(* A deferred (Async/Asymmetric) fault is latched in the MTE engine's
-   sticky TFSR when the faulting access executes; it is *reported* here,
-   at synchronization points — function returns and host-call
-   boundaries — as the paper's §4.2 fault model requires. The
-   "deferred:" prefix lets callers distinguish late reports from
-   synchronous traps. *)
-let drain_deferred (inst : Instance.t) =
-  apply_pending_scribble inst;
-  match inst.mte with
-  | None -> ()
-  | Some mte -> (
-      match Arch.Mte.take_pending mte with
-      | None -> ()
-      | Some f ->
-          inst.last_fault <- Some f;
-          trap "deferred: %a" Arch.Mte.pp_fault f)
 
 let do_load ?elide (inst : Instance.t) stack (ty : Types.num_type) pack
     (ma : Ast.memarg) =
@@ -331,154 +122,8 @@ let do_store ?elide (inst : Instance.t) stack (ty : Types.num_type) pack
   with Memory.Out_of_bounds _ -> trap "bounds: out of bounds memory access"
 
 (* ------------------------------------------------------------------ *)
-(* Cage segment instructions (Eqs. 5-13)                               *)
-(* ------------------------------------------------------------------ *)
-
-let seg_granules len = Int64.to_int (Int64.div len 16L)
-
-let rng_int (inst : Instance.t) n = Random.State.int inst.rng n
-
-let exec_segment_new (inst : Instance.t) stack o =
-  let l = pop_i64 stack in
-  let k = pop_i64 stack in
-  let mte = mte inst in
-  let tm = Arch.Mte.tag_memory mte in
-  let addr = Int64.add (Arch.Ptr.address k) o in
-  let tag = Arch.Tag.irg inst.exclude ~rng:(rng_int inst) in
-  (match Arch.Tag_memory.set_region tm ~addr ~len:l tag with
-  | Ok () -> ()
-  | Error e -> trap "bounds: segment.new: %s" e);
-  (* Eq. 5: the new segment is zeroed. *)
-  (try Memory.fill (memory inst) ~addr ~len:l 0
-   with Memory.Out_of_bounds _ -> trap "bounds: segment.new: out of bounds");
-  (match inst.meter with
-  | Some m ->
-      m.seg_new <- m.seg_new + 1;
-      m.seg_new_granules <- m.seg_new_granules + seg_granules l
-  | None -> ());
-  if Obs.Hook.enabled () then
-    Obs.Hook.event
-      (Obs.Event.Seg_new
-         { addr; len = l; granules = seg_granules l; tag = Arch.Tag.to_int tag });
-  push stack (Values.I64 (Arch.Ptr.with_tag (Int64.add k o) tag))
-
-let exec_segment_set_tag (inst : Instance.t) stack o =
-  let l = pop_i64 stack in
-  let t = pop_i64 stack in
-  let k = pop_i64 stack in
-  let mte = mte inst in
-  let tm = Arch.Mte.tag_memory mte in
-  let addr = Int64.add (Arch.Ptr.address k) o in
-  (match Arch.Tag_memory.set_region tm ~addr ~len:l (Arch.Ptr.tag t) with
-  | Ok () -> ()
-  | Error e -> trap "bounds: segment.set_tag: %s" e);
-  if Obs.Hook.enabled () then
-    Obs.Hook.event
-      (Obs.Event.Seg_set_tag
-         { addr; len = l; granules = seg_granules l;
-           tag = Arch.Tag.to_int (Arch.Ptr.tag t) });
-  match inst.meter with
-  | Some m ->
-      m.seg_set_tag <- m.seg_set_tag + 1;
-      m.seg_set_tag_granules <- m.seg_set_tag_granules + seg_granules l
-  | None -> ()
-
-let exec_segment_free (inst : Instance.t) stack o =
-  let l = pop_i64 stack in
-  let k = pop_i64 stack in
-  let mte = mte inst in
-  let tm = Arch.Mte.tag_memory mte in
-  let addr = Int64.add (Arch.Ptr.address k) o in
-  let ptag = Arch.Ptr.tag k in
-  (* Eq. 9/10: the pointer must still own the whole segment — this is
-     what catches double-frees and frees through corrupted pointers. *)
-  if not (Arch.Tag_memory.matches tm ~addr ~len:(Int64.max l 1L) ptag) then
-    trap "tag fault: segment.free: tag mismatch (double free or invalid free)";
-  let free_tag = Arch.Tag.next_allowed inst.exclude ptag in
-  (match Arch.Tag_memory.set_region tm ~addr ~len:l free_tag with
-  | Ok () -> ()
-  | Error e -> trap "bounds: segment.free: %s" e);
-  (* Chaos hook: schedule a scribble of this chunk's free-list link
-     (payload-relative slot [-8], see Libc.Source); the junk write is
-     applied at the next synchronization point, once the allocator has
-     published the link. *)
-  if Arch.Fault_inject.draw Arch.Fault_inject.Heap_scribble then
-    Arch.Fault_inject.set_scribble (Int64.sub addr 8L);
-  if Obs.Hook.enabled () then
-    Obs.Hook.event
-      (Obs.Event.Seg_free
-         { addr; len = l; granules = seg_granules l;
-           tag = Arch.Tag.to_int free_tag });
-  match inst.meter with
-  | Some m ->
-      m.seg_free <- m.seg_free + 1;
-      m.seg_free_granules <- m.seg_free_granules + seg_granules l
-  | None -> ()
-
-let exec_pointer_sign (inst : Instance.t) stack =
-  let k = pop_i64 stack in
-  (match inst.meter with
-  | Some m -> m.ptr_sign <- m.ptr_sign + 1
-  | None -> ());
-  push stack
-    (Values.I64
-       (Arch.Pac.sign inst.pac_config inst.pac_key ~modifier:inst.pac_modifier
-          k))
-
-let exec_pointer_auth (inst : Instance.t) stack =
-  let k = pop_i64 stack in
-  (match inst.meter with
-  | Some m -> m.ptr_auth <- m.ptr_auth + 1
-  | None -> ());
-  match
-    Arch.Pac.auth inst.pac_config inst.pac_key ~modifier:inst.pac_modifier k
-  with
-  | Arch.Pac.Valid k' -> push stack (Values.I64 k')
-  | Arch.Pac.Invalid_trap | Arch.Pac.Invalid_poisoned _ ->
-      (* Eq. 13: the extension semantics trap on failed authentication. *)
-      trap "pac auth: invalid signature (i64.pointer_auth)"
-
-(* ------------------------------------------------------------------ *)
 (* Main evaluator                                                      *)
 (* ------------------------------------------------------------------ *)
-
-(* The observability tick: one simulated cycle on the tracer's clock
-   and one event on the profiler's sampling countdown per interpreted
-   instruction. With no sink installed this is a single load-and-
-   compare — the same fast-path contract as [Arch.Fault_inject]. The
-   meter total is computed only at sampling points, so snapshot weights
-   partition the meter exactly (see [Obs.Profiler]). *)
-let obs_tick (inst : Instance.t) =
-  match !Obs.Hook.hook with
-  | None -> ()
-  | Some s ->
-      (match s.Obs.Hook.trace with
-      | Some tr -> Obs.Trace.advance tr 1
-      | None -> ());
-      (match s.Obs.Hook.profiler with
-      | Some p ->
-          if Obs.Profiler.due p then
-            let total =
-              match inst.meter with
-              | Some m -> Meter.total m
-              | None -> Obs.Profiler.ticks p
-            in
-            Obs.Profiler.sample p ~stack:inst.call_stack ~total
-      | None -> ())
-
-(* The fuel watchdog: every branch and call burns one unit, so a
-   runaway guest (infinite loop or unbounded recursion) terminates with
-   a classifiable "fuel:" trap instead of hanging its supervisor. The
-   [-1] sentinel keeps the unmetered path to one compare. *)
-let burn_fuel (inst : Instance.t) =
-  if inst.fuel >= 0 then begin
-    if inst.fuel = 0 then trap "fuel: execution budget exhausted";
-    inst.fuel <- inst.fuel - 1
-  end
-
-let meter_br (inst : Instance.t) =
-  burn_fuel inst;
-  match inst.meter with Some m -> m.branch <- m.branch + 1 | None -> ()
 
 (* Take a prepared branch: the target depth and the label's arity were
    resolved at instantiation (O(1) here); a label index that had no
@@ -496,7 +141,7 @@ let rec eval (inst : Instance.t) ~depth ~elide locals stack
 
 and eval_instr (inst : Instance.t) ~depth ~elide locals stack
     (ins : Code.instr) =
-  obs_tick inst;
+  Rt.obs_tick inst;
   match ins with
   | Code.Basic (i, id) -> eval_basic inst ~depth ~elide locals stack i id
   | Code.Block (_, body) -> (
@@ -508,27 +153,27 @@ and eval_instr (inst : Instance.t) ~depth ~elide locals stack
         match eval inst ~depth ~elide locals stack body with
         | () -> ()
         | exception Branch (0, _) ->
-            meter_br inst;
+            Rt.meter_br inst;
             iter ()
         | exception Branch (n, vs) -> raise (Branch (n - 1, vs))
       in
       iter ()
   | Code.If (_, then_, else_) -> (
-      meter_br inst;
+      Rt.meter_br inst;
       let c = pop_i32 stack in
       let body = if not (Int32.equal c 0l) then then_ else else_ in
       try eval inst ~depth ~elide locals stack body with
       | Branch (0, vs) -> List.iter (push stack) vs
       | Branch (n, vs) -> raise (Branch (n - 1, vs)))
   | Code.Br l ->
-      meter_br inst;
+      Rt.meter_br inst;
       take_branch stack l
   | Code.BrIf l ->
-      meter_br inst;
+      Rt.meter_br inst;
       let c = pop_i32 stack in
       if not (Int32.equal c 0l) then take_branch stack l
   | Code.BrTable (targets, default) ->
-      meter_br inst;
+      Rt.meter_br inst;
       let i = Int32.to_int (pop_i32 stack) in
       let l =
         if i >= 0 && i < Array.length targets then Array.unsafe_get targets i
@@ -605,8 +250,8 @@ and eval_basic (inst : Instance.t) ~depth ~elide locals stack
   | IUnop (w, op) ->
       meter (fun m -> m.ialu <- m.ialu + 1);
       (match w with
-      | W32 -> push stack (Values.I32 (eval_iunop32 op (pop_i32 stack)))
-      | W64 -> push stack (Values.I64 (eval_iunop64 op (pop_i64 stack))))
+      | W32 -> push stack (Values.I32 (Numerics.eval_iunop32 op (pop_i32 stack)))
+      | W64 -> push stack (Values.I64 (Numerics.eval_iunop64 op (pop_i64 stack))))
   | IBinop (w, op) ->
       meter (fun m ->
           match op with
@@ -617,11 +262,11 @@ and eval_basic (inst : Instance.t) ~depth ~elide locals stack
       | W32 ->
           let y = pop_i32 stack in
           let x = pop_i32 stack in
-          push stack (Values.I32 (eval_ibinop32 op x y))
+          push stack (Values.I32 (Numerics.eval_ibinop32 op x y))
       | W64 ->
           let y = pop_i64 stack in
           let x = pop_i64 stack in
-          push stack (Values.I64 (eval_ibinop64 op x y)))
+          push stack (Values.I64 (Numerics.eval_ibinop64 op x y)))
   | ITestop w ->
       meter (fun m -> m.ialu <- m.ialu + 1);
       let z =
@@ -637,19 +282,20 @@ and eval_basic (inst : Instance.t) ~depth ~elide locals stack
         | W32 ->
             let y = pop_i32 stack in
             let x = pop_i32 stack in
-            eval_irelop32 op x y
+            Numerics.eval_irelop32 op x y
         | W64 ->
             let y = pop_i64 stack in
             let x = pop_i64 stack in
-            eval_irelop64 op x y
+            Numerics.eval_irelop64 op x y
       in
       push stack (Values.I32 (if b then 1l else 0l))
   | FUnop (w, op) ->
       meter (fun m -> m.falu <- m.falu + 1);
       let v = pop stack in
       (match (w, v) with
-      | W32, Values.F32 x -> push stack (Values.F32 (Values.to_f32 (eval_funop op x)))
-      | W64, Values.F64 x -> push stack (Values.F64 (eval_funop op x))
+      | W32, Values.F32 x ->
+          push stack (Values.F32 (Values.to_f32 (Numerics.eval_funop op x)))
+      | W64, Values.F64 x -> push stack (Values.F64 (Numerics.eval_funop op x))
       | _ -> trap "funop operand mismatch")
   | FBinop (w, op) ->
       meter (fun m ->
@@ -661,9 +307,9 @@ and eval_basic (inst : Instance.t) ~depth ~elide locals stack
       let v1 = pop stack in
       (match (w, v1, v2) with
       | W32, Values.F32 x, Values.F32 y ->
-          push stack (Values.F32 (Values.to_f32 (eval_fbinop op x y)))
+          push stack (Values.F32 (Values.to_f32 (Numerics.eval_fbinop op x y)))
       | W64, Values.F64 x, Values.F64 y ->
-          push stack (Values.F64 (eval_fbinop op x y))
+          push stack (Values.F64 (Numerics.eval_fbinop op x y))
       | _ -> trap "fbinop operand mismatch")
   | FRelop (w, op) ->
       meter (fun m -> m.falu <- m.falu + 1);
@@ -671,14 +317,14 @@ and eval_basic (inst : Instance.t) ~depth ~elide locals stack
       let v1 = pop stack in
       let b =
         match (w, v1, v2) with
-        | W32, Values.F32 x, Values.F32 y -> eval_frelop op x y
-        | W64, Values.F64 x, Values.F64 y -> eval_frelop op x y
+        | W32, Values.F32 x, Values.F32 y -> Numerics.eval_frelop op x y
+        | W64, Values.F64 x, Values.F64 y -> Numerics.eval_frelop op x y
         | _ -> trap "frelop operand mismatch"
       in
       push stack (Values.I32 (if b then 1l else 0l))
   | Cvtop op ->
       meter (fun m -> m.cvt <- m.cvt + 1);
-      push stack (eval_cvtop op (pop stack))
+      push stack (Numerics.eval_cvtop op (pop stack))
   | Load (ty, pack, ma) ->
       do_load ~elide:(Code.elidable elide id) inst stack ty pack ma
   | Store (ty, pack, ma) ->
@@ -691,26 +337,13 @@ and eval_basic (inst : Instance.t) ~depth ~elide locals stack
         | Types.Idx32 -> Values.I32 (Int64.to_int32 pages)
         | Types.Idx64 -> Values.I64 pages)
   | MemoryGrow ->
-      meter (fun m -> m.mem_grow <- m.mem_grow + 1);
       let mem = memory inst in
       let delta =
         match Memory.idx_type mem with
         | Types.Idx32 -> Int64.logand (Int64.of_int32 (pop_i32 stack)) 0xffffffffL
         | Types.Idx64 -> pop_i64 stack
       in
-      let old = Memory.grow mem delta in
-      if old >= 0L && delta > 0L then
-        Option.iter
-          (fun mte ->
-            let tm = Arch.Mte.tag_memory mte in
-            Arch.Mte.set_tag_memory mte
-              (Arch.Tag_memory.grow tm
-                 ~new_size_bytes:(Int64.to_int (Memory.size_bytes mem))))
-          inst.mte;
-      if old >= 0L && Obs.Hook.enabled () then
-        Obs.Hook.event
-          (Obs.Event.Mem_grow
-             { delta_pages = delta; new_pages = Memory.size_pages mem });
+      let old = Rt.memory_grow inst delta in
       push stack
         (match Memory.idx_type mem with
         | Types.Idx32 -> Values.I32 (Int64.to_int32 old)
@@ -739,17 +372,31 @@ and eval_basic (inst : Instance.t) ~depth ~elide locals stack
       let dst, dtag = Checked.resolve_addr (pop stack) 0L in
       meter (fun m -> m.bulk_copy <- m.bulk_copy + 1);
       Checked.copy inst mem ~dst ~dtag ~src ~stag ~len
-  | SegmentNew o -> exec_segment_new inst stack o
-  | SegmentSetTag o -> exec_segment_set_tag inst stack o
-  | SegmentFree o -> exec_segment_free inst stack o
-  | PointerSign -> exec_pointer_sign inst stack
-  | PointerAuth -> exec_pointer_auth inst stack
+  | SegmentNew o ->
+      let l = pop_i64 stack in
+      let k = pop_i64 stack in
+      push stack (Values.I64 (Rt.segment_new inst ~k ~l o))
+  | SegmentSetTag o ->
+      let l = pop_i64 stack in
+      let t = pop_i64 stack in
+      let k = pop_i64 stack in
+      Rt.segment_set_tag inst ~k ~t ~l o
+  | SegmentFree o ->
+      let l = pop_i64 stack in
+      let k = pop_i64 stack in
+      Rt.segment_free inst ~k ~l o
+  | PointerSign ->
+      let k = pop_i64 stack in
+      push stack (Values.I64 (Rt.pointer_sign inst k))
+  | PointerAuth ->
+      let k = pop_i64 stack in
+      push stack (Values.I64 (Rt.pointer_auth inst k))
 
 (* Invoke function index [i] with arguments taken from [stack]. *)
 and invoke_idx (inst : Instance.t) ~depth stack i =
-  if depth > max_call_depth then
+  if depth > Rt.max_call_depth then
     trap "stack: call stack exhausted (depth %d)" depth;
-  burn_fuel inst;
+  Rt.burn_fuel inst;
   match inst.funcs.(i) with
   | Host_func { fn; ty; name } ->
       if Obs.Hook.enabled () then begin
@@ -758,34 +405,49 @@ and invoke_idx (inst : Instance.t) ~depth stack i =
       end;
       (* A host call is a synchronization point: report any deferred
          fault latched before control leaves wasm. *)
-      drain_deferred inst;
+      Rt.drain_deferred inst;
       let args = popn stack (List.length ty.params) in
       let results =
         try fn inst args
         with Invalid_argument msg -> trap "host %s: %s" name msg
       in
       List.iter (push stack) results
-  | Wasm_func { func; ty; code; _ } ->
+  | Wasm_func { func; ty; code; xcode; _ } ->
       let args = popn stack (List.length ty.params) in
-      let locals =
-        Array.of_list (args @ List.map Values.default func.locals)
-      in
       inst.call_stack <- i :: inst.call_stack;
       if Obs.Hook.enabled () then begin
         Obs.Hook.set_instance inst.id;
         Obs.Hook.event
           (Obs.Event.Func_enter { idx = i; name = Instance.func_name inst i })
       end;
-      let fstack = ref [] in
-      (try eval inst ~depth ~elide:code.Code.elide locals fstack code.Code.body
-       with
-      | Ret vs -> List.iter (push fstack) vs
-      | Branch (_, vs) -> List.iter (push fstack) vs);
-      (* take the results off the callee stack *)
-      let results = popn fstack code.Code.result_arity in
+      let results =
+        (* the threaded body assumes arguments of the declared types;
+           an unvalidated caller can push anything, so mis-typed
+           argument lists take the interpreter path, which reproduces
+           the lenient dynamic ("expected i32"-style) semantics *)
+        match xcode with
+        | Some xf
+          when List.for_all2
+                 (fun v t -> Values.type_of v = t)
+                 args ty.params ->
+            Compile.run_body inst ~depth xf args
+        | _ ->
+            let locals =
+              Array.of_list (args @ List.map Values.default func.locals)
+            in
+            let fstack = ref [] in
+            (try
+               eval inst ~depth ~elide:code.Code.elide locals fstack
+                 code.Code.body
+             with
+            | Ret vs -> List.iter (push fstack) vs
+            | Branch (_, vs) -> List.iter (push fstack) vs);
+            (* take the results off the callee stack *)
+            popn fstack code.Code.result_arity
+      in
       (* Function return is a synchronization point (§4.2): deferred
          Async/Asymmetric faults are reported here, sticky-first. *)
-      drain_deferred inst;
+      Rt.drain_deferred inst;
       (* pop the frame on normal completion only: after a trap the
          frozen stack is the crash backtrace (see Instance.call_stack) —
          and the matching [Func_leave] is likewise skipped, so the
@@ -798,6 +460,18 @@ and invoke_idx (inst : Instance.t) ~depth stack i =
       | [] -> ());
       List.iter (push stack) results
 
+(* The interpreter side of the engine bridge: a threaded frame calling
+   a function the compiler declined routes through here. [invoke_idx]
+   performs the depth check and fuel burn itself, which is why
+   [Compile.call_function] does not pre-pay them on this arm. *)
+let () =
+  Compile.interp_call :=
+    fun inst depth fi args ->
+      let stack = ref [] in
+      List.iter (push stack) args;
+      invoke_idx inst ~depth stack fi;
+      List.rev !stack
+
 (* ------------------------------------------------------------------ *)
 (* Instantiation                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -807,7 +481,11 @@ let instance_counter = ref 0
 (** Instantiate a validated module. [imports] supplies host functions by
     (module, name); missing imports raise {!Instance.Trap}. Data and
     element segments are applied and the start function runs before the
-    instance is returned, as the spec requires. *)
+    instance is returned, as the spec requires. Under the [Threaded]
+    engine (the default) every local function is lowered to threaded
+    code here, once, before the start function runs — so element/data
+    segments, the start function, snapshots taken of this instance, and
+    every later invocation all execute compiled bodies. *)
 let instantiate ?(config = Instance.default_config)
     ?(imports : (string * string * Instance.host_func) list = [])
     (m : Ast.module_) : Instance.t =
@@ -868,6 +546,7 @@ let instantiate ?(config = Instance.default_config)
       fuel = config.fuel;
       call_stack = [];
       last_fault = None;
+      engine = config.engine;
     }
   in
   let n_imports = List.length m.imports in
@@ -887,9 +566,10 @@ let instantiate ?(config = Instance.default_config)
           let code =
             Code.prepare ~elide ~result_arity:(List.length ty.results) f.body
           in
-          Wasm_func { inst_id = id; func = f; ty; code })
+          Wasm_func { inst_id = id; func = f; ty; code; xcode = None })
   in
   let inst = { inst with funcs } in
+  if config.engine = Threaded then Compile.compile_instance inst;
   (* element segments *)
   List.iter
     (fun (e : Ast.elem) ->

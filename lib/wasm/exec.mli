@@ -1,5 +1,7 @@
-(** The interpreter: wasm small-step semantics extended with the Cage
-    rules of paper Fig. 11.
+(** The execution driver: instantiation and invocation over both
+    engines — the tree-walking interpreter (the reference semantics and
+    the per-function fallback) and the threaded-code engine
+    ({!Compile}), selected per instance by {!Instance.config.engine}.
 
     Loads and stores check allocation tags when the instance was
     instantiated with [enforce_tags] (Eqs. 1-4); the five Cage
@@ -14,7 +16,8 @@
     Traps surface as {!Instance.Trap}. *)
 
 val max_call_depth : int
-(** Call-stack limit; exceeding it traps with "call stack exhausted". *)
+(** Call-stack limit; exceeding it traps with "call stack exhausted".
+    (Alias of {!Rt.max_call_depth}, which both engines enforce.) *)
 
 val instantiate :
   ?config:Instance.config ->

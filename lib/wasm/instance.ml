@@ -8,6 +8,14 @@
 
 exception Trap of string
 
+(** Which execution engine drives an instance. [Threaded] (the default)
+    lowers every validated function into flat threaded code at
+    instantiation ({!Compile}) and falls back to the tree-walking
+    interpreter per function when lowering declines; [Interp] forces
+    the interpreter everywhere. Both are observationally identical —
+    same results, traps, meter totals, obs events and chaos draws. *)
+type engine = Interp | Threaded
+
 (** A host function receives the calling instance (so WASI-style
     imports can access its memory) and the arguments; it returns the
     results or raises {!Trap}. *)
@@ -21,6 +29,10 @@ and func_inst =
       code : Code.func;
           (** body prepared at instantiation: label arities and
               br_table targets resolved, O(1) at branch time *)
+      mutable xcode : t Xcode.func option;
+          (** the same body lowered to threaded code ([None] when the
+              engine is [Interp] or the function is not lowerable);
+              filled in at instantiation, after the instance exists *)
     }
   | Host_func of { fn : host_func; ty : Types.func_type; name : string }
 
@@ -55,6 +67,7 @@ and t = {
       (** structured record of the most recent tag fault raised as a
           trap — the faulting address / tags / access kind a post-mortem
           reports without re-parsing the trap message *)
+  engine : engine;  (** which execution engine drives this instance *)
 }
 
 (** Runtime configuration for instantiation, reflecting the Table 3
@@ -78,6 +91,7 @@ type config = {
       (** per-local-function elision bitsets from the static analyzer
           (index = function index minus imports, see {!Code.elidable});
           [[||]] (the default) disables elision entirely *)
+  engine : engine;
 }
 
 let default_config = {
@@ -91,6 +105,7 @@ let default_config = {
   meter = None;
   fuel = -1;
   elide = [||];
+  engine = Threaded;
 }
 
 let func_type = function

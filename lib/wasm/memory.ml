@@ -125,6 +125,37 @@ let store_f32 t addr v = store_i32 t addr (Int32.bits_of_float v)
 let load_f64 t addr = Int64.float_of_bits (load_i64 t addr)
 let store_f64 t addr v = store_i64 t addr (Int64.bits_of_float v)
 
+(* ------------------------------------------------------------------ *)
+(* Native-int accessors (the threaded engine's fast path)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every valid effective address fits OCaml's native int — the 1 GiB
+   implementation cap bounds memory well below 2^62 — so the threaded
+   engine resolves addresses, checks bounds against [length_bytes] and
+   reads/writes through these without ever boxing an [int64]. The
+   caller has already established [0 <= addr] and [addr + len <=
+   length_bytes]; the [Bytes] primitives keep their own (never-firing)
+   range test, so even a broken caller cannot escape the buffer. *)
+
+let[@inline] length_bytes t = Bytes.length t.data
+let[@inline] get_u8 t a = Bytes.get_uint8 t.data a
+let[@inline] set_u8 t a v = Bytes.set_uint8 t.data a (v land 0xff)
+let[@inline] get_u16 t a = Bytes.get_uint16_le t.data a
+let[@inline] set_u16 t a v = Bytes.set_uint16_le t.data a (v land 0xffff)
+
+let[@inline] get_32s t a = Int32.to_int (Bytes.get_int32_le t.data a)
+(** 32-bit read, sign-extended into a native int. *)
+
+let[@inline] set_32 t a v = Bytes.set_int32_le t.data a (Int32.of_int v)
+(** 32-bit write of a native int's low 32 bits. *)
+
+let[@inline] get_64 t a = Bytes.get_int64_le t.data a
+let[@inline] set_64 t a v = Bytes.set_int64_le t.data a v
+let[@inline] get_f32' t a = Int32.float_of_bits (Bytes.get_int32_le t.data a)
+let[@inline] set_f32' t a v = Bytes.set_int32_le t.data a (Int32.bits_of_float v)
+let[@inline] get_f64' t a = Int64.float_of_bits (Bytes.get_int64_le t.data a)
+let[@inline] set_f64' t a v = Bytes.set_int64_le t.data a (Int64.bits_of_float v)
+
 let fill t ~addr ~len v =
   if not (in_bounds64 t ~addr ~len) then raise (Out_of_bounds (addr, 0));
   Bytes.fill t.data (Int64.to_int addr) (Int64.to_int len)

@@ -63,6 +63,36 @@ val store_f32 : t -> int64 -> float -> unit
 val load_f64 : t -> int64 -> float
 val store_f64 : t -> int64 -> float -> unit
 
+(** {1 Native-int accessors}
+
+    The threaded engine's fast path: every valid effective address fits
+    OCaml's native int (the 1 GiB cap), so bounds checks against
+    {!length_bytes} and the accesses themselves run entirely unboxed.
+    The caller must have established [0 <= addr] and
+    [addr + width <= length_bytes]; the underlying [Bytes] primitives
+    keep their own never-firing range test as a backstop. *)
+
+val length_bytes : t -> int
+(** Current memory size in bytes, as a native int. *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+
+val get_32s : t -> int -> int
+(** 32-bit read, sign-extended into a native int. *)
+
+val set_32 : t -> int -> int -> unit
+(** 32-bit write of a native int's low 32 bits. *)
+
+val get_64 : t -> int -> int64
+val set_64 : t -> int -> int64 -> unit
+val get_f32' : t -> int -> float
+val set_f32' : t -> int -> float -> unit
+val get_f64' : t -> int -> float
+val set_f64' : t -> int -> float -> unit
+
 val fill : t -> addr:int64 -> len:int64 -> int -> unit
 (** [memory.fill]: set [len] bytes to the given byte value. *)
 

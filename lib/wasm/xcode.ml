@@ -1,0 +1,130 @@
+(** The threaded-code form: what a validated function body is lowered
+    to at instantiation.
+
+    A function becomes a flat array of pre-bound closures ("ops"); each
+    op mutates the machine state and returns the index of the next op
+    to dispatch, so control flow is a computed continue instead of an
+    exception unwind, and every operand/immediate/branch target/elision
+    decision is baked into the closure's environment at compile time
+    (direct threading). An op index equal to the array length is the
+    function's exit.
+
+    The module is parameterised over the instance type ['inst] so that
+    {!Instance} can store compiled code inside [Wasm_func] without a
+    dependency cycle ({!Compile} instantiates ['inst = Instance.t]).
+
+    {2 Value slots}
+
+    The operand stack and locals live in one shared [float array]; a
+    slot holds the raw 64-bit pattern of the value it carries
+    (reinterpreted, never converted):
+
+    - [F64] — the float itself;
+    - [F32] — the float, already rounded through single precision
+      (exactly how the interpreter stores [Values.F32]);
+    - [I64] — [Int64.float_of_bits];
+    - [I32] — sign-extended to 64 bits, then [Int64.float_of_bits].
+
+    The encoding is lossless (bit moves only — OCaml float arrays do
+    not canonicalise NaN payloads), typeless on write, and has the
+    property that the all-zeroes slot is the default value of every
+    type, so zeroing locals is one [Array.fill]. Unboxed float reads
+    and writes keep the hot loop allocation-free. *)
+
+type 'inst state = {
+  inst : 'inst;
+  mutable stk : float array;  (** shared locals + operand slots for the
+                                  whole call chain; grown on demand *)
+  mutable base : int;    (** current frame: first local slot *)
+  mutable opbase : int;  (** current frame: first operand slot *)
+  mutable sp : int;      (** next free operand slot *)
+  mutable depth : int;   (** call depth of the current frame (top = 0) *)
+}
+
+(** One threaded op: advances the state, returns the next op index. *)
+type 'inst op = 'inst state -> int
+
+(** Per-function superinstruction/elision statistics, gathered at
+    compile time (the [cagec --Wfusion] report). *)
+type stats = {
+  st_name : string;
+  st_instrs : int;      (** basic (non-control) source instructions *)
+  st_fused : int;       (** of which folded into superinstructions *)
+  st_idioms : (string * int) list;  (** idiom name -> times matched *)
+  st_accesses : int;    (** scalar loads/stores compiled *)
+  st_elided : int;      (** of which compiled check-free (baked elision) *)
+  st_supported : bool;  (** false: function fell back to the interpreter *)
+}
+
+type 'inst func = {
+  ops : 'inst op array;
+  nparams : int;
+  nlocals : int;       (** extra locals beyond the parameters *)
+  result_arity : int;
+  result_tys : Types.val_type array;  (** declared result types, for
+                                          boxing at the entry boundary *)
+  frame_slots : int;   (** params + locals + max operand height: what a
+                           frame needs below [stk]'s end before running *)
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Slot encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let[@inline] slot_of_i64 (v : int64) = Int64.float_of_bits v
+let[@inline] i64_of_slot (s : float) = Int64.bits_of_float s
+let[@inline] slot_of_i32 (v : int32) = Int64.float_of_bits (Int64.of_int32 v)
+let[@inline] i32_of_slot (s : float) = Int64.to_int32 (Int64.bits_of_float s)
+
+let slot_of_value : Values.t -> float = function
+  | Values.I32 v -> slot_of_i32 v
+  | Values.I64 v -> slot_of_i64 v
+  | Values.F32 v | Values.F64 v -> v
+
+let value_of_slot (ty : Types.val_type) (s : float) : Values.t =
+  match ty with
+  | Types.I32 -> Values.I32 (i32_of_slot s)
+  | Types.I64 -> Values.I64 (i64_of_slot s)
+  | Types.F32 -> Values.F32 s
+  | Types.F64 -> Values.F64 s
+
+(* ------------------------------------------------------------------ *)
+(* Stack storage                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let initial_slots = 256
+
+(** Make sure [st.stk] has at least [need] slots, preserving contents.
+    Called at frame entry only — ops inside a frame stay within the
+    frame's [frame_slots] bound established here. *)
+let ensure (st : 'inst state) need =
+  if need > Array.length st.stk then begin
+    let cap = ref (2 * Array.length st.stk) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let stk = Array.make !cap 0.0 in
+    Array.blit st.stk 0 stk 0 (Array.length st.stk);
+    st.stk <- stk
+  end
+
+(** The per-function fused/elided summary [cagec --Wfusion] prints. *)
+let pp_stats ppf (s : stats) =
+  let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b in
+  if not s.st_supported then
+    Format.fprintf ppf "@[<v2>%s: interpreter fallback (not threaded)@]"
+      s.st_name
+  else begin
+    Format.fprintf ppf
+      "@[<v2>%s: %d instrs, %d fused (%.1f%%), %d accesses, %d check-free \
+       (%.1f%%)"
+      s.st_name s.st_instrs s.st_fused
+      (pct s.st_fused s.st_instrs)
+      s.st_accesses s.st_elided
+      (pct s.st_elided s.st_accesses);
+    List.iter
+      (fun (idiom, n) -> Format.fprintf ppf "@ %-24s %d" idiom n)
+      (List.sort compare s.st_idioms);
+    Format.fprintf ppf "@]"
+  end

@@ -30,6 +30,9 @@ diff test/golden/lint.golden _build/lint.out
 echo "== check-elision differential (200 seeded programs)"
 dune exec bin/cage_chaos.exe -- elidediff --count 200
 
+echo "== engine differential (200 seeded programs, interp vs threaded)"
+dune exec bin/cage_chaos.exe -- enginediff --count 200
+
 echo "== detection matrix with elision (must match the golden byte-for-byte)"
 dune exec bin/cage_chaos.exe -- matrix --seed 7 --elide > _build/detection_matrix_elide.out
 diff test/golden/detection_matrix.golden _build/detection_matrix_elide.out
@@ -56,6 +59,13 @@ disabled_pct=$(sed -n 's/.*"disabled_overhead_pct": \([0-9.]*\).*/\1/p' BENCH_ob
 echo "   disabled_overhead_pct = ${disabled_pct}"
 awk "BEGIN { exit !($disabled_pct <= 2.0) }" || {
   echo "FAIL: disabled-observability overhead ${disabled_pct}% exceeds 2%"; exit 1; }
+
+echo "== execution-engine smoke gate (threaded >= 2x interp)"
+dune exec bench/main.exe -- exec > /dev/null
+geomean=$(sed -n 's/.*"geomean_speedup": \([0-9.]*\).*/\1/p' BENCH_exec.json)
+echo "   geomean_speedup = ${geomean}x"
+awk "BEGIN { exit !($geomean >= 2.0) }" || {
+  echo "FAIL: threaded engine only ${geomean}x over the interpreter"; exit 1; }
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"

@@ -430,7 +430,8 @@ let test_served_sites_recover () =
   (* the serving path absorbs a single-shot tag flip: crash, retry on
      a pristine snapshot, succeed *)
   let cell =
-    Harness.Serve_bench.served_cell ~seed:7 ~index:1
+    Harness.Serve_bench.served_cell ~engine:Wasm.Instance.Threaded
+      ~seed:7 ~index:1
       Arch.Fault_inject.Tag_flip Arch.Mte.Sync
   in
   Alcotest.(check string) "tag-flip x sync recovers through serving"
