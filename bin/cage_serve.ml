@@ -13,7 +13,7 @@
 let usage () =
   prerr_endline
     "usage: cage_serve [--requests N] [--seed N] [--smoke] [--json FILE] \
-     [--engine interp|threaded]";
+     [--engine interp|threaded] [--trace-requests FILE] [--slo-report]";
   exit 2
 
 let int_flag argv name ~default =
@@ -72,6 +72,8 @@ let report_table ppf label (r : Serve.Server.report) =
     (pct r.Serve.Server.rp_ok r.Serve.Server.rp_requests)
     r.Serve.Server.rp_p50 r.Serve.Server.rp_p99 r.Serve.Server.rp_makespan
     (throughput r);
+  Format.fprintf ppf "  exact percentiles (nearest-rank): p50 %d  p99 %d@."
+    r.Serve.Server.rp_p50_exact r.Serve.Server.rp_p99_exact;
   Format.fprintf ppf
     "  restores %d  heals %d (deferred %d)  injections %d  queue hwm %d@."
     r.Serve.Server.rp_restores r.Serve.Server.rp_heals
@@ -94,13 +96,15 @@ let tenant_json b (cmp : Harness.Serve_bench.comparison)
        \      \"goodput_ratio\": %.4f, \"escaped_on\": %d, \"sanitized_on\": \
         %d,\n\
        \      \"crashes_on\": %d, \"retries_on\": %d, \"shed_on\": %d,\n\
-       \      \"breaker_trips_on\": %d, \"p50_on\": %d, \"p99_on\": %d }"
+       \      \"breaker_trips_on\": %d, \"p50_on\": %d, \"p99_on\": %d,\n\
+       \      \"p50_exact_on\": %d, \"p99_exact_on\": %d }"
        tr.Serve.Server.tr_name tr.Serve.Server.tr_ok on_.Serve.Server.tr_ok
        (Harness.Serve_bench.goodput_ratio cmp tr.Serve.Server.tr_name)
        on_.Serve.Server.tr_escaped on_.Serve.Server.tr_sanitized
        on_.Serve.Server.tr_crashes on_.Serve.Server.tr_retries
        on_.Serve.Server.tr_shed on_.Serve.Server.tr_breaker_trips
-       on_.Serve.Server.tr_p50 on_.Serve.Server.tr_p99)
+       on_.Serve.Server.tr_p50 on_.Serve.Server.tr_p99
+       on_.Serve.Server.tr_p50_exact on_.Serve.Server.tr_p99_exact)
 
 let write_json path requests seed (cmp : Harness.Serve_bench.comparison)
     ~wall_off ~wall_on ~gate_pass =
@@ -119,6 +123,7 @@ let write_json path requests seed (cmp : Harness.Serve_bench.comparison)
           \"timeouts\": %d,\n\
          \    \"breaker_trips\": %d, \"restores\": %d, \"heals\": %d,\n\
          \    \"injections\": %d, \"p50_cycles\": %d, \"p99_cycles\": %d,\n\
+         \    \"p50_exact_cycles\": %d, \"p99_exact_cycles\": %d,\n\
          \    \"makespan_cycles\": %d, \"ok_per_mcycle\": %.4f, \
           \"wall_s\": %.3f },\n"
          name r.Serve.Server.rp_ok r.Serve.Server.rp_failed
@@ -128,6 +133,7 @@ let write_json path requests seed (cmp : Harness.Serve_bench.comparison)
          r.Serve.Server.rp_breaker_trips r.Serve.Server.rp_restores
          r.Serve.Server.rp_heals r.Serve.Server.rp_injections
          r.Serve.Server.rp_p50 r.Serve.Server.rp_p99
+         r.Serve.Server.rp_p50_exact r.Serve.Server.rp_p99_exact
          r.Serve.Server.rp_makespan (throughput r) wall)
   in
   side "chaos_off" off wall_off;
@@ -158,13 +164,23 @@ let () =
     | "threaded" -> Wasm.Instance.Threaded
     | _ -> usage ()
   in
+  let trace_path = str_flag argv "--trace-requests" ~default:"" in
+  let slo_report = List.mem "--slo-report" argv in
+  let recorder =
+    if trace_path <> "" then Some (Obs.Span.create ()) else None
+  in
+  let collect =
+    if slo_report then Some (Serve.Slo.collector ()) else None
+  in
   let time f =
     let t0 = Sys.time () in
     let r = f () in
     (r, Sys.time () -. t0)
   in
   let (cmp, wall) =
-    time (fun () -> Harness.Serve_bench.compare ~requests ~seed ~engine ())
+    time (fun () ->
+        Harness.Serve_bench.compare ~requests ~seed ~engine ?recorder
+          ?collect ())
   in
   (* one wall figure per side is approximated by an even split; the
      simulated-cycle makespans are the meaningful clocks *)
@@ -190,6 +206,44 @@ let () =
       Format.fprintf ppf "    tenant %s degraded to %.3f of chaos-off goodput@."
         name r)
     bad;
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      let oc = open_out trace_path in
+      output_string oc (Obs.Span.to_chrome_json r);
+      close_out oc;
+      Format.fprintf ppf
+        "  wrote %s (%d span records, %d dropped) — open in \
+         chrome://tracing or ui.perfetto.dev@."
+        trace_path (Obs.Span.size r) (Obs.Span.dropped r));
+  (match collect with
+  | None -> ()
+  | Some co ->
+      let on_ = cmp.Harness.Serve_bench.cmp_on in
+      let makespan = on_.Serve.Server.rp_makespan in
+      (* burn rates at three granularities: a short window that catches
+         bursts, a medium one, and the whole run *)
+      let windows =
+        [
+          ("1%", max 1 (makespan / 100));
+          ("10%", max 1 (makespan / 10));
+          ("all", makespan);
+        ]
+      in
+      Harness.Report.title ppf "Per-tenant SLO monitors (chaos on)";
+      Serve.Slo.render_slo ppf co ~now:makespan ~windows;
+      Harness.Report.title ppf "Tail-latency attribution (chaos on)";
+      Serve.Slo.render_tail ppf co ~pct:99.0;
+      Harness.Report.title ppf "Fault -> request correlation (chaos on)";
+      Serve.Slo.render_hits ppf co;
+      (* accounting cross-check: every metered guest cycle the pool
+         served must reappear in exactly one attribution bucket *)
+      let attributed = Serve.Slo.exec_cycles co in
+      let served = on_.Serve.Server.rp_served_cycles in
+      Format.fprintf ppf
+        "  exec reconciliation: attributed %d cycles, pool served %d — %s@."
+        attributed served
+        (if attributed = served then "exact" else "MISMATCH"));
   if json <> "" then begin
     write_json json requests seed cmp ~wall_off ~wall_on ~gate_pass;
     Format.fprintf ppf "  wrote %s (%.2fs total)@." json wall

@@ -63,6 +63,7 @@ type injection = {
   inj_site : site;
   inj_index : int;               (** 0-based order of injection *)
   inj_lane : int;                (** lane (instance) the fault landed in *)
+  inj_request : int;             (** serving request id, -1 outside serving *)
   mutable inj_detail : string;   (** filled in by the injecting hook *)
 }
 
@@ -80,6 +81,7 @@ type t = {
   pol : policy;
   mutable lanes : lane_state list;     (* keyed by ln_lane *)
   mutable cur : lane_state;            (* the lane draws land in *)
+  mutable cur_request : int;           (* serving request id, -1 ambient *)
   mutable injected : injection list;   (* newest first, all lanes *)
   mutable scribble_at : int64 option;
       (* a Heap_scribble records the doomed address here; the runtime
@@ -97,13 +99,17 @@ let lane_state pol lane =
 
 let create pol =
   let l0 = lane_state pol 0 in
-  { pol; lanes = [ l0 ]; cur = l0; injected = []; scribble_at = None }
+  { pol; lanes = [ l0 ]; cur = l0; cur_request = -1; injected = [];
+    scribble_at = None }
 
 let count t = List.length t.injected
 let injections t = List.rev t.injected
 
 let lane_injections t lane =
   List.rev (List.filter (fun i -> i.inj_lane = lane) t.injected)
+
+let request_injections t req =
+  List.rev (List.filter (fun i -> i.inj_request = req) t.injected)
 
 let lane_count t lane =
   match List.find_opt (fun l -> l.ln_lane = lane) t.lanes with
@@ -146,6 +152,16 @@ let set_lane lane =
 let current_lane () =
   match !hook with None -> 0 | Some t -> t.cur.ln_lane
 
+(** Tag subsequent injections with the serving request id they land in
+    (fault→request correlation). The server brackets each [Pool.serve]
+    call with [set_request id] / [set_request (-1)]; no-op with no
+    engine installed. *)
+let set_request req =
+  match !hook with None -> () | Some t -> t.cur_request <- req
+
+let current_request () =
+  match !hook with None -> -1 | Some t -> t.cur_request
+
 let site_probability t site =
   match List.assq_opt site t.pol.site_probability with
   | Some p -> p
@@ -185,7 +201,7 @@ let draw site =
               :: List.remove_assq site ln.ln_site_counts;
             t.injected <-
               { inj_site = site; inj_index = count t; inj_lane = ln.ln_lane;
-                inj_detail = "" }
+                inj_request = t.cur_request; inj_detail = "" }
               :: t.injected
           end;
           fire

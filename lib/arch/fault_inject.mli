@@ -63,6 +63,7 @@ type injection = {
   inj_site : site;
   inj_index : int;               (** 0-based order of injection *)
   inj_lane : int;                (** lane (instance) the fault landed in *)
+  inj_request : int;             (** serving request id, -1 outside serving *)
   mutable inj_detail : string;   (** filled in by the injecting hook *)
 }
 
@@ -82,6 +83,10 @@ val lane_count : t -> int -> int
 val lane_injections : t -> int -> injection list
 (** One lane's injections, in chronological order. *)
 
+val request_injections : t -> int -> injection list
+(** Injections tagged with one serving request id, in chronological
+    order (see {!set_request}). *)
+
 val pp_injection : Format.formatter -> injection -> unit
 
 (** {1 Installation} *)
@@ -100,6 +105,16 @@ val set_lane : int -> unit
 
 val current_lane : unit -> int
 (** The lane draws currently land in (0 when no engine is installed). *)
+
+val set_request : int -> unit
+(** Tag subsequent injections with a serving request id ([-1] clears).
+    The serving runtime brackets each request execution with this so a
+    chaos run can report which request every injection landed in;
+    no-op when no engine is installed. *)
+
+val current_request : unit -> int
+(** The request id injections are currently tagged with ([-1] when none
+    or no engine). *)
 
 (** {1 Hook API — called from the hardware models} *)
 

@@ -156,9 +156,14 @@ let gate ?(floor = 0.8) cmp =
   (escapes, bad_ratio)
 
 (** Run the mixed-tenant scenario twice — identical arrival schedule,
-    chaos off then on — and return both reports. *)
+    chaos off then on — and return both reports. [recorder] installs a
+    request-span recorder around the {e chaos-on} run (the interesting
+    side: retries, breaker trips and injections all live there);
+    [collect] feeds the chaos-on run's per-request stream into an SLO
+    collector. Neither perturbs the simulation — reports are identical
+    with or without them. *)
 let compare ?(requests = 100_000) ?(seed = 42)
-    ?(engine = Wasm.Instance.Threaded) () =
+    ?(engine = Wasm.Instance.Threaded) ?recorder ?collect () =
   let config =
     { Serve.Server.default_config with Serve.Server.requests; seed }
   in
@@ -166,7 +171,14 @@ let compare ?(requests = 100_000) ?(seed = 42)
     tenants ~cfg:(Cage.Config.with_engine engine Cage.Config.full) ~seed ()
   in
   let cmp_off = Serve.Server.run config (mk ()) in
-  let cmp_on = Serve.Server.run ~chaos:(chaos_policy ~seed) config (mk ()) in
+  let run_on () =
+    Serve.Server.run ~chaos:(chaos_policy ~seed) ?collect config (mk ())
+  in
+  let cmp_on =
+    match recorder with
+    | Some r -> Obs.Span.with_recorder r run_on
+    | None -> run_on ()
+  in
   { cmp_off; cmp_on }
 
 (* ------------------------------------------------------------------ *)

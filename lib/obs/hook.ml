@@ -44,7 +44,17 @@ let event ev =
   | None -> ()
   | Some s ->
       (match s.trace with
-      | Some tr -> Trace.record tr ~tid:s.tid ev
+      | Some tr -> (
+          Trace.record tr ~tid:s.tid ev;
+          (* Keep the drop counter in lock-step with the ring so a
+             wrapped trace is visible in metrics, not just in the
+             export's otherData. *)
+          match s.metrics with
+          | Some m ->
+              let d = Trace.dropped tr in
+              if d > m.Metrics.trace_dropped.Metrics.c_value then
+                m.Metrics.trace_dropped.Metrics.c_value <- d
+          | None -> ())
       | None -> ());
       (match s.metrics with
       | Some m -> Metrics.observe_event m ev

@@ -178,6 +178,7 @@ type cage = {
   requests_shed : counter;
   breaker_trips : counter;
   queue_depth : histogram;
+  trace_dropped : counter;
 }
 
 (* Sequential [let]s, not record-field expressions: OCaml evaluates
@@ -321,6 +322,10 @@ let cage () =
       ~bounds:(log2_bounds ~lo:1.0 ~hi:1024.0 ())
       "cage_serve_queue_depth"
   in
+  let trace_dropped =
+    counter r ~help:"Trace-ring records overwritten before export"
+      "cage_trace_dropped_total"
+  in
   {
     registry = r;
     tag_faults;
@@ -358,6 +363,7 @@ let cage () =
     requests_shed;
     breaker_trips;
     queue_depth;
+    trace_dropped;
   }
 
 let observe_event m (ev : Event.t) =

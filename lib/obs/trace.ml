@@ -195,6 +195,18 @@ let to_chrome_json t =
   Buffer.add_string b "{\"traceEvents\":[\n";
   Buffer.add_string b
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"cage\"}}";
+  (* The ring drops oldest-first when it wraps; surface that loss as a
+     single process-global warning instant at the earliest surviving
+     timestamp, so a truncated trace announces its own truncation. *)
+  (if dropped t > 0 then
+     let first_cycle =
+       match records t with r :: _ -> r.cycle | [] -> t.clock
+     in
+     Buffer.add_string b
+       (Printf.sprintf
+          ",\n{\"name\":\"trace-dropped\",\"cat\":\"cage\",\"ph\":\"i\",\"ts\":%d,\
+           \"pid\":1,\"tid\":0,\"s\":\"p\",\"args\":{\"dropped\":%d}}"
+          first_cycle (dropped t)));
   List.iter
     (fun r ->
       Buffer.add_string b ",\n";

@@ -100,17 +100,30 @@ type breaker_state =
 
 type breaker = {
   cfg : breaker_cfg;
+  label : string;              (* tenant name, for span instants *)
   mutable state : breaker_state;
   mutable consecutive : int;   (* crash run length while closed *)
   mutable trips : int;
 }
 
-let breaker_create cfg = { cfg; state = Closed; consecutive = 0; trips = 0 }
+let breaker_create ?(label = "") cfg =
+  { cfg; label; state = Closed; consecutive = 0; trips = 0 }
+
 let breaker_trips b = b.trips
+
+(* Breaker transitions land on the shared runtime span track — they
+   are tenant-scoped control-plane events, not per-request ones. *)
+let breaker_span b name =
+  if Obs.Span.enabled () then
+    Obs.Span.instant ~tid:Obs.Span.runtime_tid
+      ~args:[ ("tenant", Obs.Span.S b.label) ]
+      name
 
 let breaker_state b ~now =
   (match b.state with
-  | Open until when now >= until -> b.state <- Half_open
+  | Open until when now >= until ->
+      b.state <- Half_open;
+      breaker_span b "breaker.half-open"
   | _ -> ());
   b.state
 
@@ -119,7 +132,10 @@ let breaker_state b ~now =
 let breaker_admits b ~now =
   match breaker_state b ~now with Closed | Half_open -> true | Open _ -> false
 
-let breaker_success b = b.consecutive <- 0; b.state <- Closed
+let breaker_success b =
+  if b.state <> Closed then breaker_span b "breaker.close";
+  b.consecutive <- 0;
+  b.state <- Closed
 
 (** Record a crash; returns [true] when this crash trips the breaker
     open (callers emit the trip event / metric exactly once). *)
@@ -130,6 +146,7 @@ let breaker_crash b ~now =
       b.trips <- b.trips + 1;
       b.consecutive <- 0;
       b.state <- Open (now + b.cfg.cooldown);
+      breaker_span b "breaker.trip";
       true
   | Open _ -> false
   | Closed ->
@@ -138,6 +155,7 @@ let breaker_crash b ~now =
         b.trips <- b.trips + 1;
         b.consecutive <- 0;
         b.state <- Open (now + b.cfg.cooldown);
+        breaker_span b "breaker.trip";
         true
       end
       else false

@@ -76,6 +76,9 @@ type t = {
   mutable pl_heals : int;
   mutable pl_heals_deferred : int;
       (* heal attempts the token bucket refused (restart-storm guard) *)
+  mutable pl_served_cycles : int;
+      (* sum of metered guest demand over every [serve] call — the
+         ground truth the tail-attribution exec phase must add up to *)
 }
 
 (** Build a pool of [size] slots. Call {e before} installing a chaos
@@ -127,12 +130,16 @@ let create ?(fuel = 2_000_000) ?max_quarantined ~lane_base ~size ~seed
     pl_restores = 0;
     pl_heals = 0;
     pl_heals_deferred = 0;
+    pl_served_cycles = 0;
   }
 
 let size t = Array.length t.pl_slots
 let restores t = t.pl_restores
 let heals t = t.pl_heals
 let heals_deferred t = t.pl_heals_deferred
+
+(** Total metered guest cycles across every request served so far. *)
+let served_cycles t = t.pl_served_cycles
 
 let count state t =
   Array.fold_left
@@ -161,6 +168,13 @@ let acquire t =
   | Some s ->
       if s.sl_dirty then restore_slot t s;
       s.sl_state <- Busy;
+      if Obs.Span.enabled () then
+        Obs.Span.instant ~tid:Obs.Span.runtime_tid
+          ~args:
+            [ ("tenant", Obs.Span.S t.pl_tenant.tn_name);
+              ("slot", Obs.Span.I s.sl_index);
+              ("lane", Obs.Span.I s.sl_lane) ]
+          "pool.acquire";
       Some s
 
 (** Return an acquired slot unused (the request expired while queued
@@ -171,13 +185,22 @@ let cancel s = s.sl_state <- Idle
     survives): back to idle, dirty until the next restore. *)
 let settle_ok s =
   s.sl_dirty <- true;
-  s.sl_state <- Idle
+  s.sl_state <- Idle;
+  if Obs.Span.enabled () then
+    Obs.Span.instant ~tid:Obs.Span.runtime_tid
+      ~args:[ ("slot", Obs.Span.I s.sl_index) ]
+      "pool.settle"
 
 (** The request crashed the slot: quarantine it until {!heal}. *)
 let settle_crashed s =
   s.sl_dirty <- true;
   s.sl_crashes <- s.sl_crashes + 1;
-  s.sl_state <- Quarantined
+  s.sl_state <- Quarantined;
+  if Obs.Span.enabled () then
+    Obs.Span.instant ~tid:Obs.Span.runtime_tid
+      ~args:
+        [ ("slot", Obs.Span.I s.sl_index); ("lane", Obs.Span.I s.sl_lane) ]
+      "pool.quarantine"
 
 (** Self-healing sweep: restore quarantined slots back to idle, one
     restart-storm token each. Returns how many slots came back. *)
@@ -191,7 +214,13 @@ let heal t ~now =
           Cage.Supervisor.release s.sl_sup s.sl_inst;
           s.sl_state <- Idle;
           t.pl_heals <- t.pl_heals + 1;
-          incr healed
+          incr healed;
+          if Obs.Span.enabled () then
+            Obs.Span.instant ~tid:Obs.Span.runtime_tid
+              ~args:
+                [ ("tenant", Obs.Span.S t.pl_tenant.tn_name);
+                  ("slot", Obs.Span.I s.sl_index) ]
+              "pool.heal"
         end
         else t.pl_heals_deferred <- t.pl_heals_deferred + 1)
     t.pl_slots;
@@ -207,4 +236,5 @@ let serve t (s : slot) =
       t.pl_tenant.tn_args
   in
   let demand = Wasm.Meter.total s.sl_meter - before in
+  t.pl_served_cycles <- t.pl_served_cycles + demand;
   (outcome, demand)

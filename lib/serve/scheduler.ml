@@ -88,12 +88,18 @@ end
 type 'a job = {
   jb_payload : 'a;
   jb_demand : int;             (** total service demand, cycles *)
+  jb_span : (string * int) option;
+      (** request-span context: label + flow id — each finished slice
+          is emitted on its core's track and threaded onto the
+          request's flow chain (see {!Obs.Span}) *)
   mutable jb_remaining : int;  (** demand not yet executed *)
   mutable jb_slices : int;     (** slices taken so far *)
 }
 
 type 'a slice = {
   s_job : 'a job;
+  s_core : int;   (** simulated core the slice ran on *)
+  s_start : int;  (** simulated start time of this slice *)
   s_end : int;    (** simulated completion time of this slice *)
 }
 
@@ -101,48 +107,72 @@ type 'a t = {
   cores : int;
   quantum : int;               (** max cycles per slice *)
   ready : 'a job Queue.t;      (** round-robin run queue *)
+  core_busy : bool array;      (** per-core mid-slice flags *)
   mutable busy : int;          (** cores currently mid-slice *)
   mutable max_ready : int;     (** high-water mark, for stats *)
 }
 
+(* Chrome track id for a simulated core (tid 0 is reserved for
+   process-scoped instants). *)
+let core_tid c = c + 1
+
 let create ~cores ~quantum =
   if cores < 1 then invalid_arg "Scheduler.create: cores must be >= 1";
   if quantum < 1 then invalid_arg "Scheduler.create: quantum must be >= 1";
-  { cores; quantum; ready = Queue.create (); busy = 0; max_ready = 0 }
+  { cores; quantum; ready = Queue.create ();
+    core_busy = Array.make cores false; busy = 0; max_ready = 0 }
 
 let max_ready t = t.max_ready
 let in_flight t = t.busy + Queue.length t.ready
 
-(** Enqueue a request whose measured demand is [demand] cycles. *)
-let submit t payload ~demand =
+(** Enqueue a request whose measured demand is [demand] cycles.
+    [span] carries the request's trace context, if any. *)
+let submit ?span t payload ~demand =
   Queue.push
-    { jb_payload = payload; jb_demand = max 1 demand;
+    { jb_payload = payload; jb_demand = max 1 demand; jb_span = span;
       jb_remaining = max 1 demand; jb_slices = 0 }
     t.ready;
   let d = Queue.length t.ready in
   if d > t.max_ready then t.max_ready <- d
 
 (** If a core is idle and a job is ready, start the next slice: the
-    job runs for [min quantum remaining] cycles. Callers schedule the
+    job runs for [min quantum remaining] cycles on the lowest-numbered
+    free core (deterministic core assignment). Callers schedule the
     returned slice's [s_end] on the event heap and call {!slice_done}
     when it fires. [None] when every core is busy or nothing is
     ready. *)
 let dispatch t ~now =
   if t.busy >= t.cores || Queue.is_empty t.ready then None
   else begin
+    let core = ref 0 in
+    while t.core_busy.(!core) do incr core done;
     let job = Queue.pop t.ready in
     let run = min t.quantum job.jb_remaining in
     job.jb_remaining <- job.jb_remaining - run;
     job.jb_slices <- job.jb_slices + 1;
+    t.core_busy.(!core) <- true;
     t.busy <- t.busy + 1;
-    Some { s_job = job; s_end = now + run }
+    Some { s_job = job; s_core = !core; s_start = now; s_end = now + run }
   end
 
 (** A slice's end event fired: the core frees up; a finished job's
     payload is returned, an unfinished job goes to the back of the
-    round-robin queue. *)
+    round-robin queue. With a span recorder installed, the slice is
+    emitted as a Complete span on its core's track and stitched onto
+    the owning request's flow chain — this is what reassembles one
+    request's quanta, scattered over cores, into a single causal
+    trace. *)
 let slice_done t s =
+  t.core_busy.(s.s_core) <- false;
   t.busy <- t.busy - 1;
+  (match s.s_job.jb_span with
+  | Some (label, id) when Obs.Span.enabled () ->
+      let tid = core_tid s.s_core in
+      Obs.Span.complete
+        ~args:[ ("req", Obs.Span.I id); ("slice", Obs.Span.I s.s_job.jb_slices) ]
+        ~tid ~start:s.s_start ~stop:s.s_end label;
+      Obs.Span.flow_step ~id ~tid ~ts:s.s_start label
+  | _ -> ());
   if s.s_job.jb_remaining = 0 then Some s.s_job.jb_payload
   else begin
     Queue.push s.s_job t.ready;

@@ -29,7 +29,19 @@
     {b Accounting invariant.} Every logical request terminates exactly
     once: [ok + failed + shed = requests], per tenant and in total.
     [escaped] is a subset of [failed]; [sanitized] a subset of [ok];
-    retries/timeouts/crashes count events, not requests. *)
+    retries/timeouts/crashes count events, not requests.
+
+    {b Observability.} Purely additive measurement on the same event
+    loop: with an {!Obs.Span} recorder installed, every request is
+    emitted as a stitched causal chain (admission instant, queue wait,
+    restore, execution slices on core tracks, retries linked by flow
+    arrows); with a {!Slo.collector} passed in, every terminated
+    request feeds per-tenant SLO monitors and carries an exact phase
+    decomposition of its latency ([queue + restore + exec + retry +
+    drain = latency], with exec phases reconciling against the pool
+    meters). Neither adds modeled cycles, consumes randomness, or
+    perturbs event order: reports are bit-identical with or without
+    them. *)
 
 type config = {
   cores : int;          (** simulated cores multiplexing requests *)
@@ -87,6 +99,8 @@ type tenant_report = {
   tr_breaker_trips : int;
   tr_p50 : int;
   tr_p99 : int;
+  tr_p50_exact : int;   (** nearest-rank on the full latency sample *)
+  tr_p99_exact : int;
 }
 
 type report = {
@@ -107,7 +121,10 @@ type report = {
   rp_makespan : int;             (** simulated cycles start→last event *)
   rp_p50 : int;
   rp_p99 : int;
+  rp_p50_exact : int;
+  rp_p99_exact : int;
   rp_max_ready : int;            (** run-queue high-water mark *)
+  rp_served_cycles : int;        (** metered guest cycles, all pools *)
   rp_tenants : tenant_report list;
 }
 
@@ -135,6 +152,8 @@ let tenant_report (s : tenant_stats) =
     tr_breaker_trips = s.ts_breaker_trips;
     tr_p50 = percentile lat 50;
     tr_p99 = percentile lat 99;
+    tr_p50_exact = Slo.percentile_exact lat 50.0;
+    tr_p99_exact = Slo.percentile_exact lat 99.0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -142,10 +161,23 @@ let tenant_report (s : tenant_stats) =
 (* ------------------------------------------------------------------ *)
 
 type req = {
+  rq_id : int;                       (* arrival ordinal, stable across retries *)
   rq_tenant : int;
   rq_first_arrival : int;
   mutable rq_attempt : int;          (* 1-based *)
   mutable rq_attempt_arrival : int;
+  (* Phase accounting on the DES clock. For an ok request,
+     queue + restore + exec + retry + drain = end-to-end latency
+     exactly: every cycle between first arrival and termination lands
+     in one phase. *)
+  mutable rq_queue : int;        (* slot waits, all attempts *)
+  mutable rq_restore : int;      (* modeled restore, accepted attempt *)
+  mutable rq_exec : int;         (* metered demand, accepted attempt *)
+  mutable rq_exec_waste : int;   (* metered demand, discarded attempts *)
+  mutable rq_retry : int;        (* backoff waits + discarded residence *)
+  mutable rq_drain : int;        (* dispatch overhead + preemption gaps *)
+  mutable rq_injections : int;   (* chaos injections across attempts *)
+  mutable rq_flow : bool;        (* span flow chain opened *)
 }
 
 type running = {
@@ -154,6 +186,9 @@ type running = {
   rn_slot : Pool.slot;
   rn_outcome : Cage.Supervisor.outcome;
   rn_injections : int;   (* chaos injections on the slot's lane *)
+  rn_start : int;        (* service start (dispatch) time *)
+  rn_demand : int;       (* metered guest demand of this attempt *)
+  rn_restore : int;      (* modeled restore cycles of this attempt *)
 }
 
 type ev =
@@ -172,12 +207,13 @@ let values_equal a b =
   List.length a = List.length b && List.for_all2 Wasm.Values.equal a b
 
 (** Serve [config.requests] simulated requests across [tenants],
-    optionally under a live chaos engine ([chaos]). Pools are built —
-    and their pristine images frozen — {e before} the engine installs,
-    so restores always return to fault-free state. The arrival
-    schedule depends only on [config.seed], never on the chaos policy:
-    chaos-off and chaos-on runs see identical offered load. *)
-let run ?chaos config tenants =
+    optionally under a live chaos engine ([chaos]) and optionally
+    feeding per-request records into an SLO [collect]or. Pools are
+    built — and their pristine images frozen — {e before} the engine
+    installs, so restores always return to fault-free state. The
+    arrival schedule depends only on [config.seed], never on the chaos
+    policy: chaos-off and chaos-on runs see identical offered load. *)
+let run ?chaos ?collect config tenants =
   if tenants = [] then invalid_arg "Server.run: no tenants";
   let policy = config.policy in
   let ts =
@@ -193,7 +229,9 @@ let run ?chaos config tenants =
                  ~seed:((config.seed * 31) + i)
                  ~policy tn;
              waiting = Queue.create ();
-             breaker = Policy.breaker_create policy.Policy.breaker;
+             breaker =
+               Policy.breaker_create ~label:tn.Pool.tn_name
+                 policy.Policy.breaker;
              stats =
                {
                  ts_name = tn.Pool.tn_name;
@@ -212,6 +250,20 @@ let run ?chaos config tenants =
                };
            })
   in
+  (* Name the span tracks up front so core and tenant lanes render
+     labelled even if the run records nothing else. *)
+  if Obs.Span.enabled () then begin
+    Obs.Span.set_track ~tid:Obs.Span.runtime_tid "runtime";
+    for c = 0 to config.cores - 1 do
+      Obs.Span.set_track ~tid:(Scheduler.core_tid c)
+        (Printf.sprintf "core %d" c)
+    done;
+    Array.iteri
+      (fun j st ->
+        Obs.Span.set_track ~tid:(Obs.Span.tenant_tid j)
+          (Printf.sprintf "tenant %s" st.stats.ts_name))
+      ts
+  end;
   let events = Scheduler.Heap.create () in
   let cpu = Scheduler.create ~cores:config.cores ~quantum:config.quantum in
   (* Arrival and retry randomness ride dedicated streams: neither can
@@ -231,16 +283,25 @@ let run ?chaos config tenants =
     !j
   in
   let t = ref 0 in
-  for _ = 1 to config.requests do
+  for i = 1 to config.requests do
     t := !t + 1 + Random.State.int arrival_rng (2 * config.arrival_gap);
     let j = pick_tenant () in
     Scheduler.Heap.push events ~time:!t
       (Arrival
          {
+           rq_id = i - 1;
            rq_tenant = j;
            rq_first_arrival = !t;
            rq_attempt = 1;
            rq_attempt_arrival = !t;
+           rq_queue = 0;
+           rq_restore = 0;
+           rq_exec = 0;
+           rq_exec_waste = 0;
+           rq_retry = 0;
+           rq_drain = 0;
+           rq_injections = 0;
+           rq_flow = false;
          })
   done;
   Scheduler.Heap.push events ~time:policy.Policy.heal_interval Heal;
@@ -252,8 +313,87 @@ let run ?chaos config tenants =
     | Some e -> Arch.Fault_inject.lane_count e lane
     | None -> 0
   in
+  let tenant_tid j = Obs.Span.tenant_tid j in
+  (* Continue (or open) a request's flow chain at the slice that starts
+     at [ts] on [tid] — the stitching across queue waits, cores and
+     retries. *)
+  let flow_touch r ~tid ~ts name =
+    if Obs.Span.enabled () then begin
+      if r.rq_flow then Obs.Span.flow_step ~id:r.rq_id ~tid ~ts name
+      else begin
+        r.rq_flow <- true;
+        Obs.Span.flow_start ~id:r.rq_id ~tid ~ts name
+      end
+    end
+  in
+  (* Feed one terminated request into the collector: SLO sample, phase
+     record, and — when chaos hit it — the fault→request correlation
+     entry. *)
+  let observe (st : tstate) r ~now ~ok ~latency =
+    match collect with
+    | None -> ()
+    | Some co ->
+        Slo.sample co ~tenant:st.stats.ts_name ~now ~ok ~latency;
+        Slo.record co
+          {
+            Slo.rr_id = r.rq_id;
+            rr_tenant = st.stats.ts_name;
+            rr_ok = ok;
+            rr_latency = latency;
+            rr_attempts = r.rq_attempt;
+            rr_injections = r.rq_injections;
+            rr_queue = r.rq_queue;
+            rr_restore = r.rq_restore;
+            rr_exec = r.rq_exec;
+            rr_exec_waste = r.rq_exec_waste;
+            rr_retry = r.rq_retry;
+            rr_drain = r.rq_drain;
+          };
+        if r.rq_injections > 0 then
+          match Arch.Fault_inject.active () with
+          | None -> ()
+          | Some e ->
+              let injs = Arch.Fault_inject.request_injections e r.rq_id in
+              let lane =
+                match injs with
+                | i :: _ -> i.Arch.Fault_inject.inj_lane
+                | [] -> -1
+              in
+              Slo.hit co
+                {
+                  Slo.ht_request = r.rq_id;
+                  ht_tenant = st.stats.ts_name;
+                  ht_lane = lane;
+                  ht_sites =
+                    List.map
+                      (fun i ->
+                        Arch.Fault_inject.site_to_string
+                          i.Arch.Fault_inject.inj_site)
+                      injs;
+                  ht_attempts = r.rq_attempt;
+                  ht_contained = ok;
+                  ht_cost = r.rq_retry;
+                }
+  in
+  (* Close a request's span envelope: terminal instant, flow end, async
+     end — the request disappears from its tenant track here. *)
+  let span_terminal r ~now name =
+    if Obs.Span.enabled () then begin
+      let tid = tenant_tid r.rq_tenant in
+      Obs.Span.instant ~tid ~ts:now
+        ~args:[ ("req", Obs.Span.I r.rq_id) ]
+        name;
+      if r.rq_flow then Obs.Span.flow_end ~id:r.rq_id ~tid ~ts:now name;
+      Obs.Span.async_end ~id:r.rq_id ~tid ~ts:now "request"
+    end
+  in
   let terminal () = decr pending in
-  let finish_fail (st : tstate) = st.stats.ts_failed <- st.stats.ts_failed + 1; terminal () in
+  let finish_fail (st : tstate) r ~now =
+    st.stats.ts_failed <- st.stats.ts_failed + 1;
+    span_terminal r ~now "fail";
+    observe st r ~now ~ok:false ~latency:(-1);
+    terminal ()
+  in
   let retry_or_fail (st : tstate) r ~retryable ~now =
     if retryable && r.rq_attempt < policy.Policy.retry.Policy.max_attempts
     then begin
@@ -265,11 +405,24 @@ let run ?chaos config tenants =
           (Obs.Event.Request_retry
              { tenant = st.stats.ts_name; attempt = r.rq_attempt });
       let delay = Policy.backoff policy.Policy.retry retry_rng ~attempt in
+      (* The backoff wait is retry-phase latency by definition. *)
+      r.rq_retry <- r.rq_retry + delay;
+      if Obs.Span.enabled () then begin
+        let tid = tenant_tid r.rq_tenant in
+        Obs.Span.instant ~tid ~ts:now
+          ~args:
+            [ ("req", Obs.Span.I r.rq_id);
+              ("attempt", Obs.Span.I r.rq_attempt) ]
+          "retry";
+        Obs.Span.complete
+          ~args:[ ("req", Obs.Span.I r.rq_id) ]
+          ~tid ~start:now ~stop:(now + delay) "backoff"
+      end;
       Scheduler.Heap.push events ~time:(now + delay) (Arrival r)
     end
-    else finish_fail st
+    else finish_fail st r ~now
   in
-  let shed (st : tstate) reason =
+  let shed (st : tstate) r ~now reason =
     (match reason with
     | `Queue -> st.stats.ts_shed_queue <- st.stats.ts_shed_queue + 1
     | `Breaker -> st.stats.ts_shed_breaker <- st.stats.ts_shed_breaker + 1);
@@ -280,6 +433,9 @@ let run ?chaos config tenants =
              tenant = st.stats.ts_name;
              reason = (match reason with `Queue -> "queue" | `Breaker -> "breaker");
            });
+    span_terminal r ~now
+      (match reason with `Queue -> "shed-queue" | `Breaker -> "shed-breaker");
+    observe st r ~now ~ok:false ~latency:(-1);
     terminal ()
   in
   let dispatch_all now =
@@ -299,30 +455,60 @@ let run ?chaos config tenants =
       | None -> ()
       | Some slot ->
           let r = Queue.pop st.waiting in
-          if now - r.rq_attempt_arrival > policy.Policy.deadline then begin
+          (* The slot wait is queue-phase latency whether the request
+             goes on to run or dies of old age right here. *)
+          let waited = now - r.rq_attempt_arrival in
+          r.rq_queue <- r.rq_queue + waited;
+          if Obs.Span.enabled () then begin
+            let tid = tenant_tid j in
+            Obs.Span.complete
+              ~args:
+                [ ("req", Obs.Span.I r.rq_id);
+                  ("attempt", Obs.Span.I r.rq_attempt) ]
+              ~tid ~start:r.rq_attempt_arrival ~stop:now "queue";
+            flow_touch r ~tid ~ts:r.rq_attempt_arrival "queue"
+          end;
+          if waited > policy.Policy.deadline then begin
             (* expired while queued: the slot goes back untouched *)
             Pool.cancel slot;
             st.stats.ts_timeouts <- st.stats.ts_timeouts + 1;
+            if Obs.Span.enabled () then
+              Obs.Span.instant ~tid:(tenant_tid j) ~ts:now
+                ~args:[ ("req", Obs.Span.I r.rq_id) ]
+                "timeout-queued";
             retry_or_fail st r ~retryable:true ~now;
             try_start j ~now
           end
           else begin
             let before = lane_injections slot.Pool.sl_lane in
-            let outcome, demand = Pool.serve st.pool slot in
+            Arch.Fault_inject.set_request r.rq_id;
+            let outcome, exec_demand = Pool.serve st.pool slot in
+            Arch.Fault_inject.set_request (-1);
             let inj = lane_injections slot.Pool.sl_lane - before in
             total_injections := !total_injections + inj;
-            let demand =
-              demand
-              + Snapshot.restore_cycles slot.Pool.sl_snapshot
-              + dispatch_overhead
+            r.rq_injections <- r.rq_injections + inj;
+            let restore = Snapshot.restore_cycles slot.Pool.sl_snapshot in
+            let demand = exec_demand + restore + dispatch_overhead in
+            let span =
+              if Obs.Span.enabled () then begin
+                let tid = tenant_tid j in
+                Obs.Span.complete
+                  ~args:[ ("req", Obs.Span.I r.rq_id) ]
+                  ~tid ~start:now ~stop:(now + restore) "restore";
+                Some (st.stats.ts_name, r.rq_id)
+              end
+              else None
             in
-            Scheduler.submit cpu
+            Scheduler.submit ?span cpu
               {
                 rn_req = r;
                 rn_tenant = j;
                 rn_slot = slot;
                 rn_outcome = outcome;
                 rn_injections = inj;
+                rn_start = now;
+                rn_demand = exec_demand;
+                rn_restore = restore;
               }
               ~demand;
             dispatch_all now;
@@ -332,11 +518,25 @@ let run ?chaos config tenants =
   let complete (rn : running) ~now =
     let st = ts.(rn.rn_tenant) in
     let r = rn.rn_req in
+    let residence = now - rn.rn_start in
+    (* An attempt whose result is discarded (late, wrong, crashed)
+       charges its whole residence to the retry phase and its metered
+       demand to waste; only the accepted attempt splits residence
+       into restore + exec + drain. *)
+    let discard_attempt () =
+      r.rq_retry <- r.rq_retry + residence;
+      r.rq_exec_waste <- r.rq_exec_waste + rn.rn_demand
+    in
     (match rn.rn_outcome with
     | Cage.Supervisor.Finished vs ->
         Pool.settle_ok rn.rn_slot;
         if now - r.rq_attempt_arrival > policy.Policy.deadline then begin
           st.stats.ts_timeouts <- st.stats.ts_timeouts + 1;
+          discard_attempt ();
+          if Obs.Span.enabled () then
+            Obs.Span.instant ~tid:(tenant_tid rn.rn_tenant) ~ts:now
+              ~args:[ ("req", Obs.Span.I r.rq_id) ]
+              "timeout";
           retry_or_fail st r ~retryable:true ~now
         end
         else begin
@@ -349,9 +549,14 @@ let run ?chaos config tenants =
             if rn.rn_injections > 0 then
               st.stats.ts_sanitized <- st.stats.ts_sanitized + 1;
             st.stats.ts_ok <- st.stats.ts_ok + 1;
-            st.stats.ts_latencies <-
-              (now - r.rq_first_arrival) :: st.stats.ts_latencies;
+            let latency = now - r.rq_first_arrival in
+            st.stats.ts_latencies <- latency :: st.stats.ts_latencies;
+            r.rq_restore <- rn.rn_restore;
+            r.rq_exec <- rn.rn_demand;
+            r.rq_drain <- residence - rn.rn_demand - rn.rn_restore;
             Policy.breaker_success st.breaker;
+            span_terminal r ~now "done";
+            observe st r ~now ~ok:true ~latency;
             terminal ()
           end
           else begin
@@ -359,12 +564,23 @@ let run ?chaos config tenants =
                the whole stack exists to prevent — terminal, never
                retried, gated to zero by CI *)
             st.stats.ts_escaped <- st.stats.ts_escaped + 1;
-            finish_fail st
+            discard_attempt ();
+            finish_fail st r ~now
           end
         end
     | Cage.Supervisor.Crashed pm ->
         Pool.settle_crashed rn.rn_slot;
         st.stats.ts_crashes <- st.stats.ts_crashes + 1;
+        discard_attempt ();
+        if Obs.Span.enabled () then
+          Obs.Span.instant ~tid:(tenant_tid rn.rn_tenant) ~ts:now
+            ~args:
+              [ ("req", Obs.Span.I r.rq_id);
+                ("class",
+                 Obs.Span.S
+                   (Cage.Supervisor.fault_class_to_string
+                      pm.Cage.Supervisor.pm_class)) ]
+            "crash";
         if Policy.breaker_crash st.breaker ~now then begin
           st.stats.ts_breaker_trips <- st.stats.ts_breaker_trips + 1;
           if Obs.Hook.enabled () then
@@ -383,16 +599,27 @@ let run ?chaos config tenants =
       | None -> continue := false
       | Some (now, ev) -> (
           makespan := max !makespan now;
+          Obs.Span.set_now now;
           match ev with
           | Arrival r ->
               let st = ts.(r.rq_tenant) in
-              if r.rq_attempt = 1 then
+              if r.rq_attempt = 1 then begin
                 st.stats.ts_requests <- st.stats.ts_requests + 1;
+                if Obs.Span.enabled () then begin
+                  let tid = tenant_tid r.rq_tenant in
+                  Obs.Span.async_begin ~id:r.rq_id ~tid ~ts:now
+                    ~args:[ ("tenant", Obs.Span.S st.stats.ts_name) ]
+                    "request";
+                  Obs.Span.instant ~tid ~ts:now
+                    ~args:[ ("req", Obs.Span.I r.rq_id) ]
+                    "admit"
+                end
+              end;
               r.rq_attempt_arrival <- now;
               if not (Policy.breaker_admits st.breaker ~now) then
-                shed st `Breaker
+                shed st r ~now `Breaker
               else if Queue.length st.waiting >= policy.Policy.queue_bound
-              then shed st `Queue
+              then shed st r ~now `Queue
               else begin
                 Queue.push r st.waiting;
                 if Obs.Hook.enabled () then
@@ -444,7 +671,11 @@ let run ?chaos config tenants =
     rp_makespan = !makespan;
     rp_p50 = percentile all_lat 50;
     rp_p99 = percentile all_lat 99;
+    rp_p50_exact = Slo.percentile_exact all_lat 50.0;
+    rp_p99_exact = Slo.percentile_exact all_lat 99.0;
     rp_max_ready = Scheduler.max_ready cpu;
+    rp_served_cycles =
+      Array.fold_left (fun n st -> n + Pool.served_cycles st.pool) 0 ts;
     rp_tenants = reports;
   }
 

@@ -1,0 +1,315 @@
+(** Per-tenant SLO monitoring and tail-latency attribution.
+
+    Three consumers of the serving runtime's per-request stream, all
+    fed by {!Server.run} when a collector is passed in:
+
+    - {e SLO monitors}: one sliding sample window per tenant, scored
+      against an availability objective (fraction of requests that
+      terminate ok) and a latency objective (fraction of ok requests
+      under a threshold), with {e multi-window burn rates} — how fast
+      each window is spending its error budget, where burn 1.0 means
+      "exactly on target" and anything sustained above it means the
+      objective is lost before the window closes;
+    - {e tail attribution}: every terminated request carries an exact
+      per-phase decomposition of its latency
+      (queue / restore / exec / retry / drain, see {!req_rec}) — the
+      slowest-percentile slice of those records, summed per phase,
+      says {e where} the tail went, not just how long it was. The
+      exec phases are metered guest cycles, so their sum reconciles
+      exactly against {!Pool.served_cycles};
+    - {e fault→request correlation}: chaos injections are tagged with
+      the request id they landed in ([Arch.Fault_inject.set_request]),
+      so a chaos run ends with "injection at site X hit request R of
+      tenant T, contained after 1 retry, cost 12k cycles" instead of
+      an aggregate counter.
+
+    Everything here is measurement on the simulated clock; nothing
+    feeds back into scheduling. *)
+
+(* ------------------------------------------------------------------ *)
+(* Exact percentiles                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Nearest-rank percentile on a sorted (ascending) sample: the
+    smallest value such that at least [p] percent of the sample is at
+    or below it. Exact by construction — no histogram buckets — which
+    is what pins it in tests against known distributions. *)
+let percentile_exact sorted p =
+  match Array.length sorted with
+  | 0 -> 0
+  | n ->
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Objectives and monitors                                             *)
+(* ------------------------------------------------------------------ *)
+
+type objective = {
+  ob_availability : float;
+      (** target fraction of requests terminating ok (shed counts
+          against it: refusing a request is not serving it) *)
+  ob_latency : int;           (** latency threshold, simulated cycles *)
+  ob_latency_quantile : float;
+      (** target fraction of ok requests under the threshold *)
+}
+
+let default_objective =
+  { ob_availability = 0.99; ob_latency = 250_000; ob_latency_quantile = 0.95 }
+
+type sample = {
+  sm_time : int;     (** termination time, DES cycles *)
+  sm_ok : bool;
+  sm_latency : int;  (** end-to-end latency; [-1] for failed/shed *)
+}
+
+type monitor = {
+  mn_tenant : string;
+  mutable mn_samples : sample list;  (* newest first *)
+  mutable mn_total : int;
+  mutable mn_ok : int;
+}
+
+(** Samples inside the window [(now - window, now]]:
+    [(total, ok, fast)] where [fast] counts ok samples at or under the
+    latency threshold. *)
+let window_stats m ~now ~window ~threshold =
+  let lo = now - window in
+  let rec go total ok fast = function
+    | [] -> (total, ok, fast)
+    | s :: _ when s.sm_time <= lo -> (total, ok, fast)
+    | s :: rest ->
+        go (total + 1)
+          (ok + if s.sm_ok then 1 else 0)
+          (fast + if s.sm_ok && s.sm_latency <= threshold then 1 else 0)
+          rest
+  in
+  go 0 0 0 m.mn_samples
+
+(** Burn rates over one window: [(availability_burn, latency_burn)].
+    Burn = observed error rate / error budget; 1.0 is "spending the
+    budget exactly as fast as the objective allows". Windows with no
+    samples burn 0. *)
+let burn_rates m obj ~now ~window =
+  let total, ok, fast =
+    window_stats m ~now ~window ~threshold:obj.ob_latency
+  in
+  let avail_burn =
+    if total = 0 then 0.0
+    else
+      let err = 1.0 -. (float_of_int ok /. float_of_int total) in
+      let budget = 1.0 -. obj.ob_availability in
+      if budget <= 0.0 then (if err > 0.0 then infinity else 0.0)
+      else err /. budget
+  in
+  let lat_burn =
+    if ok = 0 then 0.0
+    else
+      let slow = 1.0 -. (float_of_int fast /. float_of_int ok) in
+      let budget = 1.0 -. obj.ob_latency_quantile in
+      if budget <= 0.0 then (if slow > 0.0 then infinity else 0.0)
+      else slow /. budget
+  in
+  (avail_burn, lat_burn)
+
+(* ------------------------------------------------------------------ *)
+(* Per-request records and fault hits                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** One terminated request's latency decomposition. For an ok request
+    the identity [rr_latency = rr_queue + rr_restore + rr_exec +
+    rr_retry + rr_drain] holds exactly: every cycle between first
+    arrival and termination is attributed to exactly one phase.
+    [rr_exec] and [rr_exec_waste] are {e metered} guest cycles — the
+    accepted attempt's demand and the demand of attempts whose result
+    was discarded — so summed over all records they equal
+    {!Pool.served_cycles} for requests that ran. *)
+type req_rec = {
+  rr_id : int;
+  rr_tenant : string;
+  rr_ok : bool;
+  rr_latency : int;      (** end-to-end; [-1] for failed/shed *)
+  rr_attempts : int;
+  rr_injections : int;
+  rr_queue : int;        (** waiting for a slot, all attempts *)
+  rr_restore : int;      (** snapshot restore, accepted attempt *)
+  rr_exec : int;         (** metered guest demand, accepted attempt *)
+  rr_exec_waste : int;   (** metered demand of discarded attempts *)
+  rr_retry : int;        (** backoff waits + discarded attempts' residence *)
+  rr_drain : int;        (** dispatch overhead + preemption gaps, accepted *)
+}
+
+(** One chaos injection's request-level consequence. *)
+type hit = {
+  ht_request : int;
+  ht_tenant : string;
+  ht_lane : int;
+  ht_sites : string list;   (** injection sites, chronological *)
+  ht_attempts : int;        (** attempts the request used in total *)
+  ht_contained : bool;      (** the request still terminated ok *)
+  ht_cost : int;            (** retry-phase cycles the faults induced *)
+}
+
+type collector = {
+  co_objective : objective;
+  mutable co_monitors : (string * monitor) list;  (* registration order *)
+  mutable co_recs : req_rec list;                 (* newest first *)
+  mutable co_hits : hit list;                     (* newest first *)
+  mutable co_exec_ok : int;
+  mutable co_exec_waste : int;
+}
+
+let collector ?(objective = default_objective) () =
+  { co_objective = objective; co_monitors = []; co_recs = []; co_hits = [];
+    co_exec_ok = 0; co_exec_waste = 0 }
+
+let monitor co tenant =
+  match List.assoc_opt tenant co.co_monitors with
+  | Some m -> m
+  | None ->
+      let m = { mn_tenant = tenant; mn_samples = []; mn_total = 0; mn_ok = 0 } in
+      co.co_monitors <- co.co_monitors @ [ (tenant, m) ];
+      m
+
+(** Feed one terminated request into its tenant's monitor. *)
+let sample co ~tenant ~now ~ok ~latency =
+  let m = monitor co tenant in
+  m.mn_samples <- { sm_time = now; sm_ok = ok; sm_latency = latency }
+                  :: m.mn_samples;
+  m.mn_total <- m.mn_total + 1;
+  if ok then m.mn_ok <- m.mn_ok + 1
+
+(** Record one terminated request's phase decomposition. *)
+let record co r =
+  co.co_recs <- r :: co.co_recs;
+  co.co_exec_ok <- co.co_exec_ok + r.rr_exec;
+  co.co_exec_waste <- co.co_exec_waste + r.rr_exec_waste
+
+let hit co h = co.co_hits <- h :: co.co_hits
+
+let records co = List.rev co.co_recs
+let hits co = List.rev co.co_hits
+let monitors co = List.map snd co.co_monitors
+
+(** Total metered guest cycles the collector attributed, accepted +
+    discarded — must equal the pools' {!Pool.served_cycles} sum. *)
+let exec_cycles co = co.co_exec_ok + co.co_exec_waste
+
+(* ------------------------------------------------------------------ *)
+(* Tail attribution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type tail_row = {
+  tl_tenant : string;      (** tenant, or ["(all)"] for the total row *)
+  tl_count : int;
+  tl_queue : int;
+  tl_restore : int;
+  tl_exec : int;
+  tl_retry : int;
+  tl_drain : int;
+  tl_total : int;
+}
+
+type tail = {
+  tt_pct : float;
+  tt_threshold : int;      (** exact latency percentile cut, cycles *)
+  tt_rows : tail_row list; (** per-tenant rows then the [(all)] total *)
+}
+
+let tail_row tenant rs =
+  let sum f = List.fold_left (fun n r -> n + f r) 0 rs in
+  {
+    tl_tenant = tenant;
+    tl_count = List.length rs;
+    tl_queue = sum (fun r -> r.rr_queue);
+    tl_restore = sum (fun r -> r.rr_restore);
+    tl_exec = sum (fun r -> r.rr_exec);
+    tl_retry = sum (fun r -> r.rr_retry);
+    tl_drain = sum (fun r -> r.rr_drain);
+    tl_total = sum (fun r -> r.rr_latency);
+  }
+
+(** Decompose the slowest [(100 - pct)]% of ok requests: which phases
+    their cycles sit in, per tenant and overall. *)
+let tail co ~pct =
+  let ok = List.filter (fun r -> r.rr_ok) (records co) in
+  let lat = Array.of_list (List.map (fun r -> r.rr_latency) ok) in
+  Array.sort compare lat;
+  let threshold = percentile_exact lat pct in
+  let slow = List.filter (fun r -> r.rr_latency >= threshold) ok in
+  let tenants =
+    List.filter_map
+      (fun (name, _) ->
+        match List.filter (fun r -> String.equal r.rr_tenant name) slow with
+        | [] -> None
+        | rs -> Some (tail_row name rs))
+      co.co_monitors
+  in
+  { tt_pct = pct; tt_threshold = threshold;
+    tt_rows = tenants @ [ tail_row "(all)" slow ] }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (the cage_top-style end-of-run report)                    *)
+(* ------------------------------------------------------------------ *)
+
+let pct x = 100.0 *. x
+
+(** Per-tenant burn rates over each window: the SLO report body. *)
+let render_slo ppf co ~now ~windows =
+  let obj = co.co_objective in
+  Format.fprintf ppf
+    "SLO: availability >= %.2f%%, p%.0f latency <= %d cycles@."
+    (pct obj.ob_availability)
+    (pct obj.ob_latency_quantile)
+    obj.ob_latency;
+  List.iter
+    (fun (_, m) ->
+      let avail =
+        if m.mn_total = 0 then 100.0
+        else pct (float_of_int m.mn_ok /. float_of_int m.mn_total)
+      in
+      Format.fprintf ppf "  %-10s %7d served  availability %6.2f%%@."
+        m.mn_tenant m.mn_total avail;
+      List.iter
+        (fun (label, w) ->
+          let ab, lb = burn_rates m obj ~now ~window:w in
+          Format.fprintf ppf
+            "    window %-6s (%9d cy)  avail burn %6.2fx  latency burn %6.2fx@."
+            label w ab lb)
+        windows)
+    co.co_monitors
+
+let render_tail ppf co ~pct:p =
+  let t = tail co ~pct:p in
+  Format.fprintf ppf
+    "tail attribution: ok requests at/above p%.0f (>= %d cycles)@." p
+    t.tt_threshold;
+  Format.fprintf ppf "  %-10s %6s %10s %10s %10s %10s %10s %12s@." "tenant"
+    "n" "queue" "restore" "exec" "retry" "drain" "total";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-10s %6d %10d %10d %10d %10d %10d %12d@."
+        r.tl_tenant r.tl_count r.tl_queue r.tl_restore r.tl_exec r.tl_retry
+        r.tl_drain r.tl_total)
+    t.tt_rows
+
+let render_hits ppf co =
+  match hits co with
+  | [] -> Format.fprintf ppf "fault correlation: no injections hit a request@."
+  | hs ->
+      Format.fprintf ppf "fault correlation: %d injected request%s@."
+        (List.length hs)
+        (if List.length hs = 1 then "" else "s");
+      List.iter
+        (fun h ->
+          Format.fprintf ppf
+            "  injection at %s hit request %d of tenant %s (lane %d): %s, \
+             cost %d cycles@."
+            (String.concat "+" h.ht_sites)
+            h.ht_request h.ht_tenant h.ht_lane
+            (if h.ht_contained then
+               Printf.sprintf "contained after %d %s" (h.ht_attempts - 1)
+                 (if h.ht_attempts = 2 then "retry" else "retries")
+             else Printf.sprintf "failed after %d attempts" h.ht_attempts)
+            h.ht_cost)
+        hs

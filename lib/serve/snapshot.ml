@@ -75,7 +75,13 @@ let restore t (inst : Wasm.Instance.t) =
   if Obs.Hook.enabled () then
     Obs.Hook.event
       (Obs.Event.Snapshot_restore
-         { instance = inst.Wasm.Instance.id; bytes = t.sn_bytes })
+         { instance = inst.Wasm.Instance.id; bytes = t.sn_bytes });
+  if Obs.Span.enabled () then
+    Obs.Span.instant ~tid:Obs.Span.runtime_tid
+      ~args:
+        [ ("instance", Obs.Span.I inst.Wasm.Instance.id);
+          ("bytes", Obs.Span.I t.sn_bytes) ]
+      "snapshot.restore"
 
 (** Modeled restore cost in simulated cycles — the same cost the
     tracer charges a [Snapshot_restore] event, so scheduler demand and

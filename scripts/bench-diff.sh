@@ -1,0 +1,77 @@
+#!/bin/sh
+# Compare key fields of a freshly generated benchmark JSON against a
+# committed baseline, with per-key tolerance bands. Flat-JSON greps on
+# purpose: the bench writers emit one "key": value per line, and this
+# script must run on the bare build image (POSIX sh + awk, no jq).
+#
+# usage: bench-diff.sh <fresh.json> <baseline.json> KEY:MODE:TOL ...
+#
+#   KEY:rel:0.10   relative drift |fresh-base| / max(|base|,eps) <= 0.10
+#   KEY:abs:2.0    absolute drift |fresh-base| <= 2.0
+#   KEY:eq         exact equality (counters that must not move at all)
+#
+# Exit 1 if any key drifts out of band or is missing on either side.
+set -u
+
+if [ $# -lt 3 ]; then
+  echo "usage: bench-diff.sh <fresh.json> <baseline.json> KEY:MODE:TOL ..." >&2
+  exit 2
+fi
+
+fresh=$1; base=$2; shift 2
+for f in "$fresh" "$base"; do
+  [ -f "$f" ] || { echo "bench-diff: missing file $f" >&2; exit 1; }
+done
+
+# First occurrence of "key": <number> (bare or quoted number).
+extract() { # file key
+  sed -n "s/.*\"$2\"[[:space:]]*:[[:space:]]*\"\{0,1\}\(-\{0,1\}[0-9][0-9.eE+-]*\).*/\1/p" "$1" | head -n 1
+}
+
+fail=0
+for spec in "$@"; do
+  key=${spec%%:*}
+  rest=${spec#*:}
+  mode=${rest%%:*}
+  tol=${rest#*:}
+  a=$(extract "$fresh" "$key")
+  b=$(extract "$base" "$key")
+  if [ -z "$a" ] || [ -z "$b" ]; then
+    echo "bench-diff: FAIL $key: missing (fresh='${a:-}' baseline='${b:-}')"
+    fail=1
+    continue
+  fi
+  case "$mode" in
+    eq)
+      if awk "BEGIN { exit !($a == $b) }"; then
+        echo "bench-diff: ok   $key: $a == $b"
+      else
+        echo "bench-diff: FAIL $key: $a != baseline $b (must be exact)"
+        fail=1
+      fi
+      ;;
+    abs)
+      if awk "BEGIN { d = $a - $b; if (d < 0) d = -d; exit !(d <= $tol) }"; then
+        echo "bench-diff: ok   $key: $a vs $b (abs tol $tol)"
+      else
+        echo "bench-diff: FAIL $key: $a drifted from baseline $b by more than $tol"
+        fail=1
+      fi
+      ;;
+    rel)
+      if awk "BEGIN { d = $a - $b; if (d < 0) d = -d; \
+                      m = $b; if (m < 0) m = -m; if (m < 1e-12) m = 1e-12; \
+                      exit !(d / m <= $tol) }"; then
+        echo "bench-diff: ok   $key: $a vs $b (rel tol $tol)"
+      else
+        echo "bench-diff: FAIL $key: $a drifted from baseline $b by more than $(awk "BEGIN { print $tol * 100 }")%"
+        fail=1
+      fi
+      ;;
+    *)
+      echo "bench-diff: FAIL $key: unknown mode '$mode'" >&2
+      fail=1
+      ;;
+  esac
+done
+exit $fail

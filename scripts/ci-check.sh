@@ -47,11 +47,33 @@ dune exec bin/cage_chaos.exe -- served --seed 7 > _build/served_matrix.out
 diff test/golden/served_matrix.golden _build/served_matrix.out
 
 echo "== serving smoke (zero escapes, all tenants >= 80% chaos-on goodput)"
-dune exec bin/cage_serve.exe -- --smoke > _build/serve_smoke.out || {
+dune exec bin/cage_serve.exe -- --smoke --slo-report \
+  --trace-requests _build/req_trace.json \
+  --json _build/BENCH_serve_smoke.json > _build/serve_smoke.out || {
   cat _build/serve_smoke.out; exit 1; }
 grep -q "escaped under chaos : 0" _build/serve_smoke.out || {
   echo "FAIL: serving smoke reported escapes"; cat _build/serve_smoke.out
   exit 1; }
+
+echo "== request observability smoke (SLO report + stitched chrome trace)"
+grep -q "burn" _build/serve_smoke.out || {
+  echo "FAIL: SLO report missing burn rates"; exit 1; }
+grep -q "tail attribution" _build/serve_smoke.out || {
+  echo "FAIL: tail-attribution table missing"; exit 1; }
+grep -q "exec reconciliation: .* — exact" _build/serve_smoke.out || {
+  echo "FAIL: phase attribution does not reconcile against the pool meters"
+  grep "exec reconciliation" _build/serve_smoke.out || true; exit 1; }
+[ -s _build/req_trace.json ] || {
+  echo "FAIL: request trace not written"; exit 1; }
+grep -q '"ph":"s"' _build/req_trace.json || {
+  echo "FAIL: request trace has no flow arrows (span stitching broken)"
+  exit 1; }
+
+echo "== serving bench drift vs committed baseline"
+scripts/bench-diff.sh _build/BENCH_serve_smoke.json \
+  bench/baselines/BENCH_serve_smoke.json \
+  ok:eq escaped:eq injections:eq makespan_cycles:eq \
+  p99_exact_cycles:eq goodput_ratio:eq ok_per_mcycle:rel:0.001
 
 echo "== observability overhead gate (disabled <= 2%)"
 dune exec bench/main.exe -- obsoverhead > /dev/null
@@ -59,6 +81,12 @@ disabled_pct=$(sed -n 's/.*"disabled_overhead_pct": \([0-9.]*\).*/\1/p' BENCH_ob
 echo "   disabled_overhead_pct = ${disabled_pct}"
 awk "BEGIN { exit !($disabled_pct <= 2.0) }" || {
   echo "FAIL: disabled-observability overhead ${disabled_pct}% exceeds 2%"; exit 1; }
+
+echo "== observability bench drift vs committed baseline"
+scripts/bench-diff.sh BENCH_obsoverhead.json \
+  bench/baselines/BENCH_obsoverhead.json \
+  ops:eq checks_per_run:eq disabled_overhead_pct:abs:2.0 \
+  serve_spans_overhead_pct:abs:15.0
 
 echo "== execution-engine smoke gate (threaded >= 2x interp)"
 dune exec bench/main.exe -- exec > /dev/null

@@ -334,6 +334,116 @@ let test_post_mortem_empty_without_tracer () =
   | Cage.Supervisor.Finished _ -> Alcotest.fail "expected a bounds crash"
 
 (* ------------------------------------------------------------------ *)
+(* Trace-ring drop visibility                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Wraparound through the full hook path: the ring silently overwrote
+   its oldest records before this satellite; now the drop count is a
+   first-class signal — mirrored into cage_trace_dropped_total and
+   flagged by a single warning instant in the Chrome export. *)
+let test_ring_drops_visible () =
+  let tr = Obs.Trace.create ~capacity:4 () in
+  let m = Obs.Metrics.cage () in
+  Obs.Hook.with_sink
+    (Obs.Hook.make ~trace:tr ~metrics:m ())
+    (fun () ->
+      for i = 0 to 9 do
+        Obs.Hook.event (Obs.Event.Spawn { instance = i })
+      done);
+  Alcotest.(check int) "ring dropped the six oldest" 6 (Obs.Trace.dropped tr);
+  Alcotest.(check int) "cage_trace_dropped_total mirrors the ring" 6
+    m.Obs.Metrics.trace_dropped.Obs.Metrics.c_value;
+  let json = Obs.Trace.to_chrome_json tr in
+  let has s = Astring.String.is_infix ~affix:s json in
+  Alcotest.(check bool) "export warns about the gap" true
+    (has "\"name\":\"trace-dropped\"");
+  Alcotest.(check bool) "warning carries the drop count" true
+    (has "\"dropped\":6");
+  Alcotest.(check int) "one warning instant, not one per lost record" 1
+    (List.length (Astring.String.cuts ~sep:"trace-dropped" json) - 1);
+  (* a ring that never wrapped exports no warning *)
+  let quiet = Obs.Trace.create ~capacity:16 () in
+  Obs.Trace.record quiet ~tid:1 (Obs.Event.Spawn { instance = 0 });
+  Alcotest.(check bool) "no drops, no warning" false
+    (Astring.String.is_infix ~affix:"trace-dropped"
+       (Obs.Trace.to_chrome_json quiet))
+
+(* ------------------------------------------------------------------ *)
+(* Request spans                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_records_and_json () =
+  let r = Obs.Span.create () in
+  Obs.Span.with_recorder r (fun () ->
+      Obs.Span.set_track ~tid:1 "core 0";
+      Obs.Span.set_track ~tid:(Obs.Span.tenant_tid 0) "tenant compute";
+      Obs.Span.set_now 100;
+      let id = Obs.Span.fresh_id () in
+      Obs.Span.async_begin ~id ~tid:(Obs.Span.tenant_tid 0) ~ts:100 "request";
+      Obs.Span.flow_start ~id ~tid:(Obs.Span.tenant_tid 0) ~ts:100 "queue";
+      Obs.Span.complete
+        ~args:[ ("req", Obs.Span.I id) ]
+        ~tid:1 ~start:100 ~stop:250 "t:compute";
+      Obs.Span.flow_step ~id ~tid:1 ~ts:100 "t:compute";
+      Obs.Span.instant ~tid:Obs.Span.runtime_tid "pool.acquire";
+      Obs.Span.flow_end ~id ~tid:(Obs.Span.tenant_tid 0) ~ts:250 "done";
+      Obs.Span.async_end ~id ~tid:(Obs.Span.tenant_tid 0) ~ts:250 "request");
+  Alcotest.(check bool) "uninstalled after with_recorder" false
+    (Obs.Span.enabled ());
+  Alcotest.(check int) "seven records" 7 (Obs.Span.size r);
+  let json = Obs.Span.to_chrome_json r in
+  let has s = Astring.String.is_infix ~affix:s json in
+  Alcotest.(check bool) "core track named" true (has "\"name\":\"core 0\"");
+  Alcotest.(check bool) "tenant track named" true
+    (has "\"name\":\"tenant compute\"");
+  Alcotest.(check bool) "complete slice with duration" true
+    (has "\"ph\":\"X\"" && has "\"dur\":150");
+  Alcotest.(check bool) "async envelope" true
+    (has "\"ph\":\"b\"" && has "\"ph\":\"e\"");
+  Alcotest.(check bool) "flow start/step/finish" true
+    (has "\"ph\":\"s\"" && has "\"ph\":\"t\"" && has "\"ph\":\"f\"");
+  Alcotest.(check bool) "flow finish binds to the enclosing slice" true
+    (has "\"bp\":\"e\"");
+  Alcotest.(check bool) "instant lands on the runtime track" true
+    (has "\"name\":\"pool.acquire\"");
+  Alcotest.(check bool) "des clock declared" true (has "\"clock\":\"des-cycles\"")
+
+(* Same contract as the hook: a serving loop running with no recorder
+   installed must not allocate on the guarded call sites. *)
+let test_span_disabled_no_alloc () =
+  Obs.Span.uninstall ();
+  let rounds = 100_000 in
+  let w0 = Gc.minor_words () in
+  for i = 1 to rounds do
+    Obs.Span.set_now i;
+    if Obs.Span.enabled () then
+      Obs.Span.instant ~tid:1 ~args:[ ("req", Obs.Span.I i) ] "never"
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d disabled span rounds allocated %.0f words" rounds dw)
+    true (dw < 256.0)
+
+(* The span recorder bounds memory by dropping the *newest* records —
+   the opposite policy from the Trace flight recorder, which keeps a
+   crash's final moments. For request traces the run's start is the
+   context everything later refers to. *)
+let test_span_capacity_drops_newest () =
+  let r = Obs.Span.create ~capacity:4 () in
+  Obs.Span.with_recorder r (fun () ->
+      for i = 0 to 9 do
+        Obs.Span.instant ~tid:1 ~ts:i (Printf.sprintf "ev%d" i)
+      done);
+  Alcotest.(check int) "capacity respected" 4 (Obs.Span.size r);
+  Alcotest.(check int) "six newest dropped" 6 (Obs.Span.dropped r);
+  Alcotest.(check (list string)) "survivors are the oldest, in order"
+    [ "ev0"; "ev1"; "ev2"; "ev3" ]
+    (List.map (fun rec_ -> rec_.Obs.Span.r_name) (Obs.Span.records r));
+  Alcotest.(check bool) "export reports the drop count" true
+    (Astring.String.is_infix ~affix:"\"dropped\":6"
+       (Obs.Span.to_chrome_json r))
+
+(* ------------------------------------------------------------------ *)
 (* Report.table ragged rows (satellite regression)                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -362,6 +472,17 @@ let () =
           Alcotest.test_case "ring keeps newest" `Quick test_ring_keeps_newest;
           Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
           Alcotest.test_case "chrome json shape" `Quick test_chrome_json_shape;
+          Alcotest.test_case "drops visible end-to-end" `Quick
+            test_ring_drops_visible;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "records + chrome json" `Quick
+            test_span_records_and_json;
+          Alcotest.test_case "disabled path allocates nothing" `Quick
+            test_span_disabled_no_alloc;
+          Alcotest.test_case "capacity drops newest" `Quick
+            test_span_capacity_drops_newest;
         ] );
       ( "hook",
         [

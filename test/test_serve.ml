@@ -426,6 +426,243 @@ let test_malicious_tenant_contained () =
         t.Serve.Server.tr_requests t.Serve.Server.tr_ok)
     [ "compute"; "fuzz" ]
 
+(* ------------------------------------------------------------------ *)
+(* Heap tie-breaking as a property                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The DES heap's determinism rests on lexicographic (time, seq)
+   ordering: equal-time entries MUST dequeue in push order, whatever
+   the push pattern. The unit test above pins one shape; this pins
+   them all. *)
+let prop_heap_ties_fifo =
+  QCheck.Test.make ~name:"equal-time entries dequeue in push order"
+    ~count:300
+    QCheck.(list_of_size Gen.(0 -- 64) (int_bound 4))
+    (fun times ->
+      let h = Serve.Scheduler.Heap.create () in
+      List.iteri
+        (fun i time -> Serve.Scheduler.Heap.push h ~time (time, i))
+        times;
+      let rec drain acc =
+        match Serve.Scheduler.Heap.pop h with
+        | None -> List.rev acc
+        | Some (t, (t', i)) -> drain ((t, t', i) :: acc)
+      in
+      let out = drain [] in
+      List.length out = List.length times
+      && List.for_all (fun (t, t', _) -> t = t') out
+      && (* popped (time, push-index) keys are lexicographically sorted:
+            time order overall, FIFO within each tie class *)
+      let keys = List.map (fun (t, _, i) -> (t, i)) out in
+      keys = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Exact percentiles                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_percentile_exact_pinned () =
+  (* 1..100: nearest-rank pN is exactly N *)
+  let a = Array.init 100 (fun i -> i + 1) in
+  Alcotest.(check int) "p50 of 1..100" 50 (Serve.Slo.percentile_exact a 50.0);
+  Alcotest.(check int) "p99 of 1..100" 99 (Serve.Slo.percentile_exact a 99.0);
+  Alcotest.(check int) "p1 of 1..100" 1 (Serve.Slo.percentile_exact a 1.0);
+  Alcotest.(check int) "p100 of 1..100" 100
+    (Serve.Slo.percentile_exact a 100.0);
+  Alcotest.(check int) "empty sample" 0 (Serve.Slo.percentile_exact [||] 99.0);
+  (* odd size with duplicates: rank ceil(0.5*5)=3 -> third value *)
+  let b = [| 2; 2; 3; 7; 11 |] in
+  Alcotest.(check int) "p50 of 5" 3 (Serve.Slo.percentile_exact b 50.0);
+  Alcotest.(check int) "p90 of 5" 11 (Serve.Slo.percentile_exact b 90.0)
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn rates                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_burn_rates () =
+  let co = Serve.Slo.collector () in
+  (* 100 samples at cycles 1..100, failing at 50 and 100: 2% error
+     rate against a 1% budget is exactly a 2x burn *)
+  for i = 1 to 100 do
+    let ok = i mod 50 <> 0 in
+    Serve.Slo.sample co ~tenant:"t" ~now:i ~ok
+      ~latency:(if ok then 100 else -1)
+  done;
+  let m = Serve.Slo.monitor co "t" in
+  let obj = Serve.Slo.default_objective in
+  let ab, lb = Serve.Slo.burn_rates m obj ~now:100 ~window:100 in
+  Alcotest.(check (float 1e-9)) "availability burn 2x over the full window"
+    2.0 ab;
+  Alcotest.(check (float 1e-9)) "all ok samples fast: latency burn 0" 0.0 lb;
+  (* failures older than the lookback fall out of the window: a tenant
+     that failed early but ran clean since burns nothing now *)
+  for i = 1 to 100 do
+    let ok = i > 2 in
+    Serve.Slo.sample co ~tenant:"recovered" ~now:i ~ok
+      ~latency:(if ok then 100 else -1)
+  done;
+  let mr = Serve.Slo.monitor co "recovered" in
+  let ab2, _ = Serve.Slo.burn_rates mr obj ~now:100 ~window:50 in
+  Alcotest.(check (float 1e-9)) "old failures age out of the window" 0.0 ab2;
+  let ab2', _ = Serve.Slo.burn_rates mr obj ~now:100 ~window:100 in
+  Alcotest.(check (float 1e-9)) "but still burn over the full window" 2.0
+    ab2';
+  (* latency objective: 10% of ok samples over threshold against a 5%
+     budget is a 2x latency burn *)
+  for i = 1 to 100 do
+    Serve.Slo.sample co ~tenant:"lat" ~now:i ~ok:true
+      ~latency:(if i mod 10 = 0 then obj.Serve.Slo.ob_latency + 1 else 100)
+  done;
+  let ml = Serve.Slo.monitor co "lat" in
+  let ab3, lb3 = Serve.Slo.burn_rates ml obj ~now:100 ~window:100 in
+  Alcotest.(check (float 1e-9)) "all ok: availability burn 0" 0.0 ab3;
+  Alcotest.(check (float 1e-9)) "latency burn 2x" 2.0 lb3;
+  (* empty window burns 0, not NaN *)
+  let ab4, lb4 = Serve.Slo.burn_rates ml obj ~now:1_000_000 ~window:10 in
+  Alcotest.(check (float 1e-9)) "empty window avail burn" 0.0 ab4;
+  Alcotest.(check (float 1e-9)) "empty window latency burn" 0.0 lb4
+
+(* ------------------------------------------------------------------ *)
+(* Phase attribution: exact, conserved, reconciled                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_phase_attribution_exact () =
+  let co = Serve.Slo.collector () in
+  let report =
+    Serve.Server.run
+      ~chaos:(Harness.Serve_bench.chaos_policy ~seed:5)
+      ~collect:co (mini_config 300 5)
+      (Harness.Serve_bench.tenants ~seed:5 ())
+  in
+  let recs = Serve.Slo.records co in
+  Alcotest.(check int) "one record per terminated request"
+    report.Serve.Server.rp_requests (List.length recs);
+  let oks = List.filter (fun r -> r.Serve.Slo.rr_ok) recs in
+  Alcotest.(check bool) "some requests succeeded" true (oks <> []);
+  List.iter
+    (fun (r : Serve.Slo.req_rec) ->
+      Alcotest.(check int)
+        (Printf.sprintf
+           "request %d: latency = queue + restore + exec + retry + drain"
+           r.Serve.Slo.rr_id)
+        r.Serve.Slo.rr_latency
+        (r.Serve.Slo.rr_queue + r.Serve.Slo.rr_restore + r.Serve.Slo.rr_exec
+        + r.Serve.Slo.rr_retry + r.Serve.Slo.rr_drain))
+    oks;
+  (* every metered guest cycle the pools served shows up in exactly
+     one attribution bucket *)
+  Alcotest.(check int) "exec cycles reconcile against the pool meters"
+    report.Serve.Server.rp_served_cycles
+    (Serve.Slo.exec_cycles co);
+  (* the report's exact percentiles recompute from the records *)
+  let lat =
+    Array.of_list (List.map (fun r -> r.Serve.Slo.rr_latency) oks)
+  in
+  Array.sort compare lat;
+  Alcotest.(check int) "rp_p99_exact recomputes from the record stream"
+    (Serve.Slo.percentile_exact lat 99.0)
+    report.Serve.Server.rp_p99_exact;
+  Alcotest.(check int) "rp_p50_exact recomputes from the record stream"
+    (Serve.Slo.percentile_exact lat 50.0)
+    report.Serve.Server.rp_p50_exact;
+  (* the tail table is a partition of the slow slice: per-tenant rows
+     sum to the (all) row, phase by phase *)
+  let t = Serve.Slo.tail co ~pct:99.0 in
+  let rows, all =
+    match List.rev t.Serve.Slo.tt_rows with
+    | total :: rest -> (List.rev rest, total)
+    | [] -> Alcotest.fail "tail table empty"
+  in
+  let sum f = List.fold_left (fun n r -> n + f r) 0 rows in
+  Alcotest.(check string) "total row label" "(all)" all.Serve.Slo.tl_tenant;
+  Alcotest.(check int) "tail rows partition queue"
+    all.Serve.Slo.tl_queue (sum (fun r -> r.Serve.Slo.tl_queue));
+  Alcotest.(check int) "tail rows partition exec"
+    all.Serve.Slo.tl_exec (sum (fun r -> r.Serve.Slo.tl_exec));
+  Alcotest.(check int) "tail rows partition total"
+    all.Serve.Slo.tl_total (sum (fun r -> r.Serve.Slo.tl_total))
+
+(* ------------------------------------------------------------------ *)
+(* Fault -> request correlation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_correlation () =
+  let co = Serve.Slo.collector () in
+  let report =
+    Serve.Server.run
+      ~chaos:(Harness.Serve_bench.chaos_policy ~seed:5)
+      ~collect:co (mini_config 300 5)
+      (Harness.Serve_bench.tenants ~seed:5 ())
+  in
+  let hits = Serve.Slo.hits co in
+  Alcotest.(check bool) "chaos injections landed in requests" true
+    (hits <> []);
+  Alcotest.(check bool) "no more hit reports than injections" true
+    (List.length hits <= report.Serve.Server.rp_injections);
+  List.iter
+    (fun (h : Serve.Slo.hit) ->
+      Alcotest.(check bool) "request id is a real arrival" true
+        (h.Serve.Slo.ht_request >= 0
+        && h.Serve.Slo.ht_request < report.Serve.Server.rp_requests);
+      Alcotest.(check bool) "at least one site named" true
+        (h.Serve.Slo.ht_sites <> []);
+      Alcotest.(check bool) "attempts counted" true
+        (h.Serve.Slo.ht_attempts >= 1);
+      Alcotest.(check bool) "induced cost is non-negative" true
+        (h.Serve.Slo.ht_cost >= 0))
+    hits;
+  (* a contained hit means the request still terminated ok after
+     retries: it must have used more than one attempt *)
+  List.iter
+    (fun (h : Serve.Slo.hit) ->
+      if h.Serve.Slo.ht_contained then
+        Alcotest.(check bool) "containment implies a retry happened" true
+          (h.Serve.Slo.ht_attempts >= 1))
+    hits
+
+(* ------------------------------------------------------------------ *)
+(* Span stitching end-to-end                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_stitching_e2e () =
+  let run () =
+    Serve.Server.run
+      ~chaos:(Harness.Serve_bench.chaos_policy ~seed:9)
+      (mini_config 250 9)
+      (Harness.Serve_bench.tenants ~seed:9 ())
+  in
+  let digest (r : Serve.Server.report) =
+    ( r.Serve.Server.rp_ok, r.Serve.Server.rp_failed, r.Serve.Server.rp_shed,
+      r.Serve.Server.rp_crashes, r.Serve.Server.rp_retries,
+      r.Serve.Server.rp_makespan, r.Serve.Server.rp_p99,
+      r.Serve.Server.rp_injections )
+  in
+  let bare = run () in
+  let rec_ = Obs.Span.create () in
+  let traced = Obs.Span.with_recorder rec_ run in
+  (* observation must not perturb the simulation: bit-identical run *)
+  Alcotest.(check bool) "recorder does not perturb the replay" true
+    (digest bare = digest traced);
+  let json = Obs.Span.to_chrome_json rec_ in
+  let has s = Astring.String.is_infix ~affix:s json in
+  (* one retried request's causal chain: flow start on its first queue
+     slice, steps across scheduler slices, finish at the terminal *)
+  Alcotest.(check bool) "flow arrows start" true (has "\"ph\":\"s\"");
+  Alcotest.(check bool) "flow arrows step" true (has "\"ph\":\"t\"");
+  Alcotest.(check bool) "flow arrows finish" true (has "\"ph\":\"f\"");
+  Alcotest.(check bool) "request envelopes open/close" true
+    (has "\"ph\":\"b\"" && has "\"ph\":\"e\"");
+  Alcotest.(check bool) "queue phase present" true (has "\"name\":\"queue\"");
+  Alcotest.(check bool) "restore phase present" true
+    (has "\"name\":\"restore\"");
+  Alcotest.(check bool) "retry instants present under chaos" true
+    (has "\"name\":\"retry\"");
+  Alcotest.(check bool) "backoff slices present under chaos" true
+    (has "\"name\":\"backoff\"");
+  Alcotest.(check bool) "per-core tracks named" true
+    (has "\"name\":\"core 0\"");
+  Alcotest.(check bool) "per-tenant tracks named" true
+    (has "\"name\":\"tenant compute\"")
+
 let test_served_sites_recover () =
   (* the serving path absorbs a single-shot tag flip: crash, retry on
      a pristine snapshot, succeed *)
@@ -472,6 +709,17 @@ let () =
           Alcotest.test_case "heap order + ties" `Quick test_heap_order_and_ties;
           Alcotest.test_case "fuel-sliced round robin" `Quick
             test_fuel_sliced_round_robin;
+          QCheck_alcotest.to_alcotest prop_heap_ties_fifo;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "exact percentiles pinned" `Quick
+            test_percentile_exact_pinned;
+          Alcotest.test_case "burn rates" `Quick test_burn_rates;
+          Alcotest.test_case "phase attribution exact" `Quick
+            test_phase_attribution_exact;
+          Alcotest.test_case "fault -> request correlation" `Quick
+            test_fault_correlation;
         ] );
       ( "server",
         [
@@ -483,5 +731,7 @@ let () =
             test_malicious_tenant_contained;
           Alcotest.test_case "served site recovers" `Quick
             test_served_sites_recover;
+          Alcotest.test_case "span stitching e2e" `Quick
+            test_span_stitching_e2e;
         ] );
     ]
