@@ -699,6 +699,131 @@ let run_elide () =
   Format.fprintf (!ppf_ref) "  wrote BENCH_elide.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Interprocedural analysis (BENCH_analysis.json)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The summary-based analyzer's three consumers, priced on PolyBench:
+   tag-check elision (the PR 5 baseline), full-check elision (span
+   checks dropped where the access is span-provable), and arena
+   lowering (segment.new/segment.free tag-plane writes dropped for
+   proven non-escaping segments). Every kernel runs three times —
+   unelided, tag-only, full — and all three checksums must agree, so
+   the experiment doubles as a soundness differential. *)
+let run_analysis () =
+  Harness.Report.title (!ppf_ref)
+    "Interprocedural elision: PolyBench under Cage-mem-safety (Cortex-X3 \
+     model)";
+  let core = Arch.Cpu_model.cortex_x3 in
+  let cfg = Cage.Config.mem_safety in
+  let tag_cfg = Cage.Config.with_elision cfg in
+  let full_cfg = Cage.Config.with_arena (Cage.Config.with_bounds_elision cfg) in
+  let rows =
+    List.map
+      (fun (k : Workloads.Polybench.kernel) ->
+        let m0 = Wasm.Meter.create ()
+        and m1 = Wasm.Meter.create ()
+        and m2 = Wasm.Meter.create () in
+        let v0 = Libc.Run.ret_i32 (Libc.Run.run ~cfg ~meter:m0 k.k_source) in
+        let v1 =
+          Libc.Run.ret_i32 (Libc.Run.run ~cfg:tag_cfg ~meter:m1 k.k_source)
+        in
+        let v2 =
+          Libc.Run.ret_i32 (Libc.Run.run ~cfg:full_cfg ~meter:m2 k.k_source)
+        in
+        if v0 <> v1 || v0 <> v2 then
+          failwith
+            (Printf.sprintf
+               "%s: elision changed the checksum (%ld / %ld / %ld)" k.k_name
+               v0 v1 v2);
+        let accesses = float_of_int (Wasm.Meter.mem_accesses m2) in
+        let frac n = if accesses = 0.0 then 0.0 else float_of_int n /. accesses in
+        let tag_frac = frac m2.Wasm.Meter.elided_checks in
+        let bounds_frac = frac m2.Wasm.Meter.elided_bounds in
+        let tw_elided =
+          m2.Wasm.Meter.arena_new_granules + m2.Wasm.Meter.arena_free_granules
+        in
+        let tw_total =
+          m0.Wasm.Meter.seg_new_granules + m0.Wasm.Meter.seg_free_granules
+        in
+        let tw_frac =
+          if tw_total = 0 then 0.0
+          else float_of_int tw_elided /. float_of_int tw_total
+        in
+        let base = Cage.Lowering.seconds core cfg m0 in
+        let t_tag = Cage.Lowering.seconds core cfg m1 in
+        let t_full = Cage.Lowering.seconds core cfg m2 in
+        let sp_tag = 100.0 *. (1.0 -. (t_tag /. base)) in
+        let sp_full = 100.0 *. (1.0 -. (t_full /. base)) in
+        (k.k_name, tag_frac, bounds_frac, tw_frac, tw_elided, sp_tag, sp_full))
+      Workloads.Polybench.all
+  in
+  Harness.Report.table (!ppf_ref)
+    ~header:
+      [ "kernel"; "tag elided"; "bounds elided"; "tag writes elided";
+        "speedup (tag)"; "speedup (full)" ]
+    (List.map
+       (fun (name, tf, bf, twf, _, st, sf) ->
+         [
+           name;
+           Printf.sprintf "%.1f%%" (100.0 *. tf);
+           Printf.sprintf "%.1f%%" (100.0 *. bf);
+           Printf.sprintf "%.1f%%" (100.0 *. twf);
+           Printf.sprintf "%.2f%%" st;
+           Printf.sprintf "%.2f%%" sf;
+         ])
+       rows);
+  let mean f =
+    List.fold_left (fun a r -> a +. f r) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  let mean_tag = mean (fun (_, tf, _, _, _, _, _) -> tf) in
+  let mean_bounds = mean (fun (_, _, bf, _, _, _, _) -> bf) in
+  let mean_tw = mean (fun (_, _, _, twf, _, _, _) -> twf) in
+  let tw_elided_total =
+    List.fold_left (fun a (_, _, _, _, tw, _, _) -> a + tw) 0 rows
+  in
+  let mean_sp_tag = mean (fun (_, _, _, _, _, st, _) -> st) in
+  let mean_sp_full = mean (fun (_, _, _, _, _, _, sf) -> sf) in
+  Format.fprintf (!ppf_ref)
+    "  mean: %.1f%% tag checks, %.1f%% span checks, %.1f%% tag-plane writes \
+     elided;@.  modeled speedup %.2f%% (tag-only) -> %.2f%% (full) — target: \
+     tag-write elision > 0, full > tag-only@."
+    (100.0 *. mean_tag) (100.0 *. mean_bounds) (100.0 *. mean_tw) mean_sp_tag
+    mean_sp_full;
+  if tw_elided_total = 0 then
+    failwith "analysis: no tag-plane writes elided on any PolyBench kernel";
+  if mean_sp_full <= mean_sp_tag then
+    failwith
+      (Printf.sprintf
+         "analysis: full elision (%.3f%%) does not beat tag-only (%.3f%%)"
+         mean_sp_full mean_sp_tag);
+  let oc = open_out "BENCH_analysis.json" in
+  Printf.fprintf oc "{\n  \"config\": %S,\n  \"core\": %S,\n  \"kernels\": [\n"
+    cfg.Cage.Config.name core.Arch.Cpu_model.name;
+  List.iteri
+    (fun i (name, tf, bf, twf, tw, st, sf) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"tag_elided_frac\": %.4f, \
+         \"bounds_elided_frac\": %.4f, \"tag_writes_elided_frac\": %.4f, \
+         \"tag_writes_elided\": %d, \"speedup_tag_pct\": %.3f, \
+         \"speedup_full_pct\": %.3f }%s\n"
+        name tf bf twf tw st sf
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"mean_tag_elided_frac\": %.4f,\n\
+    \  \"mean_bounds_elided_frac\": %.4f,\n\
+    \  \"mean_tag_writes_elided_frac\": %.4f,\n\
+    \  \"tag_writes_elided_total\": %d,\n\
+    \  \"mean_speedup_tag_pct\": %.3f,\n\
+    \  \"mean_speedup_full_pct\": %.3f\n\
+     }\n"
+    mean_tag mean_bounds mean_tw tw_elided_total mean_sp_tag mean_sp_full;
+  close_out oc;
+  Format.fprintf (!ppf_ref) "  wrote BENCH_analysis.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Execution engines (BENCH_exec.json)                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -942,6 +1067,7 @@ let experiments =
     ("memfast", run_memfast);
     ("obsoverhead", run_obsoverhead);
     ("elide", run_elide);
+    ("analysis", run_analysis);
     ("exec", run_exec);
     ("bechamel", run_bechamel);
   ]
@@ -950,7 +1076,7 @@ let default_order =
   [
     "table1"; "fig4"; "fig14"; "fig15"; "fig16"; "table2"; "mem"; "startup";
     "collision"; "ablation"; "modes"; "escape"; "memfast"; "obsoverhead";
-    "elide"; "exec"; "bechamel";
+    "elide"; "analysis"; "exec"; "bechamel";
   ]
 
 let () =

@@ -6,11 +6,11 @@
 
 let usage () =
   prerr_endline
-    "usage: cage_chaos matrix [--seed N] [--elide] [--engine E]\n\
+    "usage: cage_chaos matrix [--seed N] [--elide] [--elide-bounds] [--engine E]\n\
     \       cage_chaos fuzz [--count N] [--seed N] [--engine E]\n\
-    \       cage_chaos elidediff [--count N] [--seed N]\n\
+    \       cage_chaos elidediff [--count N] [--seed N] [--full]\n\
     \       cage_chaos enginediff [--count N] [--seed N]\n\
-    \       cage_chaos served [--seed N] [--engine E]\n\
+    \       cage_chaos served [--seed N] [--elide-bounds] [--engine E]\n\
      (E = interp | threaded; default threaded)";
   exit 2
 
@@ -38,8 +38,9 @@ let () =
   | _ :: "matrix" :: rest ->
       let seed = int_flag rest "--seed" ~default:7 in
       let elide = List.mem "--elide" rest in
+      let full = List.mem "--elide-bounds" rest in
       let engine = engine_flag rest in
-      let results = Harness.Detection_matrix.run ~seed ~elide ~engine () in
+      let results = Harness.Detection_matrix.run ~seed ~elide ~full ~engine () in
       Harness.Detection_matrix.render ~seed Format.std_formatter results;
       if Harness.Detection_matrix.violations results <> [] then exit 1
   | _ :: "fuzz" :: rest ->
@@ -55,13 +56,17 @@ let () =
          site driven through pool + supervisor + retry *)
       let seed = int_flag rest "--seed" ~default:7 in
       let engine = engine_flag rest in
-      let rows = Harness.Serve_bench.served_matrix ~seed ~engine () in
+      let full = List.mem "--elide-bounds" rest in
+      let rows = Harness.Serve_bench.served_matrix ~seed ~engine ~full () in
       Harness.Serve_bench.render_served ~seed Format.std_formatter rows;
       if Harness.Serve_bench.served_violations rows <> [] then exit 1
   | _ :: "elidediff" :: rest ->
       let seed0 = int_flag rest "--seed" ~default:0 in
       let count = int_flag rest "--count" ~default:200 in
-      let r = Harness.Elide_diff.run ~count ~seed0 () in
+      (* --full arms bounds elision and arena lowering on the elided
+         side, so the differential covers the whole analysis pipeline *)
+      let full = List.mem "--full" rest in
+      let r = Harness.Elide_diff.run ~count ~seed0 ~full () in
       Format.printf "%a@." Harness.Elide_diff.pp r;
       List.iter print_endline r.Harness.Elide_diff.ed_failures;
       if not (Harness.Elide_diff.ok r) then exit 1

@@ -55,38 +55,58 @@ let no_libc =
   Arg.(value & flag & info [ "no-libc" ]
          ~doc:"Do not prepend the libc prelude (freestanding program).")
 
-let lint_source ~label ~cfg ~prelude source =
+let wspectre =
+  Arg.(value & flag & info [ "Wspectre" ]
+         ~doc:"Classify elidable checks under the Swivel-style speculation \
+               model and list the sites whose proof does not survive it.")
+
+let json =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the report as stable JSON (one document per program) \
+               instead of text.")
+
+let lint_source ~label ~cfg ~prelude ~wspectre ~json source =
   let opts = Minic.Driver.options_of_config cfg in
   match Minic.Driver.compile ~opts ~prelude source with
   | exception Minic.Driver.Compile_error msg ->
       Printf.eprintf "cage_lint: %s: %s\n" label msg;
       false
   | compiled ->
-      let t = Analysis.Lint.run compiled.Minic.Driver.co_module in
-      Format.printf "cage-lint: %s (%s)@." label cfg.Cage.Config.name;
-      List.iter (fun l -> Format.printf "  %s@." l) (Analysis.Lint.to_lines t);
+      let t = Analysis.Lint.run ~wspectre compiled.Minic.Driver.co_module in
+      if json then begin
+        Format.printf "{\"program\": \"%s\", \"config\": \"%s\", \"report\": "
+          (String.escaped label) cfg.Cage.Config.name;
+        Format.printf "%s}@." (String.trim (Analysis.Lint.to_json t))
+      end
+      else begin
+        Format.printf "cage-lint: %s (%s)@." label cfg.Cage.Config.name;
+        List.iter
+          (fun l -> Format.printf "  %s@." l)
+          (Analysis.Lint.to_lines t)
+      end;
       true
 
-let run input config cve_suite polybench no_libc =
+let run input config cve_suite polybench no_libc wspectre json =
   let prelude =
     if no_libc then "" else Libc.Source.prelude_of_config config
   in
+  let lint_source = lint_source ~cfg:config ~prelude ~wspectre ~json in
   let ok =
     if cve_suite then
       List.fold_left
         (fun ok (e : Workloads.Cve_suite.entry) ->
-          lint_source ~label:e.cve ~cfg:config ~prelude e.source && ok)
+          lint_source ~label:e.cve e.source && ok)
         true Workloads.Cve_suite.entries
     else if polybench then
       List.fold_left
         (fun ok (k : Workloads.Polybench.kernel) ->
-          lint_source ~label:k.k_name ~cfg:config ~prelude k.k_source && ok)
+          lint_source ~label:k.k_name k.k_source && ok)
         true Workloads.Polybench.all
     else
       match input with
       | Some file ->
           let source = In_channel.with_open_text file In_channel.input_all in
-          lint_source ~label:file ~cfg:config ~prelude source
+          lint_source ~label:file source
       | None ->
           Printf.eprintf "cage_lint: pass INPUT.c or --cve-suite\n";
           false
@@ -97,6 +117,8 @@ let cmd =
   let doc = "statically analyze a Cage module for tag-safety bugs" in
   Cmd.v
     (Cmd.info "cage_lint" ~doc)
-    Term.(const run $ input $ config $ cve_suite $ polybench $ no_libc)
+    Term.(
+      const run $ input $ config $ cve_suite $ polybench $ no_libc $ wspectre
+      $ json)
 
 let () = exit (Cmd.eval' cmd)

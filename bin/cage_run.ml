@@ -69,6 +69,17 @@ let elide =
          ~doc:"Run the static tag-safety analysis first and skip the MTE \
                granule checks it proved redundant.")
 
+let elide_bounds =
+  Arg.(value & flag & info [ "elide-bounds" ]
+         ~doc:"With --elide-checks: also skip the sandbox span checks the \
+               analysis proved redundant and lower non-escaping segments \
+               to the tag-write-free arena form.")
+
+let no_spec_elide =
+  Arg.(value & flag & info [ "no-spec-elide" ]
+         ~doc:"Keep every check whose elision proof does not survive the \
+               Swivel-style speculation model.")
+
 let engine_conv =
   let parse = function
     | "interp" -> Ok Wasm.Instance.Interp
@@ -93,8 +104,16 @@ let engine =
                  differs.")
 
 let run input config entry args show_meter trace_out show_metrics profile_out
-    seed elide engine =
+    seed elide elide_bounds no_spec_elide engine =
   let config = if elide then Cage.Config.with_elision config else config in
+  let config =
+    if elide_bounds then
+      Cage.Config.with_arena (Cage.Config.with_bounds_elision config)
+    else config
+  in
+  let config =
+    if no_spec_elide then Cage.Config.with_spec_safe_only config else config
+  in
   let config = Cage.Config.with_engine engine config in
   let meter = Wasm.Meter.create () in
   let wasi = Libc.Wasi.create () in
@@ -123,9 +142,21 @@ let run input config entry args show_meter trace_out show_metrics profile_out
           | Error e -> failwith ("invalid module: " ^ e));
           let iconfig = Cage.Config.instance_config ~meter ~seed config in
           let iconfig =
-            if config.Cage.Config.elide_checks then
+            if config.Cage.Config.elide_checks then begin
+              let plan =
+                Analysis.Elide.plan
+                  ~spec_safe:config.Cage.Config.spec_safe_only
+                  ~arena:config.Cage.Config.arena m
+              in
               { iconfig with
-                Wasm.Instance.elide = (Analysis.Elide.plan m).Analysis.Elide.bitsets }
+                Wasm.Instance.elide = plan.Analysis.Elide.bitsets;
+                belide =
+                  (if config.Cage.Config.elide_bounds then
+                     plan.Analysis.Elide.bbitsets
+                   else [||]);
+                arena = plan.Analysis.Elide.arena;
+              }
+            end
             else iconfig
           in
           let inst =
@@ -206,6 +237,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cage_run" ~doc)
     Term.(const run $ input $ config $ entry $ args $ show_meter $ trace_out
-          $ show_metrics $ profile_out $ seed $ elide $ engine)
+          $ show_metrics $ profile_out $ seed $ elide $ elide_bounds
+          $ no_spec_elide $ engine)
 
 let () = exit (Cmd.eval' cmd)

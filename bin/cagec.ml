@@ -65,6 +65,18 @@ let elide =
          ~doc:"Run the static tag-safety analysis and print the \
                check-elision plan (accesses proven safe per module).")
 
+let elide_bounds =
+  Arg.(value & flag & info [ "elide-bounds" ]
+         ~doc:"With --elide-checks: also report full-check elision (span \
+               checks proven redundant) and arena lowering (segments whose \
+               tag-plane writes disappear).")
+
+let no_spec_elide =
+  Arg.(value & flag & info [ "no-spec-elide" ]
+         ~doc:"Restrict the elision plan to proofs that survive the \
+               Swivel-style speculation model; checks that are only \
+               architecturally redundant stay.")
+
 let wfusion =
   Arg.(value & flag & info [ "Wfusion" ]
          ~doc:"Print per-function threaded-code superinstruction decisions \
@@ -93,7 +105,7 @@ let engine =
                  or 'interp'.")
 
 let run input output config emit_wat no_libc instrument_all stats wstack
-    elide wfusion engine =
+    elide elide_bounds no_spec_elide wfusion engine =
   let config = Cage.Config.with_engine engine config in
   let source = In_channel.with_open_text input In_channel.input_all in
   let opts =
@@ -140,18 +152,33 @@ let run input output config emit_wat no_libc instrument_all stats wstack
                   && String.sub line 0 10 = "cage_stack"
                then Format.eprintf "%s@." line)
       end;
+      let mk_plan () =
+        Analysis.Elide.plan ~spec_safe:no_spec_elide ~arena:elide_bounds
+          compiled.co_module
+      in
       if elide then begin
-        let plan = Analysis.Elide.plan compiled.co_module in
+        let plan = mk_plan () in
         Format.eprintf
           "elision: %d of %d checked accesses proven safe@."
-          plan.Analysis.Elide.proven plan.Analysis.Elide.considered
+          plan.Analysis.Elide.proven plan.Analysis.Elide.considered;
+        if elide_bounds then
+          Format.eprintf
+            "elision: %d span checks proven redundant; %d allocation sites \
+             arena-lowered (%d segment.new, %d segment.free)@."
+            plan.Analysis.Elide.bproven plan.Analysis.Elide.arena_sites
+            plan.Analysis.Elide.arena_news plan.Analysis.Elide.arena_frees;
+        if no_spec_elide then
+          Format.eprintf
+            "elision: %d architecturally-provable elisions withheld \
+             (speculation-unsafe)@."
+            plan.Analysis.Elide.spec_unsafe
       end;
       if wfusion then begin
         (* Lower every function exactly as instantiation would (same
            elision plan when requested) and report what fused. *)
         let elide_sets =
           if elide || config.Cage.Config.elide_checks then
-            (Analysis.Elide.plan compiled.co_module).Analysis.Elide.bitsets
+            (mk_plan ()).Analysis.Elide.bitsets
           else [||]
         in
         let fstats =
@@ -200,6 +227,7 @@ let cmd =
     (Cmd.info "cagec" ~doc)
     Term.(
       const run $ input $ output $ config $ emit_wat $ no_libc
-      $ instrument_all $ stats $ wstack $ elide $ wfusion $ engine)
+      $ instrument_all $ stats $ wstack $ elide $ elide_bounds
+      $ no_spec_elide $ wfusion $ engine)
 
 let () = exit (Cmd.eval cmd)

@@ -48,6 +48,9 @@ type site = {
   s_kind : site_kind;
   s_path : string;  (** call path of the function that allocated it *)
   s_instr : int;  (** allocating instruction id (diagnostics) *)
+  s_lidx : int;  (** local function index of the allocating instruction
+                     (-1 when unknown); arena lowering is per
+                     (function, instruction) *)
   mutable s_size : Interval.t;  (** segment length in bytes *)
   mutable s_multi : bool;
       (** a [segment.new] re-executed while the site was already live
@@ -55,7 +58,34 @@ type site = {
           abstract site, so "definite" claims degrade to "possible"
           and elision is off *)
   mutable s_escaped : bool;  (** pointer stored to memory / host call *)
+  mutable s_escaped_dead : bool;
+      (** only an {e untagged} address escaped, and only while the
+          segment was definitely freed (the allocator threading a dead
+          chunk onto its free list). After [segment.free] the payload
+          granules read as tag zero whether or not the site was
+          arena-lowered, so such an escape cannot observe the missing
+          tag writes — unless the site is later re-allocated
+          ([s_reincarnated]) while the stale address is still abroad *)
+  mutable s_reincarnated : bool;
+      (** a [segment.new] re-executed after the site was freed: a new
+          concrete segment under the same abstract site. Harmless on
+          its own, but combined with [s_escaped_dead] a stale dead
+          address may alias the new incarnation's live granules *)
   mutable s_leaked_reported : bool;
+  mutable s_arena_unsafe : bool;
+      (** the segment's tag bits may ride on a value the analysis lost
+          track of (joined away, laundered through arithmetic, stored,
+          retagged, or handed to a summarized callee that dereferences
+          it): a checked access could then consult the tag plane, so
+          the site must keep its real tag writes ({!Escape}) *)
+  mutable s_accesses : (int * int) list;
+      (** (local function, instruction id) of every scalar access made
+          through this site's provenance — arena eligibility demands
+          each one be elided under the active elision plan *)
+  mutable s_unproven_access : bool;
+      (** some access through this provenance cannot be elided at
+          runtime (a bulk op, or an access in a blacklisted function):
+          disqualifies the site from arena lowering *)
 }
 
 (** Per-site liveness; a missing map entry is bottom (never allocated
@@ -144,6 +174,16 @@ let aval_equal a b =
   | Cmp a, Cmp b -> cmp_equal a b
   | _ -> false
 
+(* A tagged pointer (or an extracted tag value) merged into a value
+   that no longer names its site can still carry the tag bits at
+   runtime; a later checked access through such a value consults the
+   tag plane, so the site must keep its real tag writes (see
+   {!Escape}). *)
+let arena_taint_aval = function
+  | Ptr { site; tagged = true; _ } -> site.s_arena_unsafe <- true
+  | TagVal (Some site) -> site.s_arena_unsafe <- true
+  | _ -> ()
+
 let join_aval a b =
   if aval_equal a b then a
   else
@@ -152,6 +192,7 @@ let join_aval a b =
     | Loc (i, x), Loc (j, y) when i = j -> Loc (i, Interval.join x y)
     | (Int x | Loc (_, x)), (Int y | Loc (_, y)) -> Int (Interval.join x y)
     | Ptr p, Ptr q when p.site == q.site ->
+        if p.tagged <> q.tagged then p.site.s_arena_unsafe <- true;
         Ptr
           {
             site = p.site;
@@ -165,13 +206,19 @@ let join_aval a b =
     | Ptr p, Int z when Interval.is_const 0L z -> Ptr p
     | Int z, Ptr p when Interval.is_const 0L z -> Ptr p
     | Sp (i, x), Sp (j, y) when i = j -> Sp (i, Interval.join x y)
-    | TagVal _, TagVal _ -> TagVal None
+    | TagVal _, TagVal _ ->
+        arena_taint_aval a;
+        arena_taint_aval b;
+        TagVal None
     | (Cmp _ | Int _ | Loc _), (Cmp _ | Int _ | Loc _) ->
         Int
           (Interval.join
              (match iv_of a with Some v -> v | None -> Interval.top)
              (match iv_of b with Some v -> v | None -> Interval.top))
-    | _ -> Top
+    | _ ->
+        arena_taint_aval a;
+        arena_taint_aval b;
+        Top
 
 let widen_aval ~prev ~next =
   match (prev, next) with
@@ -180,7 +227,9 @@ let widen_aval ~prev ~next =
   | Ptr p, Ptr n when p.site == n.site ->
       Ptr { n with off = Interval.widen ~prev:p.off ~next:n.off }
   | Sp (i, p), Sp (j, n) when i = j -> Sp (i, Interval.widen ~prev:p ~next:n)
-  | _ -> next
+  | _ ->
+      arena_taint_aval prev;
+      next
 
 let join_live_map a b =
   IMap.union (fun _ x y -> Some (join_liveness x y)) a b
@@ -261,8 +310,10 @@ let swap_op : Ast.irelop -> Ast.irelop = function
    representation makes them sound. *)
 let constraint_of (op : Ast.irelop) (riv : Interval.t) : Interval.t =
   let open Interval in
-  let dec = function Some v -> Some (Int64.sub v 1L) | None -> None in
-  let inc = function Some v -> Some (Int64.add v 1L) | None -> None in
+  (* saturating: stepping past max_int/min_int must widen to infinity,
+     not wrap around into a tiny (unsound) bound *)
+  let dec = function Some v -> Interval.pred_sat v | None -> None in
+  let inc = function Some v -> Interval.succ_sat v | None -> None in
   match op with
   | Eq -> riv
   | Ne -> top
@@ -301,8 +352,16 @@ let refine_cmp st (c : cmp) truth =
   | Some st -> refine_side st (swap_op op) c.crhs c.clhs
 
 (** Refine [st] under the assumption that condition value [cond] is
-    true ([truth]) or false; [None] = branch unreachable. *)
-let refine cond truth st =
+    true ([truth]) or false; [None] = branch unreachable.
+
+    [spec] is the Swivel-style speculation model: inside a
+    bounds-check-bypass window a mispredicted branch executes either
+    arm regardless of the condition, so refinement performs no
+    narrowing and prunes no path — every branch-derived fact the
+    architectural analysis relied on evaporates. *)
+let refine ?(spec = false) cond truth st =
+  if spec then Some st
+  else
   match cond with
   | Cmp c -> refine_cmp st c truth
   | Ptr _ | Sp _ | TaggedSp _ -> if truth then Some st else None
@@ -382,6 +441,23 @@ type genv = {
           prepared bodies may run in instances we did not analyze from
           [main], so no elision verdicts are recorded for them *)
   verdicts : int array array;  (** 0 unvisited, 1 proven, 2 unproven *)
+  bverdicts : int array array;
+      (** parallel bounds verdicts: the access interval is proven
+          inside linear memory (a strictly weaker claim than the tag
+          verdict — a segment lives entirely inside memory at creation
+          and memory never shrinks, so tag-proven implies
+          bounds-proven) *)
+  cg : Callgraph.t;
+  summaries : Summary.t array;
+      (** interprocedural per-function summaries, consulted where
+          call-string inlining gives up (recursion, the depth cap,
+          [call_indirect]) instead of the old blanket havoc *)
+  frees : (int * int, site list ref * bool ref) Hashtbl.t;
+      (** per (local function, instruction id) [segment.free] record:
+          every site the instruction can free, and a dirty bit set
+          when any operand was untracked, possibly-dead or multi —
+          {!Escape}'s unit of arena lowering *)
+  spec : bool;  (** run under the speculation model (see {!refine}) *)
   sites : (string, site) Hashtbl.t;
   mutable all_sites : site list;
   mutable site_count : int;
@@ -397,9 +473,16 @@ type fenv = {
   g : genv;
   path : string;
   verdict_row : int array;  (** [[||]] when the function is blacklisted *)
+  bverdict_row : int array;  (** parallel bounds row, same blacklisting *)
   active : int list;  (** function indices on the analysis call stack *)
   depth : int;
 }
+
+(* The function currently being analyzed: [analyze] seeds [active] with
+   the entry and every inlined call pushes its callee, so the head is
+   always the enclosing function. *)
+let cur_lidx fenv =
+  match fenv.active with f :: _ -> f - fenv.g.n_imports | [] -> -1
 
 let func_name g fidx =
   if fidx < g.n_imports then (List.nth g.m.Ast.imports fidx).Ast.im_name
@@ -436,7 +519,7 @@ let compute_blacklist (m : Ast.module_) funcs n_imports =
 (* Sites, diagnostics, verdicts                                        *)
 (* ------------------------------------------------------------------ *)
 
-let find_site g ~key ~kind ~path ~instr ~size =
+let find_site g ~key ~kind ~path ~instr ~lidx ~size =
   match Hashtbl.find_opt g.sites key with
   | Some s ->
       s.s_size <- Interval.join s.s_size size;
@@ -449,10 +532,16 @@ let find_site g ~key ~kind ~path ~instr ~size =
           s_kind = kind;
           s_path = path;
           s_instr = instr;
+          s_lidx = lidx;
           s_size = size;
           s_multi = false;
           s_escaped = false;
+          s_escaped_dead = false;
+          s_reincarnated = false;
           s_leaked_reported = false;
+          s_arena_unsafe = false;
+          s_accesses = [];
+          s_unproven_access = false;
         }
       in
       g.site_count <- g.site_count + 1;
@@ -475,21 +564,36 @@ let diag fenv ~id ~severity msg =
 (* Verdict meet: unvisited takes the new value, and unproven (2)
    dominates proven (1) — an access is elidable only if every analyzed
    context proves it. *)
-let mark_verdict fenv id proven =
-  let row = fenv.verdict_row in
+let mark_row row id proven =
   if id >= 0 && id < Array.length row then begin
     let v = if proven then 1 else 2 in
     row.(id) <- (if row.(id) = 0 then v else max row.(id) v)
   end
 
-let escape_site = function
-  | Ptr { site; _ } -> site.s_escaped <- true
-  | _ -> ()
+let mark_verdict fenv id proven = mark_row fenv.verdict_row id proven
+let mark_bverdict fenv id proven = mark_row fenv.bverdict_row id proven
 
 let liveness_of st (site : site) =
   match IMap.find_opt site.s_id st.live with
   | Some l -> l
   | None -> UnknownLive
+
+(* [?live] refines the escape: an untagged address stored while its
+   segment is definitely freed (the allocator pushing a dead chunk
+   onto the free list) is recorded as a dead escape, which blocks
+   arena lowering only if the site is later re-allocated. Call sites
+   without liveness at hand (host calls, summarized callees) stay
+   maximally conservative. *)
+let escape_site ?live v =
+  match v with
+  | Ptr { site; tagged; _ } -> (
+      match live with
+      | Some st
+        when (not tagged) && (not site.s_multi)
+             && liveness_of st site = Freed ->
+          site.s_escaped_dead <- true
+      | _ -> site.s_escaped <- true)
+  | _ -> ()
 
 let sev_of site = if site.s_multi then Possible else Definite
 
@@ -500,6 +604,7 @@ let sev_of site = if site.s_multi then Possible else Definite
 let check_access fenv st ~id ~addr ~(len : Interval.t) ~is_store ~elide_ok =
   let what = if is_store then "store" else "load" in
   let proven = ref false in
+  let bproven = ref false in
   (match addr with
   | Ptr { site; off = eff; tagged } -> (
       let live = liveness_of st site in
@@ -578,20 +683,52 @@ let check_access fenv st ~id ~addr ~(len : Interval.t) ~is_store ~elide_ok =
           diag fenv ~id ~severity:Possible
             (Printf.sprintf "%s through untagged pointer into tagged segment %s"
                what site.s_key));
-      (* elision: tagged, single concrete segment, definitely live, and
-         the whole access interval proven inside the segment *)
-      proven :=
-        tagged && (not site.s_multi) && live = Live
-        && is_nonneg eff && hi_finite eff
-        &&
-        match (eff.hi, len.hi, size.lo) with
-        | Some h, Some lh, Some sl -> (
-            match Interval.add_exact h lh with
-            | Some e -> e <= sl
-            | None -> false)
-        | _ -> false)
+      (* bounds elision: the access interval proven inside the segment.
+         A segment that was successfully created lies entirely within
+         linear memory (segment.new validates and zero-fills it) and
+         memory never shrinks, so in-segment implies in-memory — no
+         tag, liveness or multiplicity requirement. *)
+      bproven :=
+        is_nonneg eff && hi_finite eff
+        && (match (eff.hi, len.hi, size.lo) with
+           | Some h, Some lh, Some sl -> (
+               match Interval.add_exact h lh with
+               | Some e -> e <= sl
+               | None -> false)
+           | _ -> false);
+      (* tag elision additionally needs: tagged, single concrete
+         segment, definitely live. Tag-proven thus implies
+         bounds-proven by construction — the runtime needs only three
+         access paths (checked / tag-elided / fully-elided). *)
+      proven := !bproven && tagged && (not site.s_multi) && live = Live;
+      (* arena bookkeeping: every access through this provenance must
+         itself be elided for the site's tag writes to be skippable.
+         Exception: an untagged access wholly below the payload (the
+         allocator reading a chunk header) touches only granules that
+         [segment.new] never tags, so it cannot observe — and does not
+         constrain — arena lowering. *)
+      let arena_neutral =
+        header_access
+        && (match (eff.hi, len.hi) with
+           | Some h, Some lh -> (
+               match Interval.add_exact h lh with
+               | Some e -> e <= 0L
+               | None -> false)
+           | _ -> false)
+      in
+      if fenv.g.recording && not arena_neutral then begin
+        if elide_ok && Array.length fenv.verdict_row > 0 then begin
+          let acc = (cur_lidx fenv, id) in
+          if not (List.mem acc site.s_accesses) then
+            site.s_accesses <- acc :: site.s_accesses
+        end
+        else site.s_unproven_access <- true
+      end)
   | _ -> ());
-  if elide_ok then mark_verdict fenv id !proven
+  if elide_ok then begin
+    mark_verdict fenv id !proven;
+    mark_bverdict fenv id !bproven
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Stack / state helpers                                               *)
@@ -761,6 +898,26 @@ let eval_ibinop st (w : Ast.width) (op : Ast.ibinop) =
     | Ast.ShrU -> num Interval.shr_u
     | Ast.Rotl | Ast.Rotr -> num (fun _ _ -> Interval.top)
   in
+  (* Tag-taint: if an operand carried live tag bits (a tagged pointer,
+     or a tag nibble extracted from one) and the result no longer
+     names the site, the tag may survive in a value the analysis can
+     no longer see — the site must keep its real tag-plane writes. *)
+  let lost v =
+    match v with
+    | Ptr { site; tagged = true; _ } -> (
+        match r with
+        | Ptr { site = s; _ } when s == site -> ()
+        | TagVal (Some s) when s == site -> ()
+        | _ -> site.s_arena_unsafe <- true)
+    | TagVal (Some site) -> (
+        match r with
+        | Ptr { site = s; tagged = true; _ } when s == site -> ()
+        | TagVal (Some s) when s == site -> ()
+        | _ -> site.s_arena_unsafe <- true)
+    | _ -> ()
+  in
+  lost a;
+  lost b;
   push r st
 
 (* ------------------------------------------------------------------ *)
@@ -804,8 +961,8 @@ and eval_node fenv frames st node =
               (fun s' -> (take a s'.stack, { s' with stack = [] }))
               (eval_seq fenv (frame :: frames) { s with stack = [] } body)
       in
-      let rt = run then_ (refine cond true st) in
-      let re = run else_ (refine cond false st) in
+      let rt = run then_ (refine ~spec:fenv.g.spec cond true st) in
+      let re = run else_ (refine ~spec:fenv.g.spec cond false st) in
       (match join_exit (join_exit rt re) frame.f_pend with
       | None -> None
       | Some (vals, s) -> Some { s with stack = vals @ saved })
@@ -844,10 +1001,10 @@ and eval_node fenv frames st node =
       None
   | NBrIf k ->
       let cond, st = pop st in
-      (match refine cond true st with
+      (match refine ~spec:fenv.g.spec cond true st with
       | Some s -> branch_join frames k s
       | None -> ());
-      refine cond false st
+      refine ~spec:fenv.g.spec cond false st
   | NBrTable (ts, d) ->
       let _, st = pop st in
       List.iter (fun k -> branch_join frames k st) (d :: ts);
@@ -895,7 +1052,15 @@ and eval_basic fenv st (i : Ast.instr) (id : int) : state option =
   | Ast.GlobalGet _ -> Some (push Top st)
   | Ast.GlobalSet n ->
       let v, st = pop st in
-      Some (if n = 0 then { st with g0 = demote v } else st)
+      if n = 0 then Some { st with g0 = demote v }
+      else begin
+        (* a pointer parked in an ordinary global can be reloaded —
+           and freed — anywhere; for the stack-pointer global the
+           demoted value keeps its provenance above *)
+        escape_site ~live:st v;
+        arena_taint_aval v;
+        Some st
+      end
   | Ast.I32Const c -> Some (push (Int (Interval.const (Int64.of_int32 c))) st)
   | Ast.I64Const c -> Some (push (Int (Interval.const c)) st)
   | Ast.F32Const _ | Ast.F64Const _ -> Some (push Top st)
@@ -1002,7 +1167,8 @@ and eval_basic fenv st (i : Ast.instr) (id : int) : state option =
   | Ast.Store (ty, pack, ma) ->
       let v, st = pop st in
       let addr, st = pop st in
-      escape_site v; (* a pointer written to memory escapes the analysis *)
+      escape_site ~live:st v; (* a pointer written to memory escapes *)
+      arena_taint_aval v; (* and its tag bits can come back untracked *)
       let len = access_len ty pack in
       let eff = addr_plus addr ma.Ast.offset in
       check_access fenv st ~id ~addr:eff ~len:(Interval.const len)
@@ -1040,10 +1206,15 @@ and eval_basic fenv st (i : Ast.instr) (id : int) : state option =
         | _ -> (heap_key fenv.path id, Heap)
       in
       let site =
-        find_site g ~key ~kind ~path:fenv.path ~instr:id ~size
+        find_site g ~key ~kind ~path:fenv.path ~instr:id
+          ~lidx:(cur_lidx fenv) ~size
       in
+      (* a blacklisted function's body may run in contexts this
+         analysis never saw, so its allocations keep real tag writes *)
+      if Array.length fenv.verdict_row = 0 then site.s_arena_unsafe <- true;
       (match IMap.find_opt site.s_id st.live with
       | Some Live -> site.s_multi <- true (* loop allocation: ≥2 live *)
+      | Some (Freed | MaybeFreed) -> site.s_reincarnated <- true
       | _ -> ());
       let live = IMap.add site.s_id Live st.live in
       Some (push (Ptr { site; off = Interval.const 0L; tagged = true })
@@ -1060,7 +1231,7 @@ and eval_basic fenv st (i : Ast.instr) (id : int) : state option =
           let size = Option.value (iv_of lenv) ~default:Interval.top in
           let site =
             find_site g ~key:(stack_key fenv.path foff) ~kind:Stack
-              ~path:fenv.path ~instr:id ~size
+              ~path:fenv.path ~instr:id ~lidx:(cur_lidx fenv) ~size
           in
           (match IMap.find_opt site.s_id st.live with
           | Some Live -> site.s_multi <- true
@@ -1085,13 +1256,42 @@ and eval_basic fenv st (i : Ast.instr) (id : int) : state option =
               | None -> Some st)
           | None -> Some st)
       | Ptr { site; _ } ->
+          (* an explicit retag writes the tag plane: the site's tag
+             writes are real, so it cannot move to the arena *)
+          site.s_arena_unsafe <- true;
           Some { st with live = IMap.add site.s_id Live st.live }
-      | _ -> Some { st with live = havoc_live st.live })
+      | v ->
+          arena_taint_aval v;
+          Some { st with live = havoc_live st.live })
   | Ast.SegmentFree _ -> (
       let _, st = pop st in
       let ptr, st = pop st in
+      let g = fenv.g in
+      (* record what this free instruction can free: the arena fixpoint
+         in {!Escape} lowers a free only when every site reaching it is
+         an arena candidate and nothing about the free is dirty *)
+      let fkey = (cur_lidx fenv, id) in
+      let sites_r, dirty_r =
+        match Hashtbl.find_opt g.frees fkey with
+        | Some r -> r
+        | None ->
+            let r = (ref [], ref false) in
+            Hashtbl.add g.frees fkey r;
+            r
+      in
+      if Array.length fenv.verdict_row = 0 then dirty_r := true;
       match ptr with
       | Ptr { site; _ } ->
+          if g.recording then begin
+            if not (List.memq site !sites_r) then
+              sites_r := site :: !sites_r;
+            (match IMap.find_opt site.s_id st.live with
+            | Some Live -> ()
+            | _ ->
+                (* freeing a maybe-freed pointer: the runtime
+                   matches-check is load-bearing here *)
+                dirty_r := true)
+          end;
           (match IMap.find_opt site.s_id st.live with
           | Some Freed ->
               diag fenv ~id ~severity:(sev_of site)
@@ -1103,23 +1303,53 @@ and eval_basic fenv st (i : Ast.instr) (id : int) : state option =
           | _ -> ());
           let l = if site.s_multi then MaybeFreed else Freed in
           Some { st with live = IMap.add site.s_id l st.live }
-      | Sp _ | TaggedSp _ -> Some st
-      | _ -> Some { st with live = havoc_live st.live })
+      | Sp _ | TaggedSp _ ->
+          dirty_r := true;
+          Some st
+      | v ->
+          dirty_r := true;
+          arena_taint_aval v;
+          Some { st with live = havoc_live st.live })
   | Ast.PointerSign | Ast.PointerAuth ->
       (* signing scrambles the high bits; conservatively forget the
-         value so elision never survives a PAC round-trip *)
-      let _, st = pop st in
+         value so elision never survives a PAC round-trip. The tag
+         survives a sign/auth round-trip inside the now-opaque value,
+         so the site's tag plane must stay real. *)
+      let v, st = pop st in
+      arena_taint_aval v;
       Some (push Top st)
   | Ast.Call f -> handle_call fenv st ~id f
-  | Ast.CallIndirect ti ->
+  | Ast.CallIndirect ti -> (
       let _, st = pop st in
-      let ft = Ast.func_type_of fenv.g.m ti in
-      let args, st = popn st (List.length ft.Types.params) in
-      List.iter escape_site args;
-      (* anything in the table may run: every live segment may be
-         freed, so nothing downstream is provably live *)
-      let live = havoc_live st.live in
-      Some (push_n Top (List.length ft.Types.results) { st with live })
+      let g = fenv.g in
+      let ft = Ast.func_type_of g.m ti in
+      let nparams = List.length ft.Types.params in
+      let args_topfirst, st = popn st nparams in
+      let args = List.rev args_topfirst in
+      let nresults = List.length ft.Types.results in
+      (* the join of the summaries of every type-matching function in
+         the table is a sound stand-in for whichever one runs *)
+      match Summary.indirect_join g.cg g.summaries ti with
+      | Some s when s.Summary.sm_params = nparams ->
+          List.iteri
+            (fun i v ->
+              if s.Summary.sm_escapes.(i) then escape_site v;
+              if
+                s.Summary.sm_used.(i)
+                && (s.Summary.sm_touches_mem || s.Summary.sm_mutates)
+              then arena_taint_aval v)
+            args;
+          let live =
+            if s.Summary.sm_mutates then havoc_live st.live else st.live
+          in
+          Some (push_n Top nresults { st with live })
+      | _ ->
+          (* empty table set (a trapping call at runtime) or an arity
+             mismatch: fall back to the blanket havoc *)
+          List.iter escape_site args;
+          List.iter arena_taint_aval args;
+          let live = havoc_live st.live in
+          Some (push_n Top nresults { st with live }))
 
 (* A [strcpy] whose source is a constant address into a data segment
    has a statically known length: scan for the NUL and check the
@@ -1163,9 +1393,30 @@ and handle_call fenv st ~id fidx =
     Some (push_n Top nresults st)
   end
   else if List.mem fidx fenv.active || fenv.depth >= 12 then begin
-    (* recursion (or a pathological call chain): havoc *)
-    List.iter escape_site args;
-    Some (push_n Top nresults { st with live = havoc_live st.live })
+    (* recursion (or a pathological call chain): inlining gives up and
+       the callee's interprocedural summary takes over. Only arguments
+       the callee can actually remember escape; liveness survives
+       unless the callee (transitively) frees or retags; a pointer the
+       callee may dereference loses arena candidacy, because the
+       summarized access is not covered by any elision verdict. *)
+    let s = g.summaries.(fidx) in
+    List.iteri
+      (fun i v ->
+        if i < s.Summary.sm_params then begin
+          if s.Summary.sm_escapes.(i) then escape_site v;
+          (* a summarized callee may access — or free — the pointee at
+             instructions no verdict covers, so its tag plane stays *)
+          if
+            s.Summary.sm_used.(i)
+            && (s.Summary.sm_touches_mem || s.Summary.sm_mutates)
+          then arena_taint_aval v
+        end
+        else escape_site v)
+      args;
+    let live =
+      if s.Summary.sm_mutates then havoc_live st.live else st.live
+    in
+    Some (push_n Top nresults { st with live })
   end
   else
     let path = Printf.sprintf "%s#%d>%s" fenv.path id name in
@@ -1195,6 +1446,7 @@ and analyze_func g ~path ~active ~depth ~root fidx args live g0 =
       g;
       path;
       verdict_row = (if g.blacklist.(lidx) then [||] else g.verdicts.(lidx));
+      bverdict_row = (if g.blacklist.(lidx) then [||] else g.bverdicts.(lidx));
       active;
       depth;
     }
@@ -1222,6 +1474,7 @@ and analyze_func g ~path ~active ~depth ~root fidx args live g0 =
           (fun s ->
             if
               s.s_kind = Heap && s.s_path = path && (not s.s_escaped)
+              && (not s.s_escaped_dead)
               && (not s.s_multi)
               && (not s.s_leaked_reported)
               && not (returned s)
@@ -1252,9 +1505,19 @@ type analysis = {
   a_verdicts : int array array;
       (** per local function, per basic-instruction id:
           0 = never visited, 1 = proven elidable, 2 = not provable *)
+  a_bverdicts : int array array;
+      (** same shape, for the bounds half of the proof alone: a tag
+          verdict of 1 implies a bounds verdict of 1 *)
   a_nbasic : int array;  (** basic-instruction count per local function *)
   a_entry : int option;  (** the analyzed entry function index, if any *)
+  a_sites : site list;  (** every allocation site the analysis tracked *)
+  a_frees : ((int * int) * (site list * bool)) list;
+      (** per [segment.free] instruction (local function idx, basic id):
+          the sites it can free and whether anything made it dirty *)
+  a_spec : bool;  (** analyzed under the speculative execution model *)
 }
+
+let compare_fst (a, _) (b, _) = compare a b
 
 let compare_diag a b =
   match compare a.d_path b.d_path with
@@ -1280,7 +1543,7 @@ let entry_func (m : Ast.module_) =
   | Some i -> Some i
   | None -> ( match exported "_start" with Some i -> Some i | None -> m.start)
 
-let analyze (m : Ast.module_) : analysis =
+let analyze ?(spec = false) (m : Ast.module_) : analysis =
   let n_imports = Ast.num_imports m in
   let funcs = Array.of_list m.funcs in
   let ftypes =
@@ -1296,6 +1559,7 @@ let analyze (m : Ast.module_) : analysis =
         ns)
       funcs
   in
+  let cg = Callgraph.build m in
   let g =
     {
       m;
@@ -1306,6 +1570,11 @@ let analyze (m : Ast.module_) : analysis =
       nbasic;
       blacklist = compute_blacklist m funcs n_imports;
       verdicts = Array.map (fun n -> Array.make n 0) nbasic;
+      bverdicts = Array.map (fun n -> Array.make n 0) nbasic;
+      cg;
+      summaries = Summary.compute cg;
+      frees = Hashtbl.create 64;
+      spec;
       sites = Hashtbl.create 64;
       all_sites = [];
       site_count = 0;
@@ -1341,8 +1610,16 @@ let analyze (m : Ast.module_) : analysis =
   {
     a_diags = List.sort compare_diag g.diags;
     a_verdicts = g.verdicts;
+    a_bverdicts = g.bverdicts;
     a_nbasic = g.nbasic;
     a_entry = entry;
+    a_sites = g.all_sites;
+    a_frees =
+      List.sort compare_fst
+        (Hashtbl.fold
+           (fun k (sites_r, dirty_r) acc -> (k, (!sites_r, !dirty_r)) :: acc)
+           g.frees []);
+    a_spec = spec;
   }
 
 let severity_string = function Definite -> "definite" | Possible -> "possible"

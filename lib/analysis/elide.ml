@@ -1,23 +1,49 @@
 (** Check-elision planning: turn {!Absint} verdicts into the
     per-function bitsets {!Wasm.Code.prepare} consumes.
 
-    A bit is set only for verdict 1 — an access proven in-bounds on a
-    definitely-live, single-allocation segment in {e every} analyzed
-    context. Unvisited accesses (verdict 0: dead code, or functions
-    reachable from the indirect-call table) stay checked. *)
+    A tag bit is set only for verdict 1 — an access proven in-bounds on
+    a definitely-live, single-allocation segment in {e every} analyzed
+    context. A bounds bit needs only the in-segment half of the proof
+    (a successfully created segment lies inside linear memory), so the
+    tag set is a subset of the bounds set and the runtime keeps three
+    access shapes: checked, tag-elided, fully elided. Unvisited
+    accesses (verdict 0: dead code, or functions reachable only from
+    the indirect-call table) stay checked.
+
+    [~spec_safe] intersects the verdicts with a second analysis run
+    under the Swivel-style speculation model ({!Absint.analyze}
+    [~spec:true]): branch refinement is disabled there, so a proof that
+    leaned on a bounds-check-style branch does not survive and the
+    corresponding runtime check stays. [~arena] additionally runs
+    {!Escape} over the resulting tag plan to lower non-escaping
+    [segment.new]/[segment.free] pairs to tag-write-free form. *)
 
 type plan = {
   bitsets : Bytes.t array;  (** per local function, indexed like the module *)
+  bbitsets : Bytes.t array;
+      (** bounds-elision bits: a superset of [bitsets] per function *)
+  arena : Bytes.t array;
+      (** arena bits for [segment.new]/[segment.free] ({!Escape}) *)
   proven : int;  (** accesses whose granule check will be skipped *)
+  bproven : int;  (** accesses whose span check will be skipped *)
   considered : int;  (** accesses the analysis visited *)
+  spec_unsafe : int;
+      (** accesses provable architecturally but not under speculation *)
+  arena_sites : int;  (** allocation sites lowered to the arena *)
+  arena_news : int;  (** [segment.new] instructions losing tag writes *)
+  arena_frees : int;  (** [segment.free] instructions losing tag writes *)
 }
 
-let of_analysis (a : Absint.analysis) : plan =
+(* Verdict meet across two runs: unprovable (2) dominates, proven (1)
+   survives only if no run refuted it. *)
+let meet_rows a b = Array.map2 (fun ra rb -> Array.map2 max ra rb) a b
+
+let bitsets_of_rows nbasic rows =
   let proven = ref 0 and considered = ref 0 in
   let bitsets =
     Array.mapi
       (fun i row ->
-        let n = a.Absint.a_nbasic.(i) in
+        let n = nbasic.(i) in
         let any = ref false in
         let b = Bytes.make ((n + 7) / 8) '\000' in
         Array.iteri
@@ -32,8 +58,48 @@ let of_analysis (a : Absint.analysis) : plan =
             end)
           row;
         if !any then b else Bytes.empty)
-      a.Absint.a_verdicts
+      rows
   in
-  { bitsets; proven = !proven; considered = !considered }
+  (bitsets, !proven, !considered)
 
-let plan (m : Wasm.Ast.module_) : plan = of_analysis (Absint.analyze m)
+let count_spec_unsafe rows met =
+  let n = ref 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun id v -> if v = 1 && met.(i).(id) <> 1 then incr n) row)
+    rows;
+  !n
+
+let of_analysis ?spec_analysis ?(arena = false) (a : Absint.analysis) : plan =
+  let tag_rows, bounds_rows, spec_unsafe =
+    match spec_analysis with
+    | None -> (a.Absint.a_verdicts, a.Absint.a_bverdicts, 0)
+    | Some (sp : Absint.analysis) ->
+        let tr = meet_rows a.Absint.a_verdicts sp.Absint.a_verdicts in
+        let br = meet_rows a.Absint.a_bverdicts sp.Absint.a_bverdicts in
+        (tr, br, count_spec_unsafe a.Absint.a_verdicts tr)
+  in
+  let bitsets, proven, considered =
+    bitsets_of_rows a.Absint.a_nbasic tag_rows
+  in
+  let bbitsets, bproven, _ = bitsets_of_rows a.Absint.a_nbasic bounds_rows in
+  let esc = if arena then Escape.compute a ~bitsets else Escape.no_arena in
+  {
+    bitsets;
+    bbitsets;
+    arena = esc.Escape.arena;
+    proven;
+    bproven;
+    considered;
+    spec_unsafe;
+    arena_sites = esc.Escape.sites_arena;
+    arena_news = esc.Escape.news;
+    arena_frees = esc.Escape.frees;
+  }
+
+let plan ?(spec_safe = false) ?(arena = false) (m : Wasm.Ast.module_) : plan =
+  let a = Absint.analyze m in
+  let spec_analysis =
+    if spec_safe then Some (Absint.analyze ~spec:true m) else None
+  in
+  of_analysis ?spec_analysis ~arena a

@@ -83,6 +83,19 @@ let widen ~prev ~next =
   in
   { lo; hi }
 
+(** Saturating successor/predecessor of a bound: [None] when the step
+    would wrap past the representable extreme. Branch refinement uses
+    these to turn [x < k] into [x <= k-1] — at [k = min_int] the naive
+    [Int64.sub k 1L] wraps around to [max_int] and silently inverts the
+    constraint, so a bound at the edge must widen to infinity instead.
+    The same wrap corrupts widening of [[k, max_int]]-shaped intervals
+    downstream, which is the overflow-boundary bug this guards. *)
+let succ_sat v =
+  if Int64.equal v Int64.max_int then None else Some (Int64.add v 1L)
+
+let pred_sat v =
+  if Int64.equal v Int64.min_int then None else Some (Int64.sub v 1L)
+
 (* Overflow-checked int64 arithmetic: [None] = overflowed. *)
 let add_exact a b =
   let s = Int64.add a b in

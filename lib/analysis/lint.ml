@@ -5,20 +5,60 @@
     strings), untagged pointers flowing into checked accesses, and
     segments leaked on some path.
 
+    [~wspectre] additionally classifies every elidable access under the
+    Swivel-style speculation model: an access whose proof leans on a
+    branch refinement is architecturally safe to elide but {e not} under
+    branch misspeculation — those sites are listed and counted, and the
+    [--no-spec-elide] runtime mode keeps their checks.
+
     Output is fully deterministic (sorted, deduplicated), so it can be
-    golden-diffed in CI. *)
+    golden-diffed in CI — as text ({!to_lines}) or JSON ({!to_json},
+    same ordering). *)
 
 type t = {
   diags : Absint.diag list;
+  spectre : string list;  (** rendered spec-unsafe sites, sorted *)
   definite : int;
   possible : int;
   elide_proven : int;
   elide_considered : int;
+  bounds_proven : int;
+  arena_sites : int;
+  spec_unsafe : int;
+  wspectre : bool;
 }
 
-let run (m : Wasm.Ast.module_) : t =
+let run ?(wspectre = false) (m : Wasm.Ast.module_) : t =
   let a = Absint.analyze m in
-  let p = Elide.of_analysis a in
+  let p = Elide.of_analysis ~arena:true a in
+  let spectre, spec_unsafe =
+    if not wspectre then ([], 0)
+    else begin
+      let sp = Absint.analyze ~spec:true m in
+      let met = Elide.meet_rows a.Absint.a_verdicts sp.Absint.a_verdicts in
+      let name i =
+        match (List.nth m.Wasm.Ast.funcs i).Wasm.Ast.fname with
+        | Some n -> n
+        | None -> Printf.sprintf "f%d" (Wasm.Ast.num_imports m + i)
+      in
+      let sites = ref [] in
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun id v ->
+              if v = 1 && met.(i).(id) <> 1 then
+                sites :=
+                  Printf.sprintf
+                    "spectre: %s: access %d elidable architecturally but \
+                     unsafe under speculation"
+                    (name i) id
+                  :: !sites)
+            row)
+        a.Absint.a_verdicts;
+      let sorted = List.sort_uniq compare !sites in
+      (sorted, List.length sorted)
+    end
+  in
   let definite, possible =
     List.fold_left
       (fun (d, po) (x : Absint.diag) ->
@@ -29,10 +69,15 @@ let run (m : Wasm.Ast.module_) : t =
   in
   {
     diags = a.Absint.a_diags;
+    spectre;
     definite;
     possible;
     elide_proven = p.Elide.proven;
     elide_considered = p.Elide.considered;
+    bounds_proven = p.Elide.bproven;
+    arena_sites = p.Elide.arena_sites;
+    spec_unsafe;
+    wspectre;
   }
 
 let clean t = t.diags = []
@@ -41,10 +86,79 @@ let clean t = t.diags = []
     format [cage_lint] prints and the lint golden pins. *)
 let to_lines t =
   List.map Absint.diag_to_string t.diags
+  @ t.spectre
   @ [
-      Printf.sprintf "%d definite, %d possible; %d/%d checked accesses elidable"
-        t.definite t.possible t.elide_proven t.elide_considered;
+      Printf.sprintf
+        "%d definite, %d possible; %d/%d checked accesses elidable, %d \
+         span-provable; %d allocation sites arena-lowerable"
+        t.definite t.possible t.elide_proven t.elide_considered t.bounds_proven
+        t.arena_sites;
     ]
+  @ (if t.wspectre then
+       [
+         Printf.sprintf
+           "%d elisions unsafe under speculation (kept by --no-spec-elide)"
+           t.spec_unsafe;
+       ]
+     else [])
 
 let pp ppf t =
   List.iter (fun l -> Format.fprintf ppf "%s@." l) (to_lines t)
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_string_list b key items ~indent =
+  Buffer.add_string b (Printf.sprintf "%s\"%s\": [" indent key);
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n%s  \"" indent);
+      json_escape b s;
+      Buffer.add_char b '"')
+    items;
+  if items <> [] then Buffer.add_string b (Printf.sprintf "\n%s" indent);
+  Buffer.add_char b ']'
+
+(** The whole report as stable, pretty-printed JSON: diagnostics and
+    spectre sites in exactly {!to_lines}' order, then a summary object
+    with fixed key order — golden-diffable like the text path. *)
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  json_string_list b "diagnostics"
+    (List.map Absint.diag_to_string t.diags)
+    ~indent:"  ";
+  Buffer.add_string b ",\n";
+  json_string_list b "spectre" t.spectre ~indent:"  ";
+  Buffer.add_string b ",\n  \"summary\": {";
+  let field i (k, v) =
+    if i > 0 then Buffer.add_char b ',';
+    Buffer.add_string b (Printf.sprintf "\n    \"%s\": %d" k v)
+  in
+  List.iteri field
+    [
+      ("definite", t.definite);
+      ("possible", t.possible);
+      ("elide_proven", t.elide_proven);
+      ("elide_considered", t.elide_considered);
+      ("bounds_proven", t.bounds_proven);
+      ("arena_sites", t.arena_sites);
+      ("spec_unsafe", t.spec_unsafe);
+    ];
+  Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b

@@ -49,19 +49,26 @@ let region_tag t ~addr ~len =
   in
   all_same first
 
-let set_region t ~addr ~len tag =
+(* The validity conditions of [set_region], without the write — the
+   arena-lowered [segment.new] keeps the exact trap behaviour while
+   skipping the tag-plane traffic, so the two must never drift. *)
+let validate_region t ~addr ~len =
   if not (is_aligned addr) then Error "segment address not 16-byte aligned"
   else if len < 0L then Error "negative segment length"
   else if Int64.rem len 16L <> 0L then
     Error "segment length not a multiple of 16"
   else if not (in_bounds t ~addr ~len) then
     Error "segment out of linear memory bounds"
-  else begin
-    let first = granule_of_addr addr in
-    let count = Int64.to_int (Int64.div len 16L) in
-    Bytes.fill t.tags first count (Char.chr (Tag.to_int tag));
-    Ok ()
-  end
+  else Ok ()
+
+let set_region t ~addr ~len tag =
+  match validate_region t ~addr ~len with
+  | Error _ as e -> e
+  | Ok () ->
+      let first = granule_of_addr addr in
+      let count = Int64.to_int (Int64.div len 16L) in
+      Bytes.fill t.tags first count (Char.chr (Tag.to_int tag));
+      Ok ()
 
 let matches t ~addr ~len tag =
   let len = Int64.max len 1L in

@@ -39,6 +39,11 @@ val region_tag : t -> addr:int64 -> len:int64 -> Tag.t option
     function), [None] if tags differ. [len = 0] checks the granule at
     [addr]. @raise Invalid_argument if out of bounds. *)
 
+val validate_region : t -> addr:int64 -> len:int64 -> (unit, string) result
+(** The validity conditions of {!set_region} without the write — same
+    error strings. The arena-lowered [segment.new] uses this to keep
+    trap behaviour identical while skipping the tag-plane traffic. *)
+
 val set_region : t -> addr:int64 -> len:int64 -> Tag.t -> (unit, string) result
 (** Retag the region ([s with tag(i, addr, len) = t]). Fails if [addr]
     is not 16-byte aligned, [len] is negative or not a multiple of 16,

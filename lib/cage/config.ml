@@ -35,6 +35,17 @@ type t = {
       (** skip MTE granule checks the static analyzer proved redundant
           (accesses in-bounds on definitely-live segments); off by
           default in every Table 3 variant *)
+  elide_bounds : bool;
+      (** full-check elision: also skip the sandbox span check where the
+          analyzer proved the access inside a created segment (which
+          itself lies inside linear memory); requires [elide_checks] *)
+  arena : bool;
+      (** escape-driven tag-traffic elision: lower non-escaping
+          [segment.new]/[segment.free] pairs to tag-write-free arena
+          form; requires [elide_checks] *)
+  spec_safe_only : bool;
+      (** keep every check that is provable architecturally but not
+          under the Swivel-style speculation model ([--no-spec-elide]) *)
   engine : Wasm.Instance.engine;
       (** which execution engine drives instances of this variant;
           [Threaded] everywhere (see {!with_engine} to force the
@@ -51,6 +62,9 @@ let baseline_wasm32 = {
   ptr_auth = false;
   mte_mode = Arch.Mte.Disabled;
   elide_checks = false;
+  elide_bounds = false;
+  arena = false;
+  spec_safe_only = false;
   engine = Wasm.Instance.Threaded;
 }
 
@@ -62,6 +76,9 @@ let baseline_wasm64 = {
   ptr_auth = false;
   mte_mode = Arch.Mte.Disabled;
   elide_checks = false;
+  elide_bounds = false;
+  arena = false;
+  spec_safe_only = false;
   engine = Wasm.Instance.Threaded;
 }
 
@@ -73,6 +90,9 @@ let mem_safety = {
   ptr_auth = false;
   mte_mode = Arch.Mte.Sync;
   elide_checks = false;
+  elide_bounds = false;
+  arena = false;
+  spec_safe_only = false;
   engine = Wasm.Instance.Threaded;
 }
 
@@ -84,6 +104,9 @@ let ptr_auth = {
   ptr_auth = true;
   mte_mode = Arch.Mte.Disabled;
   elide_checks = false;
+  elide_bounds = false;
+  arena = false;
+  spec_safe_only = false;
   engine = Wasm.Instance.Threaded;
 }
 
@@ -95,6 +118,9 @@ let sandboxing = {
   ptr_auth = false;
   mte_mode = Arch.Mte.Sync;
   elide_checks = false;
+  elide_bounds = false;
+  arena = false;
+  spec_safe_only = false;
   engine = Wasm.Instance.Threaded;
 }
 
@@ -106,6 +132,9 @@ let full = {
   ptr_auth = true;
   mte_mode = Arch.Mte.Sync;
   elide_checks = false;
+  elide_bounds = false;
+  arena = false;
+  spec_safe_only = false;
   engine = Wasm.Instance.Threaded;
 }
 
@@ -113,6 +142,18 @@ let full = {
     unchanged so reports and golden files keyed by configuration name
     stay comparable with and without elision). *)
 let with_elision t = { t with elide_checks = true }
+
+(** Full-check elision on top of tag elision: accesses whose span is
+    also proven lose the sandbox bounds compare too. *)
+let with_bounds_elision t = { t with elide_checks = true; elide_bounds = true }
+
+(** Escape-driven tag-traffic elision: non-escaping segments allocate
+    through the tag-write-free arena form. *)
+let with_arena t = { t with elide_checks = true; arena = true }
+
+(** Keep checks that only an architectural (non-speculative) proof
+    would elide — the [--no-spec-elide] deployment mode. *)
+let with_spec_safe_only t = { t with spec_safe_only = true }
 
 (** The same variant driven by a specific execution engine (the name is
     unchanged: engine choice must never alter observable results, only

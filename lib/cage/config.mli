@@ -24,6 +24,17 @@ type t = {
   elide_checks : bool;
       (** skip MTE granule checks the static analyzer proved redundant;
           off in every Table 3 variant (see {!with_elision}) *)
+  elide_bounds : bool;
+      (** full-check elision: also skip the sandbox span check where the
+          span is proven inside a created segment (see
+          {!with_bounds_elision}) *)
+  arena : bool;
+      (** escape-driven tag-traffic elision: lower non-escaping
+          [segment.new]/[segment.free] to tag-write-free arena form (see
+          {!with_arena}) *)
+  spec_safe_only : bool;
+      (** keep checks provable architecturally but not under the
+          Swivel-style speculation model (see {!with_spec_safe_only}) *)
   engine : Wasm.Instance.engine;
       (** which execution engine drives instances of this variant;
           [Threaded] in every named variant (see {!with_engine}) *)
@@ -52,6 +63,18 @@ val full : t
 val with_elision : t -> t
 (** The same variant with static check elision switched on. The name is
     kept so reports keyed by configuration stay comparable. *)
+
+val with_bounds_elision : t -> t
+(** Tag elision plus full-check elision: accesses whose span is proven
+    inside a created segment lose the bounds compare too. *)
+
+val with_arena : t -> t
+(** Tag elision plus escape-driven tag-traffic elision: non-escaping
+    segments allocate through the tag-write-free arena form. *)
+
+val with_spec_safe_only : t -> t
+(** Keep every check whose proof does not survive the speculation
+    model — the [--no-spec-elide] deployment mode. *)
 
 val with_engine : Wasm.Instance.engine -> t -> t
 (** The same variant driven by a specific execution engine. Engine

@@ -89,6 +89,10 @@ let expansion (cfg : Config.t) (m : Wasm.Meter.t) : (Insn.kind * float) list =
         (Insn.Irg, news);
         (Insn.Alu, 2.0 *. news);
         (Insn.Stzg, f m.seg_new_granules);
+        (* arena-lowered segment.new still zeroes its payload, but with
+           plain stores instead of the stzg tag-write pairs; the
+           lowered free's per-granule retag disappears entirely *)
+        (Insn.Store, f m.arena_new_granules);
         (* segment.set_tag: addg-style tag transfer + stg per granule *)
         (Insn.Addg, f m.seg_set_tag);
         (Insn.Stg, f m.seg_set_tag_granules);
@@ -138,14 +142,17 @@ let cycles (cpu : Cpu_model.t) (cfg : Config.t) (m : Wasm.Meter.t) : float =
   in
   let accesses = float_of_int (Wasm.Meter.mem_accesses m) in
   (* Accesses whose MTE granule check was statically elided pay no tag
-     check; the software *bounds* component is never elided, so the
-     Software_bounds path stays on the full access count. *)
+     check; the software bounds compare survives unless the span proof
+     also held ([elided_bounds] — full-check elision). *)
   let tag_checked =
     Float.max 0.0 (accesses -. float_of_int m.elided_checks)
   in
+  let bounds_checked =
+    Float.max 0.0 (accesses -. float_of_int m.elided_bounds)
+  in
   let check_cycles =
     match cfg.sandbox with
-    | Config.Software_bounds -> accesses *. cpu.bounds_check_cost
+    | Config.Software_bounds -> bounds_checked *. cpu.bounds_check_cost
     | Config.Mte_sandbox -> tag_checked *. cpu.mte_check_cost
     | Config.Guard_pages -> 0.0
   in

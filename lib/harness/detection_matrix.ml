@@ -245,13 +245,20 @@ let default_seed = 7
     every configuration gets static check elision switched on — the
     classifications (and therefore the golden rendering) must come out
     identical, because elision only ever skips checks on accesses the
-    analyzer proved cannot fault. *)
-let run ?(seed = default_seed) ?(elide = false)
+    analyzer proved cannot fault. [~full:true] additionally arms bounds
+    elision and arena lowering (the interprocedural consumers); the
+    same byte-identity must hold. *)
+let run ?(seed = default_seed) ?(elide = false) ?(full = false)
     ?(engine = Wasm.Instance.Threaded) () =
   compile_cache := [];
   reference_cache := [];
   let configs =
-    if elide then List.map Cage.Config.with_elision configs else configs
+    if full then
+      List.map
+        (fun c -> Cage.Config.with_arena (Cage.Config.with_bounds_elision c))
+        configs
+    else if elide then List.map Cage.Config.with_elision configs
+    else configs
   in
   let configs = List.map (Cage.Config.with_engine engine) configs in
   let index = ref 0 in

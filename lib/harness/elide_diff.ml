@@ -5,16 +5,28 @@
     configuration — once normally, once with {!Cage.Config.with_elision}
     — and both results must match each other {e and} the reference
     interpreter. The elided run must also agree on the load/store event
-    counts (elision skips the granule check, never the access), and
-    across the whole sweep at least one check must actually have been
-    elided, otherwise the gate is testing nothing. *)
+    counts (elision skips the granule check, never the access) and, for
+    completed runs, on the final linear-memory digest. Across the whole
+    sweep at least one check must actually have been elided, otherwise
+    the gate is testing nothing.
+
+    [~full:true] arms the whole analysis pipeline on the elided side:
+    full-check elision ({!Cage.Config.with_bounds_elision}) and
+    escape-driven arena lowering ({!Cage.Config.with_arena}) — the
+    differential then also proves that dropping span checks and
+    tag-plane writes preserves outcomes, trap messages and memory
+    images. *)
 
 type report = {
   ed_config : Cage.Config.t;
   ed_seeds : int;
+  ed_full : bool;              (** bounds + arena elision armed? *)
   ed_failures : string list;   (** one line per divergence, oldest first *)
   ed_elided : int;             (** total granule checks skipped *)
+  ed_bounds_elided : int;      (** total span checks skipped *)
+  ed_tag_writes : int;         (** tag-plane granule writes skipped *)
   ed_elidable_static : int;    (** accesses the analyzer proved, summed *)
+  ed_arena_static : int;       (** allocation sites the analyzer lowered *)
 }
 
 type outcome = Value of int32 | Trap of string
@@ -23,31 +35,45 @@ let outcome_to_string = function
   | Value v -> Printf.sprintf "%ld" v
   | Trap m -> Printf.sprintf "trap(%s)" m
 
+(* A trap unwinds out of [Libc.Run.run] before the instance surfaces,
+   so the memory digest exists only for completed runs; trap identity
+   is compared through the outcome instead. *)
 let run_once ~cfg ~seed source =
   let meter = Wasm.Meter.create () in
-  let outcome =
-    try Value (Libc.Run.ret_i32 (Libc.Run.run ~cfg ~meter ~seed source))
-    with Wasm.Instance.Trap msg -> Trap msg
-  in
-  (outcome, meter)
+  try
+    let r = Libc.Run.run ~cfg ~meter ~seed source in
+    let digest =
+      Digest.to_hex
+        (Digest.string
+           (Wasm.Memory.to_string (Wasm.Instance.memory r.Libc.Run.instance)))
+    in
+    (Value (Libc.Run.ret_i32 r), meter, Some digest)
+  with Wasm.Instance.Trap msg -> (Trap msg, meter, None)
 
-let run ?(cfg = Cage.Config.mem_safety) ?(count = 200) ?(seed0 = 0) () =
+let run ?(cfg = Cage.Config.mem_safety) ?(count = 200) ?(seed0 = 0)
+    ?(full = false) () =
   let failures = ref [] in
   let elided = ref 0 in
+  let belided = ref 0 in
+  let tag_writes = ref 0 in
   let static = ref 0 in
+  let arena_static = ref 0 in
   let fail seed fmt =
     Printf.ksprintf
       (fun m -> failures := Printf.sprintf "seed %d: %s" seed m :: !failures)
       fmt
+  in
+  let elide_of cfg =
+    if full then Cage.Config.with_bounds_elision (Cage.Config.with_arena cfg)
+    else Cage.Config.with_elision cfg
   in
   for i = 0 to count - 1 do
     let seed = seed0 + i in
     let prog = Workloads.Fuzzgen.generate ~seed in
     let source = Workloads.Fuzzgen.render prog in
     let expected = Workloads.Fuzzgen.reference prog in
-    let plain, m0 = run_once ~cfg ~seed source in
-    let elide_cfg = Cage.Config.with_elision cfg in
-    let elid, m1 = run_once ~cfg:elide_cfg ~seed source in
+    let plain, m0, d0 = run_once ~cfg ~seed source in
+    let elid, m1, d1 = run_once ~cfg:(elide_of cfg) ~seed source in
     (match plain with
     | Value v when v <> expected ->
         fail seed "baseline diverged from reference: %ld <> %ld" v expected
@@ -63,7 +89,15 @@ let run ?(cfg = Cage.Config.mem_safety) ?(count = 200) ?(seed0 = 0) () =
       fail seed "elision changed the access counts: %d/%d <> %d/%d"
         m0.Wasm.Meter.loads m0.Wasm.Meter.stores m1.Wasm.Meter.loads
         m1.Wasm.Meter.stores;
-    elided := !elided + m1.Wasm.Meter.elided_checks
+    (match (d0, d1) with
+    | Some a, Some b when a <> b ->
+        fail seed "elision changed the memory image: %s <> %s" a b
+    | _ -> ());
+    elided := !elided + m1.Wasm.Meter.elided_checks;
+    belided := !belided + m1.Wasm.Meter.elided_bounds;
+    tag_writes :=
+      !tag_writes + m1.Wasm.Meter.arena_new_granules
+      + m1.Wasm.Meter.arena_free_granules
   done;
   (* The static side of the ledger, for the report only: re-analyze one
      representative module so the summary can show proven/considered. *)
@@ -73,27 +107,39 @@ let run ?(cfg = Cage.Config.mem_safety) ?(count = 200) ?(seed0 = 0) () =
    let compiled =
      Minic.Driver.compile ~opts ~prelude (Workloads.Fuzzgen.render prog)
    in
-   let plan = Analysis.Elide.plan compiled.Minic.Driver.co_module in
-   static := plan.Analysis.Elide.proven);
+   let plan = Analysis.Elide.plan ~arena:full compiled.Minic.Driver.co_module in
+   static := plan.Analysis.Elide.proven;
+   arena_static := plan.Analysis.Elide.arena_sites);
   if !elided = 0 then
     failures :=
       "no check was elided across the whole sweep; the gate is vacuous"
       :: !failures;
+  if full && !belided = 0 then
+    failures :=
+      "no span check was elided across the whole sweep; the full gate is \
+       vacuous" :: !failures;
   {
     ed_config = cfg;
     ed_seeds = count;
+    ed_full = full;
     ed_failures = List.rev !failures;
     ed_elided = !elided;
+    ed_bounds_elided = !belided;
+    ed_tag_writes = !tag_writes;
     ed_elidable_static = !static;
+    ed_arena_static = !arena_static;
   }
 
 let ok r = r.ed_failures = []
 
 let pp ppf r =
   Format.fprintf ppf
-    "@[<v>elide-diff: %d seeds under %s: %s@ elided %d granule checks at \
-     runtime (representative plan: %d accesses proven)@]"
+    "@[<v>elide-diff%s: %d seeds under %s: %s@ elided %d granule checks, %d \
+     span checks, %d tag-plane writes at runtime (representative plan: %d \
+     accesses proven, %d sites arena-lowered)@]"
+    (if r.ed_full then " (full)" else "")
     r.ed_seeds r.ed_config.Cage.Config.name
     (if ok r then "all outcomes identical"
      else Printf.sprintf "%d FAILURES" (List.length r.ed_failures))
-    r.ed_elided r.ed_elidable_static
+    r.ed_elided r.ed_bounds_elided r.ed_tag_writes r.ed_elidable_static
+    r.ed_arena_static

@@ -196,10 +196,16 @@ let compare ?(requests = 100_000) ?(seed = 42)
     - ["degraded"]: nothing escaped, but some requests were lost
       (shed, retry-exhausted) — graceful degradation;
     - ["ESCAPED"]: a corrupted result reached a client. *)
-let served_cell ~engine ~seed ~index site mode =
+let served_cell ~engine ~full ~seed ~index site mode =
   let cfg =
     Cage.Config.with_engine engine
       { Cage.Config.full with Cage.Config.mte_mode = mode }
+  in
+  (* [~full]: serve with the whole interprocedural elision pipeline
+     armed; the served classifications must not move *)
+  let cfg =
+    if full then Cage.Config.with_arena (Cage.Config.with_bounds_elision cfg)
+    else cfg
   in
   let tenant =
     tenant_of_source cfg ~name:"victim" ~weight:1 ~seed:(seed + index)
@@ -225,7 +231,7 @@ let served_cell ~engine ~seed ~index site mode =
 (** One row per fault site, one column per MTE mode, full Cage config
     throughout. Deterministic in [seed] — golden-gated by CI. *)
 let served_matrix ?(seed = Detection_matrix.default_seed)
-    ?(engine = Wasm.Instance.Threaded) () =
+    ?(engine = Wasm.Instance.Threaded) ?(full = false) () =
   let modes = Arch.Mte.[ Disabled; Sync; Async; Asymmetric ] in
   let index = ref 0 in
   List.map
@@ -234,7 +240,7 @@ let served_matrix ?(seed = Detection_matrix.default_seed)
         List.map
           (fun mode ->
             incr index;
-            (mode, served_cell ~engine ~seed ~index:!index site mode))
+            (mode, served_cell ~engine ~full ~seed ~index:!index site mode))
           modes ))
     Arch.Fault_inject.all_sites
 

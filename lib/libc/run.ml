@@ -24,12 +24,21 @@ let run ?(cfg = Cage.Config.baseline_wasm64) ?meter ?(seed = 0)
   let wasi = Wasi.create () in
   let config = Cage.Config.instance_config ?meter ~seed cfg in
   let config =
-    if cfg.Cage.Config.elide_checks then
+    if cfg.Cage.Config.elide_checks then begin
+      let plan =
+        Analysis.Elide.plan
+          ~spec_safe:cfg.Cage.Config.spec_safe_only
+          ~arena:cfg.Cage.Config.arena compiled.co_module
+      in
       {
         config with
-        Wasm.Instance.elide =
-          (Analysis.Elide.plan compiled.co_module).Analysis.Elide.bitsets;
+        Wasm.Instance.elide = plan.Analysis.Elide.bitsets;
+        belide =
+          (if cfg.Cage.Config.elide_bounds then plan.Analysis.Elide.bbitsets
+           else [||]);
+        arena = plan.Analysis.Elide.arena;
       }
+    end
     else config
   in
   let instance =

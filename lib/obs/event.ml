@@ -59,6 +59,18 @@ type t =
   | Check_elided
       (** a load/store whose MTE granule check was skipped because the
           static analyzer proved it in-bounds on a live segment *)
+  | Bounds_elided
+      (** a load/store whose sandbox span check was also skipped: the
+          analyzer proved the span inside a successfully created
+          segment, which by construction lies inside linear memory *)
+  | Tag_writes_elided of { granules : int }
+      (** a [segment.new]/[segment.free] lowered to arena form by the
+          escape analysis: [granules] tag-plane writes skipped *)
+  | Spec_unsafe_elision
+      (** an elision that is architecturally sound but does not survive
+          the Swivel-style speculation model (its proof leans on a
+          refinable branch); reported by the lint, kept checked under
+          [--no-spec-elide] *)
   | Stack_sanitize of {
       total : int;
       instrumented : int;
@@ -103,6 +115,9 @@ let name = function
   | Request_shed _ -> "request-shed"
   | Breaker_trip _ -> "breaker-trip"
   | Check_elided -> "check-elided"
+  | Bounds_elided -> "bounds-elided"
+  | Tag_writes_elided _ -> "tag-writes-elided"
+  | Spec_unsafe_elision -> "spec-unsafe-elision"
   | Stack_sanitize _ -> "stack-sanitize"
   | Code_fuse _ -> "code-fuse"
 
@@ -131,6 +146,9 @@ let cost = function
   | Quarantine_evicted _ -> 0
   | Request_retry _ | Request_shed _ | Breaker_trip _ -> 0
   | Check_elided -> 0  (* the whole point: the check costs nothing *)
+  | Bounds_elided -> 0
+  | Tag_writes_elided _ -> 0  (* savings, not cost *)
+  | Spec_unsafe_elision -> 0
   | Stack_sanitize _ -> 0
   | Code_fuse _ -> 0
 
@@ -176,6 +194,10 @@ let pp ppf ev =
       f "request-shed tenant=%s reason=%s" tenant reason
   | Breaker_trip { tenant } -> f "breaker-trip tenant=%s" tenant
   | Check_elided -> f "check-elided"
+  | Bounds_elided -> f "bounds-elided"
+  | Tag_writes_elided { granules } ->
+      f "tag-writes-elided granules=%d" granules
+  | Spec_unsafe_elision -> f "spec-unsafe-elision"
   | Stack_sanitize { total; instrumented; escaping; unsafe_gep; guards } ->
       f "stack-sanitize slots=%d instrumented=%d escaping=%d unsafe-gep=%d \
          guards=%d"

@@ -179,6 +179,9 @@ type cage = {
   breaker_trips : counter;
   queue_depth : histogram;
   trace_dropped : counter;
+  bounds_elided : counter;
+  tag_writes_elided : counter;
+  spec_unsafe_elisions : counter;
 }
 
 (* Sequential [let]s, not record-field expressions: OCaml evaluates
@@ -326,6 +329,21 @@ let cage () =
     counter r ~help:"Trace-ring records overwritten before export"
       "cage_trace_dropped_total"
   in
+  let bounds_elided =
+    counter r
+      ~help:"Sandbox span checks skipped (full-check elision, statically proven)"
+      "cage_bounds_elided_total"
+  in
+  let tag_writes_elided =
+    counter r
+      ~help:"Tag-plane granule writes skipped by arena-lowered segments"
+      "cage_tag_writes_elided_total"
+  in
+  let spec_unsafe_elisions =
+    counter r
+      ~help:"Elisions architecturally sound but unsafe under speculation"
+      "cage_spec_unsafe_elisions_total"
+  in
   {
     registry = r;
     tag_faults;
@@ -364,6 +382,9 @@ let cage () =
     breaker_trips;
     queue_depth;
     trace_dropped;
+    bounds_elided;
+    tag_writes_elided;
+    spec_unsafe_elisions;
   }
 
 let observe_event m (ev : Event.t) =
@@ -397,6 +418,9 @@ let observe_event m (ev : Event.t) =
   | Request_shed _ -> inc m.requests_shed
   | Breaker_trip _ -> inc m.breaker_trips
   | Check_elided -> inc m.checks_elided
+  | Bounds_elided -> inc m.bounds_elided
+  | Tag_writes_elided { granules } -> inc ~by:granules m.tag_writes_elided
+  | Spec_unsafe_elision -> inc m.spec_unsafe_elisions
   | Stack_sanitize { total; instrumented; escaping; unsafe_gep; guards } ->
       inc ~by:total m.stack_slots;
       inc ~by:instrumented m.stack_instrumented;

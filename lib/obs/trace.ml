@@ -143,7 +143,9 @@ let args_json b (ev : Event.t) =
       field true "tenant" (str tenant);
       field false "reason" (str reason)
   | Breaker_trip { tenant } -> field true "tenant" (str tenant)
-  | Check_elided -> ()
+  | Check_elided | Bounds_elided | Spec_unsafe_elision -> ()
+  | Tag_writes_elided { granules } ->
+      field true "granules" (string_of_int granules)
   | Stack_sanitize { total; instrumented; escaping; unsafe_gep; guards } ->
       field true "total" (string_of_int total);
       field false "instrumented" (string_of_int instrumented);

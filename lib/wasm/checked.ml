@@ -140,6 +140,15 @@ let note_elided (inst : Instance.t) =
   | None -> ());
   if Obs.Hook.enabled () then Obs.Hook.event Obs.Event.Check_elided
 
+(* A bounds-elided access: the analyzer proved the span inside a
+   successfully created segment, and a created segment lies inside
+   linear memory, so the sandbox span check is also redundant. *)
+let note_ebounds (inst : Instance.t) =
+  (match inst.meter with
+  | Some m -> m.Meter.elided_bounds <- m.Meter.elided_bounds + 1
+  | None -> ());
+  if Obs.Hook.enabled () then Obs.Hook.event Obs.Event.Bounds_elided
+
 let meter_load (inst : Instance.t) ~len =
   match inst.meter with
   | Some m ->
@@ -187,16 +196,42 @@ let store_elided (inst : Instance.t) mem ~addr ~len =
   meter_store inst ~len
 
 (** Bounds + tag check + metering for a scalar load of [len] bytes.
-    [~elide:true] skips the tag check (statically proven safe). *)
-let load ?(elide = false) (inst : Instance.t) mem ~addr ~tag ~len =
-  if elide then load_elided inst mem ~addr ~len
-  else load_checked inst mem ~addr ~tag ~len
+    [~elide:true] skips the tag check (statically proven safe);
+    [~ebounds:true] also skips the span check (full-check elision:
+    the access is proven inside a created segment, which is itself
+    inside linear memory). *)
+let load ?(elide = false) ?(ebounds = false) (inst : Instance.t) mem ~addr
+    ~tag ~len =
+  match (elide, ebounds) with
+  | true, true ->
+      note_elided inst;
+      note_ebounds inst;
+      meter_load inst ~len
+  | true, false -> load_elided inst mem ~addr ~len
+  | false, true ->
+      (* bounds proven but the tag is not: the granule check stays,
+         and its tag-plane read is safe precisely because the span is
+         proven in-memory *)
+      note_ebounds inst;
+      check_tags inst Arch.Mte.Load ~addr ~tag ~len:(Int64.of_int len);
+      meter_load inst ~len
+  | false, false -> load_checked inst mem ~addr ~tag ~len
 
 (** Bounds + tag check + metering for a scalar store of [len] bytes.
-    [~elide:true] skips the tag check (statically proven safe). *)
-let store ?(elide = false) (inst : Instance.t) mem ~addr ~tag ~len =
-  if elide then store_elided inst mem ~addr ~len
-  else store_checked inst mem ~addr ~tag ~len
+    [~elide]/[~ebounds] as in {!load}. *)
+let store ?(elide = false) ?(ebounds = false) (inst : Instance.t) mem ~addr
+    ~tag ~len =
+  match (elide, ebounds) with
+  | true, true ->
+      note_elided inst;
+      note_ebounds inst;
+      meter_store inst ~len
+  | true, false -> store_elided inst mem ~addr ~len
+  | false, true ->
+      note_ebounds inst;
+      check_tags inst Arch.Mte.Store ~addr ~tag ~len:(Int64.of_int len);
+      meter_store inst ~len
+  | false, false -> store_checked inst mem ~addr ~tag ~len
 
 (* ------------------------------------------------------------------ *)
 (* Bulk operations                                                     *)

@@ -43,6 +43,16 @@ type func = {
           a set bit means a whole-module analysis proved this load/store
           in-bounds on a definitely-live segment, so the MTE granule
           check may be skipped. [Bytes.empty] = no elision. *)
+  belide : Bytes.t;
+      (** same shape, for the span (bounds) check: a set bit means the
+          access was proven inside a successfully created segment, so
+          the linear-memory bounds check may also be skipped. The tag
+          set is always a subset of this one. *)
+  arena : Bytes.t;
+      (** same shape, over [segment.new]/[segment.free] ids: a set bit
+          means the segment never escapes and every access through it
+          is elided, so the instruction skips its tag-plane writes
+          (and, for free, the matches-check) entirely. *)
 }
 
 let block_arity : Ast.block_type -> int = function
@@ -96,9 +106,15 @@ let elidable elide id =
   && Char.code (Bytes.unsafe_get elide byte) land (1 lsl (id land 7)) <> 0
 
 (** Prepare a function body whose type has [result_arity] results.
-    [elide], when given, is the per-function bitset produced by the
-    static analyzer (see {!elidable}). *)
-let prepare ?(elide = Bytes.empty) ~result_arity (body : Ast.instr list) :
-    func =
+    [elide]/[belide]/[arena], when given, are the per-function bitsets
+    produced by the static analyzer (see {!elidable}). *)
+let prepare ?(elide = Bytes.empty) ?(belide = Bytes.empty)
+    ?(arena = Bytes.empty) ~result_arity (body : Ast.instr list) : func =
   let next = ref 0 in
-  { body = prepare_block next [ result_arity ] body; result_arity; elide }
+  {
+    body = prepare_block next [ result_arity ] body;
+    result_arity;
+    elide;
+    belide;
+    arena;
+  }

@@ -529,6 +529,8 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
     if e then incr n_elided;
     e
   in
+  let belide_of id = Code.elidable code.belide id in
+  let arena_of id = Code.elidable code.arena id in
   (* [Rt.meter_br] against the baked meter: fuel first, then the
      branch counter, exactly the interpreter's order. *)
   let meter_br inst =
@@ -549,11 +551,78 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
      text is [Checked]'s verbatim. The tag check exists only on the
      checked arms, guarded on [enforce_tags] so untagged configs never
      box the address. *)
-  let load_body ~(addr_ty : Types.val_type) ~elide ~len ~(lk : lkind)
+  let load_body ~(addr_ty : Types.val_type) ~elide ~ebounds ~len ~(lk : lkind)
       ~(off : int) ~(src : slotref) ~(dst : slotref) :
       Instance.t Xcode.state -> unit =
-    match (addr_ty, elide) with
-    | Types.I32, true ->
+    (* The fully-elided arms drop the span compare too; the raw memory
+       primitive is still total (it raises), so an analyzer bug degrades
+       to the interpreter's own bounds trap rather than a crash. *)
+    match (addr_ty, elide, ebounds) with
+    | Types.I32, true, true ->
+        fun st ->
+          let inst = st.inst in
+          let mem = gm inst in
+          let addr = (int_of_slot (read_slot st src) land mask32) + off in
+          mtr.Meter.elided_checks <- mtr.Meter.elided_checks + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Check_elided;
+          mtr.Meter.elided_bounds <- mtr.Meter.elided_bounds + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Bounds_elided;
+          mtr.Meter.loads <- mtr.Meter.loads + 1;
+          mtr.Meter.load_bytes <- mtr.Meter.load_bytes + len;
+          write_slot st dst
+            (try do_load lk mem addr
+             with Memory.Out_of_bounds _ | Invalid_argument _ ->
+               Rt.trap "bounds: out of bounds memory access")
+    | Types.I32, false, true ->
+        fun st ->
+          let inst = st.inst in
+          let mem = gm inst in
+          let addr = (int_of_slot (read_slot st src) land mask32) + off in
+          mtr.Meter.elided_bounds <- mtr.Meter.elided_bounds + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Bounds_elided;
+          if inst.enforce_tags then
+            Checked.check_tags_native inst Arch.Mte.Load ~addr
+              ~tag:Arch.Tag.zero ~len;
+          mtr.Meter.loads <- mtr.Meter.loads + 1;
+          mtr.Meter.load_bytes <- mtr.Meter.load_bytes + len;
+          write_slot st dst
+            (try do_load lk mem addr
+             with Memory.Out_of_bounds _ | Invalid_argument _ ->
+               Rt.trap "bounds: out of bounds memory access")
+    | _, true, true ->
+        fun st ->
+          let inst = st.inst in
+          let mem = gm inst in
+          let addr = resolve64p (read_slot st src) off land tag_addr_mask in
+          mtr.Meter.elided_checks <- mtr.Meter.elided_checks + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Check_elided;
+          mtr.Meter.elided_bounds <- mtr.Meter.elided_bounds + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Bounds_elided;
+          mtr.Meter.loads <- mtr.Meter.loads + 1;
+          mtr.Meter.load_bytes <- mtr.Meter.load_bytes + len;
+          write_slot st dst
+            (try do_load lk mem addr
+             with Memory.Out_of_bounds _ | Invalid_argument _ ->
+               Rt.trap "bounds: out of bounds memory access")
+    | _, false, true ->
+        fun st ->
+          let inst = st.inst in
+          let mem = gm inst in
+          let pa = resolve64p (read_slot st src) off in
+          let addr = pa land tag_addr_mask in
+          mtr.Meter.elided_bounds <- mtr.Meter.elided_bounds + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Bounds_elided;
+          if inst.enforce_tags then
+            Checked.check_tags_native inst Arch.Mte.Load ~addr
+              ~tag:(Arch.Tag.of_int (pa lsr 50))
+              ~len;
+          mtr.Meter.loads <- mtr.Meter.loads + 1;
+          mtr.Meter.load_bytes <- mtr.Meter.load_bytes + len;
+          write_slot st dst
+            (try do_load lk mem addr
+             with Memory.Out_of_bounds _ | Invalid_argument _ ->
+               Rt.trap "bounds: out of bounds memory access")
+    | Types.I32, true, false ->
         fun st ->
           let inst = st.inst in
           let mem = gm inst in
@@ -565,7 +634,7 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
           mtr.Meter.loads <- mtr.Meter.loads + 1;
           mtr.Meter.load_bytes <- mtr.Meter.load_bytes + len;
           write_slot st dst (do_load lk mem addr)
-    | Types.I32, false ->
+    | Types.I32, false, false ->
         fun st ->
           let inst = st.inst in
           let mem = gm inst in
@@ -579,7 +648,7 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
           mtr.Meter.loads <- mtr.Meter.loads + 1;
           mtr.Meter.load_bytes <- mtr.Meter.load_bytes + len;
           write_slot st dst (do_load lk mem addr)
-    | _, true ->
+    | _, true, false ->
         fun st ->
           let inst = st.inst in
           let mem = gm inst in
@@ -591,7 +660,7 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
           mtr.Meter.loads <- mtr.Meter.loads + 1;
           mtr.Meter.load_bytes <- mtr.Meter.load_bytes + len;
           write_slot st dst (do_load lk mem addr)
-    | _, false ->
+    | _, false, false ->
         fun st ->
           let inst = st.inst in
           let mem = gm inst in
@@ -608,11 +677,71 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
           mtr.Meter.load_bytes <- mtr.Meter.load_bytes + len;
           write_slot st dst (do_load lk mem addr)
   in
-  let store_body ~(addr_ty : Types.val_type) ~elide ~len ~(sk : skind)
+  let store_body ~(addr_ty : Types.val_type) ~elide ~ebounds ~len ~(sk : skind)
       ~(off : int) ~(src : slotref) ~(vsrc : slotref) :
       Instance.t Xcode.state -> unit =
-    match (addr_ty, elide) with
-    | Types.I32, true ->
+    match (addr_ty, elide, ebounds) with
+    | Types.I32, true, true ->
+        fun st ->
+          let inst = st.inst in
+          let mem = gm inst in
+          let addr = (int_of_slot (read_slot st src) land mask32) + off in
+          mtr.Meter.elided_checks <- mtr.Meter.elided_checks + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Check_elided;
+          mtr.Meter.elided_bounds <- mtr.Meter.elided_bounds + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Bounds_elided;
+          mtr.Meter.stores <- mtr.Meter.stores + 1;
+          mtr.Meter.store_bytes <- mtr.Meter.store_bytes + len;
+          (try do_store sk mem addr (read_slot st vsrc)
+           with Memory.Out_of_bounds _ | Invalid_argument _ ->
+             Rt.trap "bounds: out of bounds memory access")
+    | Types.I32, false, true ->
+        fun st ->
+          let inst = st.inst in
+          let mem = gm inst in
+          let addr = (int_of_slot (read_slot st src) land mask32) + off in
+          mtr.Meter.elided_bounds <- mtr.Meter.elided_bounds + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Bounds_elided;
+          if inst.enforce_tags then
+            Checked.check_tags_native inst Arch.Mte.Store ~addr
+              ~tag:Arch.Tag.zero ~len;
+          mtr.Meter.stores <- mtr.Meter.stores + 1;
+          mtr.Meter.store_bytes <- mtr.Meter.store_bytes + len;
+          (try do_store sk mem addr (read_slot st vsrc)
+           with Memory.Out_of_bounds _ | Invalid_argument _ ->
+             Rt.trap "bounds: out of bounds memory access")
+    | _, true, true ->
+        fun st ->
+          let inst = st.inst in
+          let mem = gm inst in
+          let addr = resolve64p (read_slot st src) off land tag_addr_mask in
+          mtr.Meter.elided_checks <- mtr.Meter.elided_checks + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Check_elided;
+          mtr.Meter.elided_bounds <- mtr.Meter.elided_bounds + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Bounds_elided;
+          mtr.Meter.stores <- mtr.Meter.stores + 1;
+          mtr.Meter.store_bytes <- mtr.Meter.store_bytes + len;
+          (try do_store sk mem addr (read_slot st vsrc)
+           with Memory.Out_of_bounds _ | Invalid_argument _ ->
+             Rt.trap "bounds: out of bounds memory access")
+    | _, false, true ->
+        fun st ->
+          let inst = st.inst in
+          let mem = gm inst in
+          let pa = resolve64p (read_slot st src) off in
+          let addr = pa land tag_addr_mask in
+          mtr.Meter.elided_bounds <- mtr.Meter.elided_bounds + 1;
+          if !Obs.Hook.hook != None then Obs.Hook.event Obs.Event.Bounds_elided;
+          if inst.enforce_tags then
+            Checked.check_tags_native inst Arch.Mte.Store ~addr
+              ~tag:(Arch.Tag.of_int (pa lsr 50))
+              ~len;
+          mtr.Meter.stores <- mtr.Meter.stores + 1;
+          mtr.Meter.store_bytes <- mtr.Meter.store_bytes + len;
+          (try do_store sk mem addr (read_slot st vsrc)
+           with Memory.Out_of_bounds _ | Invalid_argument _ ->
+             Rt.trap "bounds: out of bounds memory access")
+    | Types.I32, true, false ->
         fun st ->
           let inst = st.inst in
           let mem = gm inst in
@@ -624,7 +753,7 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
           mtr.Meter.stores <- mtr.Meter.stores + 1;
           mtr.Meter.store_bytes <- mtr.Meter.store_bytes + len;
           do_store sk mem addr (read_slot st vsrc)
-    | Types.I32, false ->
+    | Types.I32, false, false ->
         fun st ->
           let inst = st.inst in
           let mem = gm inst in
@@ -638,7 +767,7 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
           mtr.Meter.stores <- mtr.Meter.stores + 1;
           mtr.Meter.store_bytes <- mtr.Meter.store_bytes + len;
           do_store sk mem addr (read_slot st vsrc)
-    | _, true ->
+    | _, true, false ->
         fun st ->
           let inst = st.inst in
           let mem = gm inst in
@@ -650,7 +779,7 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
           mtr.Meter.stores <- mtr.Meter.stores + 1;
           mtr.Meter.store_bytes <- mtr.Meter.store_bytes + len;
           do_store sk mem addr (read_slot st vsrc)
-    | _, false ->
+    | _, false, false ->
         fun st ->
           let inst = st.inst in
           let mem = gm inst in
@@ -1547,8 +1676,9 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         let len, lk = load_kind lty pack in
         let off = native_off ma.Ast.offset in
         let elide = elide_of id in
+        let ebounds = belide_of id in
         let body =
-          load_body ~addr_ty ~elide ~len ~lk ~off ~src:(Sop hres)
+          load_body ~addr_ty ~elide ~ebounds ~len ~lk ~off ~src:(Sop hres)
             ~dst:(Sop hres)
         in
         emit1 (fun next st ->
@@ -1564,8 +1694,9 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         let len, sk = store_kind sty pack in
         let off = native_off ma.Ast.offset in
         let elide = elide_of id in
+        let ebounds = belide_of id in
         let body =
-          store_body ~addr_ty ~elide ~len ~sk ~off ~src:(Sop ha)
+          store_body ~addr_ty ~elide ~ebounds ~len ~sk ~off ~src:(Sop ha)
             ~vsrc:(Sop (ha + 1))
         in
         emit1 (fun next st ->
@@ -1693,6 +1824,7 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         pop_ty Types.I64;
         push Types.I64;
         let hres = !h - 1 in
+        let arena = arena_of id in
         emit1 (fun next st ->
             tick st.inst;
             let stk = st.stk in
@@ -1700,7 +1832,7 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
             let l = Xcode.i64_of_slot (Array.unsafe_get stk (p + 1)) in
             let k = Xcode.i64_of_slot (Array.unsafe_get stk p) in
             Array.unsafe_set stk p
-              (Xcode.slot_of_i64 (Rt.segment_new st.inst ~k ~l o));
+              (Xcode.slot_of_i64 (Rt.segment_new ~arena st.inst ~k ~l o));
             next);
         `Live
     | Ast.SegmentSetTag o ->
@@ -1722,13 +1854,14 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         pop_ty Types.I64;
         pop_ty Types.I64;
         let hk = !h in
+        let arena = arena_of id in
         emit1 (fun next st ->
             tick st.inst;
             let stk = st.stk in
             let p = st.opbase + hk in
             let l = Xcode.i64_of_slot (Array.unsafe_get stk (p + 1)) in
             let k = Xcode.i64_of_slot (Array.unsafe_get stk p) in
-            Rt.segment_free st.inst ~k ~l o;
+            Rt.segment_free ~arena st.inst ~k ~l o;
             next);
         `Live
     | Ast.PointerSign ->
@@ -2051,8 +2184,9 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         let len, sk = store_kind sty pack in
         let off = native_off ma.Ast.offset in
         let elide = elide_of sid in
+        let ebounds = belide_of sid in
         let body =
-          store_body ~addr_ty:local_tys.(a) ~elide ~len ~sk ~off ~src:(Sloc a)
+          store_body ~addr_ty:local_tys.(a) ~elide ~ebounds ~len ~sk ~off ~src:(Sloc a)
             ~vsrc:(Sloc bl)
         in
         emit1 (fun next st ->
@@ -2162,8 +2296,9 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         let len, lk = load_kind lty pack in
         let off = native_off ma.Ast.offset in
         let elide = elide_of lid in
+        let ebounds = belide_of lid in
         let body =
-          load_body ~addr_ty:local_tys.(a) ~elide ~len ~lk ~off ~src:(Sloc a)
+          load_body ~addr_ty:local_tys.(a) ~elide ~ebounds ~len ~lk ~off ~src:(Sloc a)
             ~dst:(Sop hres)
         in
         emit1 (fun next st ->
@@ -2434,8 +2569,9 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         let len, sk = store_kind sty pack in
         let off = native_off ma.Ast.offset in
         let elide = elide_of sid in
+        let ebounds = belide_of sid in
         let body =
-          store_body ~addr_ty ~elide ~len ~sk ~off ~src:(Sop ha)
+          store_body ~addr_ty ~elide ~ebounds ~len ~sk ~off ~src:(Sop ha)
             ~vsrc:(Sloc v)
         in
         emit1 (fun next st ->
@@ -2474,8 +2610,9 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         let hadd = hres + 1 in
         let off = native_off ma.Ast.offset in
         let elide = elide_of lid in
+        let ebounds = belide_of lid in
         let body =
-          load_body ~addr_ty:Types.I32 ~elide ~len:8 ~lk:Lk_f64 ~off
+          load_body ~addr_ty:Types.I32 ~elide ~ebounds ~len:8 ~lk:Lk_f64 ~off
             ~src:(Sop hadd) ~dst:(Sop hadd)
         in
         (match fop with
@@ -2572,8 +2709,9 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         let len, sk = store_kind sty pack in
         let off = native_off ma.Ast.offset in
         let elide = elide_of sid in
+        let ebounds = belide_of sid in
         let body =
-          store_body ~addr_ty ~elide ~len ~sk ~off ~src:(Sop ha)
+          store_body ~addr_ty ~elide ~ebounds ~len ~sk ~off ~src:(Sop ha)
             ~vsrc:(Sloc v)
         in
         emit1 (fun next st ->
@@ -2614,8 +2752,9 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         let len, lk = load_kind lty pack in
         let off = native_off ma.Ast.offset in
         let elide = elide_of lid in
+        let ebounds = belide_of lid in
         let body =
-          load_body ~addr_ty:Types.I32 ~elide ~len ~lk ~off ~src:(Sop hres)
+          load_body ~addr_ty:Types.I32 ~elide ~ebounds ~len ~lk ~off ~src:(Sop hres)
             ~dst:(Sop hres)
         in
         emit1 (fun next st ->
@@ -2654,8 +2793,9 @@ let compile ~(m : Ast.module_) ~(name : string) ~(ty : Types.func_type)
         let len, lk = load_kind lty pack in
         let off = native_off ma.Ast.offset in
         let elide = elide_of lid in
+        let ebounds = belide_of lid in
         let body =
-          load_body ~addr_ty ~elide ~len ~lk ~off ~src:(Sop ha)
+          load_body ~addr_ty ~elide ~ebounds ~len ~lk ~off ~src:(Sop ha)
             ~dst:(Sloc j)
         in
         emit1 (fun next st ->
@@ -3018,13 +3158,17 @@ let compile_instance (inst : Instance.t) =
     [cagec --Wfusion] entry point. Returns per-function stats in
     function-index order (local functions only). [elide] is the static
     analyzer's bitset array, as passed to instantiation. *)
-let module_stats ?(elide = [||]) (m : Ast.module_) : Xcode.stats list =
+let module_stats ?(elide = [||]) ?(belide = [||]) ?(arena = [||])
+    (m : Ast.module_) : Xcode.stats list =
   List.mapi
     (fun j (f : Ast.func) ->
       let ty = List.nth m.types f.ftype in
-      let eb = if j < Array.length elide then elide.(j) else Bytes.empty in
+      let row a = if j < Array.length a then a.(j) else Bytes.empty in
       let code =
-        Code.prepare ~elide:eb ~result_arity:(List.length ty.results) f.body
+        Code.prepare ~elide:(row elide) ~belide:(row belide)
+          ~arena:(row arena)
+          ~result_arity:(List.length ty.results)
+          f.body
       in
       let name =
         match f.fname with

@@ -60,8 +60,8 @@ let popn stack n =
    violation and reported as such regardless of tag state), then the
    MTE tag check, then metering. *)
 
-let do_load ?elide (inst : Instance.t) stack (ty : Types.num_type) pack
-    (ma : Ast.memarg) =
+let do_load ?elide ?ebounds (inst : Instance.t) stack (ty : Types.num_type)
+    pack (ma : Ast.memarg) =
   let mem = memory inst in
   let addr, tag = Checked.resolve_addr (pop stack) ma.offset in
   let size =
@@ -69,7 +69,7 @@ let do_load ?elide (inst : Instance.t) stack (ty : Types.num_type) pack
     | None -> ( match ty with I32 | F32 -> 4 | I64 | F64 -> 8)
     | Some (p, _) -> ( match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4)
   in
-  Checked.load ?elide inst mem ~addr ~tag ~len:size;
+  Checked.load ?elide ?ebounds inst mem ~addr ~tag ~len:size;
   let v =
     try
       match (ty, pack) with
@@ -95,8 +95,8 @@ let do_load ?elide (inst : Instance.t) stack (ty : Types.num_type) pack
   in
   push stack v
 
-let do_store ?elide (inst : Instance.t) stack (ty : Types.num_type) pack
-    (ma : Ast.memarg) =
+let do_store ?elide ?ebounds (inst : Instance.t) stack (ty : Types.num_type)
+    pack (ma : Ast.memarg) =
   let mem = memory inst in
   let v = pop stack in
   let addr, tag = Checked.resolve_addr (pop stack) ma.offset in
@@ -105,7 +105,7 @@ let do_store ?elide (inst : Instance.t) stack (ty : Types.num_type) pack
     | None -> ( match ty with I32 | F32 -> 4 | I64 | F64 -> 8)
     | Some p -> ( match p with Ast.Pack8 -> 1 | Pack16 -> 2 | Pack32 -> 4)
   in
-  Checked.store ?elide inst mem ~addr ~tag ~len:size;
+  Checked.store ?elide ?ebounds inst mem ~addr ~tag ~len:size;
   try
     match (ty, pack, v) with
     | I32, None, Values.I32 x -> Memory.store_i32 mem addr x
@@ -132,25 +132,26 @@ let take_branch stack : Code.label -> 'a = function
   | Code.L { depth; arity } -> raise (Branch (depth, popn stack arity))
   | Code.Bad_label n -> trap "branch depth %d out of range" n
 
-(* [elide] is the current function's elision bitset (Code.func.elide),
-   threaded down so the Load/Store dispatch can test its instruction id
-   in O(1); [Bytes.empty] when no analysis ran. *)
-let rec eval (inst : Instance.t) ~depth ~elide locals stack
+(* [fn] is the current prepared function, threaded down so the
+   Load/Store and segment dispatches can test its elision bitsets
+   ([Code.func.elide]/[belide]/[arena]) by instruction id in O(1); all
+   three are [Bytes.empty] when no analysis ran. *)
+let rec eval (inst : Instance.t) ~depth ~(fn : Code.func) locals stack
     (code : Code.instr array) =
-  Array.iter (eval_instr inst ~depth ~elide locals stack) code
+  Array.iter (eval_instr inst ~depth ~fn locals stack) code
 
-and eval_instr (inst : Instance.t) ~depth ~elide locals stack
+and eval_instr (inst : Instance.t) ~depth ~fn locals stack
     (ins : Code.instr) =
   Rt.obs_tick inst;
   match ins with
-  | Code.Basic (i, id) -> eval_basic inst ~depth ~elide locals stack i id
+  | Code.Basic (i, id) -> eval_basic inst ~depth ~fn locals stack i id
   | Code.Block (_, body) -> (
-      try eval inst ~depth ~elide locals stack body with
+      try eval inst ~depth ~fn locals stack body with
       | Branch (0, vs) -> List.iter (push stack) vs
       | Branch (n, vs) -> raise (Branch (n - 1, vs)))
   | Code.Loop body ->
       let rec iter () =
-        match eval inst ~depth ~elide locals stack body with
+        match eval inst ~depth ~fn locals stack body with
         | () -> ()
         | exception Branch (0, _) ->
             Rt.meter_br inst;
@@ -162,7 +163,7 @@ and eval_instr (inst : Instance.t) ~depth ~elide locals stack
       Rt.meter_br inst;
       let c = pop_i32 stack in
       let body = if not (Int32.equal c 0l) then then_ else else_ in
-      try eval inst ~depth ~elide locals stack body with
+      try eval inst ~depth ~fn locals stack body with
       | Branch (0, vs) -> List.iter (push stack) vs
       | Branch (n, vs) -> raise (Branch (n - 1, vs)))
   | Code.Br l ->
@@ -186,7 +187,7 @@ and eval_instr (inst : Instance.t) ~depth ~elide locals stack
       | None -> ());
       raise (Ret (popn stack arity))
 
-and eval_basic (inst : Instance.t) ~depth ~elide locals stack
+and eval_basic (inst : Instance.t) ~depth ~fn locals stack
     (ins : Ast.instr) (id : int) =
   let meter f = match inst.meter with Some m -> f m | None -> () in
   match ins with
@@ -326,9 +327,15 @@ and eval_basic (inst : Instance.t) ~depth ~elide locals stack
       meter (fun m -> m.cvt <- m.cvt + 1);
       push stack (Numerics.eval_cvtop op (pop stack))
   | Load (ty, pack, ma) ->
-      do_load ~elide:(Code.elidable elide id) inst stack ty pack ma
+      do_load
+        ~elide:(Code.elidable fn.Code.elide id)
+        ~ebounds:(Code.elidable fn.Code.belide id)
+        inst stack ty pack ma
   | Store (ty, pack, ma) ->
-      do_store ~elide:(Code.elidable elide id) inst stack ty pack ma
+      do_store
+        ~elide:(Code.elidable fn.Code.elide id)
+        ~ebounds:(Code.elidable fn.Code.belide id)
+        inst stack ty pack ma
   | MemorySize ->
       let mem = memory inst in
       let pages = Memory.size_pages mem in
@@ -375,7 +382,9 @@ and eval_basic (inst : Instance.t) ~depth ~elide locals stack
   | SegmentNew o ->
       let l = pop_i64 stack in
       let k = pop_i64 stack in
-      push stack (Values.I64 (Rt.segment_new inst ~k ~l o))
+      push stack
+        (Values.I64
+           (Rt.segment_new ~arena:(Code.elidable fn.Code.arena id) inst ~k ~l o))
   | SegmentSetTag o ->
       let l = pop_i64 stack in
       let t = pop_i64 stack in
@@ -384,7 +393,7 @@ and eval_basic (inst : Instance.t) ~depth ~elide locals stack
   | SegmentFree o ->
       let l = pop_i64 stack in
       let k = pop_i64 stack in
-      Rt.segment_free inst ~k ~l o
+      Rt.segment_free ~arena:(Code.elidable fn.Code.arena id) inst ~k ~l o
   | PointerSign ->
       let k = pop_i64 stack in
       push stack (Values.I64 (Rt.pointer_sign inst k))
@@ -437,8 +446,7 @@ and invoke_idx (inst : Instance.t) ~depth stack i =
             in
             let fstack = ref [] in
             (try
-               eval inst ~depth ~elide:code.Code.elide locals fstack
-                 code.Code.body
+               eval inst ~depth ~fn:code locals fstack code.Code.body
              with
             | Ret vs -> List.iter (push fstack) vs
             | Branch (_, vs) -> List.iter (push fstack) vs);
@@ -558,13 +566,13 @@ let instantiate ?(config = Instance.default_config)
         else
           let f = List.nth m.funcs (i - n_imports) in
           let ty = List.nth m.types f.ftype in
-          let elide =
-            let j = i - n_imports in
-            if j < Array.length config.elide then config.elide.(j)
-            else Bytes.empty
-          in
+          let j = i - n_imports in
+          let row a = if j < Array.length a then a.(j) else Bytes.empty in
           let code =
-            Code.prepare ~elide ~result_arity:(List.length ty.results) f.body
+            Code.prepare ~elide:(row config.elide) ~belide:(row config.belide)
+              ~arena:(row config.arena)
+              ~result_arity:(List.length ty.results)
+              f.body
           in
           Wasm_func { inst_id = id; func = f; ty; code; xcode = None })
   in

@@ -91,6 +91,11 @@ type config = {
       (** per-local-function elision bitsets from the static analyzer
           (index = function index minus imports, see {!Code.elidable});
           [[||]] (the default) disables elision entirely *)
+  belide : Bytes.t array;
+      (** bounds-elision bitsets (full-check elision); same indexing *)
+  arena : Bytes.t array;
+      (** arena bitsets over [segment.new]/[segment.free] instructions
+          (escape analysis: tag-plane writes skipped); same indexing *)
   engine : engine;
 }
 
@@ -105,6 +110,8 @@ let default_config = {
   meter = None;
   fuel = -1;
   elide = [||];
+  belide = [||];
+  arena = [||];
   engine = Threaded;
 }
 

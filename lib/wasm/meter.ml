@@ -44,6 +44,16 @@ type t = {
           static analyzer proved them safe. Counted {e in addition to}
           [loads]/[stores] (the access itself still happens), so it is
           deliberately not part of {!total} or {!pp}. *)
+  mutable elided_bounds : int;
+      (** loads/stores whose span (bounds) check was also skipped —
+          full-check elision. Like [elided_checks], counted in addition
+          to [loads]/[stores] and excluded from {!total}. *)
+  mutable arena_new_granules : int;
+      (** granules a [segment.new] did {e not} tag because the segment
+          was lowered to the arena (escape analysis); the granules are
+          counted here instead of [seg_new_granules] *)
+  mutable arena_free_granules : int;
+      (** granules a [segment.free] did not retag (arena lowering) *)
 }
 
 let create () = {
@@ -54,7 +64,8 @@ let create () = {
   bulk_fill = 0; bulk_copy = 0;
   seg_new = 0; seg_new_granules = 0; seg_set_tag = 0;
   seg_set_tag_granules = 0; seg_free = 0; seg_free_granules = 0;
-  ptr_sign = 0; ptr_auth = 0; elided_checks = 0;
+  ptr_sign = 0; ptr_auth = 0; elided_checks = 0; elided_bounds = 0;
+  arena_new_granules = 0; arena_free_granules = 0;
 }
 
 let reset t =
@@ -66,7 +77,8 @@ let reset t =
   t.bulk_fill <- 0; t.bulk_copy <- 0; t.seg_new <- 0;
   t.seg_new_granules <- 0; t.seg_set_tag <- 0; t.seg_set_tag_granules <- 0;
   t.seg_free <- 0; t.seg_free_granules <- 0; t.ptr_sign <- 0;
-  t.ptr_auth <- 0; t.elided_checks <- 0
+  t.ptr_auth <- 0; t.elided_checks <- 0; t.elided_bounds <- 0;
+  t.arena_new_granules <- 0; t.arena_free_granules <- 0
 
 (** Total executed wasm operations (rough instruction count). *)
 let total t =
@@ -90,4 +102,9 @@ let pp ppf t =
     t.ptr_sign t.ptr_auth;
   if t.elided_checks > 0 then
     Format.fprintf ppf "@ elided tag checks: %d" t.elided_checks;
+  if t.elided_bounds > 0 then
+    Format.fprintf ppf "@ elided bounds checks: %d" t.elided_bounds;
+  if t.arena_new_granules > 0 || t.arena_free_granules > 0 then
+    Format.fprintf ppf "@ arena granules: new %d / free %d"
+      t.arena_new_granules t.arena_free_granules;
   Format.fprintf ppf "@]"

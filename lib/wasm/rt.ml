@@ -107,13 +107,21 @@ let seg_granules len = Int64.to_int (Int64.div len 16L)
 let rng_int (inst : Instance.t) n = Random.State.int inst.rng n
 
 (** [segment.new o]: operands [k] (base pointer) and [l] (length);
-    returns the freshly tagged pointer. *)
-let segment_new (inst : Instance.t) ~k ~l o =
+    returns the freshly tagged pointer. [~arena:true] (escape-analysis
+    lowering) keeps the validation, the zero-fill and the random tag
+    draw — so pointer bit patterns, trap messages and the PRNG stream
+    are identical to the checked form — but skips the tag-plane writes:
+    the analysis proved no checked access or real free will ever read
+    them. *)
+let segment_new ?(arena = false) (inst : Instance.t) ~k ~l o =
   let mte = mte inst in
   let tm = Arch.Mte.tag_memory mte in
   let addr = Int64.add (Arch.Ptr.address k) o in
   let tag = Arch.Tag.irg inst.exclude ~rng:(rng_int inst) in
-  (match Arch.Tag_memory.set_region tm ~addr ~len:l tag with
+  (match
+     if arena then Arch.Tag_memory.validate_region tm ~addr ~len:l
+     else Arch.Tag_memory.set_region tm ~addr ~len:l tag
+   with
   | Ok () -> ()
   | Error e -> trap "bounds: segment.new: %s" e);
   (* Eq. 5: the new segment is zeroed. *)
@@ -122,12 +130,18 @@ let segment_new (inst : Instance.t) ~k ~l o =
   (match inst.meter with
   | Some m ->
       m.seg_new <- m.seg_new + 1;
-      m.seg_new_granules <- m.seg_new_granules + seg_granules l
+      if arena then
+        m.arena_new_granules <- m.arena_new_granules + seg_granules l
+      else m.seg_new_granules <- m.seg_new_granules + seg_granules l
   | None -> ());
   if Obs.Hook.enabled () then
     Obs.Hook.event
-      (Obs.Event.Seg_new
-         { addr; len = l; granules = seg_granules l; tag = Arch.Tag.to_int tag });
+      (if arena then
+         Obs.Event.Tag_writes_elided { granules = seg_granules l }
+       else
+         Obs.Event.Seg_new
+           { addr; len = l; granules = seg_granules l;
+             tag = Arch.Tag.to_int tag });
   Arch.Ptr.with_tag (Int64.add k o) tag
 
 (** [segment.set_tag o]: operands [k] (base), [t] (tag donor), [l]. *)
@@ -149,20 +163,40 @@ let segment_set_tag (inst : Instance.t) ~k ~t ~l o =
       m.seg_set_tag_granules <- m.seg_set_tag_granules + seg_granules l
   | None -> ()
 
-(** [segment.free o]: operands [k] (tagged pointer), [l]. *)
-let segment_free (inst : Instance.t) ~k ~l o =
+(** [segment.free o]: operands [k] (tagged pointer), [l].
+    [~arena:true]: the matching [segment.new] never wrote its tags, so
+    the ownership matches-check (which would spuriously fault against
+    the untouched tag plane) and the retag are both skipped — the
+    analysis proved every free of this segment is exactly-once on a
+    live pointer. The chaos scribble draw stays, so fault-injection
+    sequences are unchanged. *)
+let segment_free ?(arena = false) (inst : Instance.t) ~k ~l o =
   let mte = mte inst in
   let tm = Arch.Mte.tag_memory mte in
   let addr = Int64.add (Arch.Ptr.address k) o in
   let ptag = Arch.Ptr.tag k in
   (* Eq. 9/10: the pointer must still own the whole segment — this is
      what catches double-frees and frees through corrupted pointers. *)
-  if not (Arch.Tag_memory.matches tm ~addr ~len:(Int64.max l 1L) ptag) then
-    trap "tag fault: segment.free: tag mismatch (double free or invalid free)";
   let free_tag = Arch.Tag.next_allowed inst.exclude ptag in
-  (match Arch.Tag_memory.set_region tm ~addr ~len:l free_tag with
-  | Ok () -> ()
-  | Error e -> trap "bounds: segment.free: %s" e);
+  (if arena then begin
+     (* keep the malformed-operand traps bit-identical to the checked
+        form: an out-of-bounds span fails the matches-check there, and
+        a misaligned/ragged one fails its retag validation *)
+     if not (Arch.Tag_memory.in_bounds tm ~addr ~len:(Int64.max l 1L)) then
+       trap
+         "tag fault: segment.free: tag mismatch (double free or invalid free)";
+     match Arch.Tag_memory.validate_region tm ~addr ~len:l with
+     | Ok () -> ()
+     | Error e -> trap "bounds: segment.free: %s" e
+   end
+   else begin
+     if not (Arch.Tag_memory.matches tm ~addr ~len:(Int64.max l 1L) ptag) then
+       trap
+         "tag fault: segment.free: tag mismatch (double free or invalid free)";
+     match Arch.Tag_memory.set_region tm ~addr ~len:l free_tag with
+     | Ok () -> ()
+     | Error e -> trap "bounds: segment.free: %s" e
+   end);
   (* Chaos hook: schedule a scribble of this chunk's free-list link
      (payload-relative slot [-8], see Libc.Source); the junk write is
      applied at the next synchronization point, once the allocator has
@@ -171,13 +205,18 @@ let segment_free (inst : Instance.t) ~k ~l o =
     Arch.Fault_inject.set_scribble (Int64.sub addr 8L);
   if Obs.Hook.enabled () then
     Obs.Hook.event
-      (Obs.Event.Seg_free
-         { addr; len = l; granules = seg_granules l;
-           tag = Arch.Tag.to_int free_tag });
+      (if arena then
+         Obs.Event.Tag_writes_elided { granules = seg_granules l }
+       else
+         Obs.Event.Seg_free
+           { addr; len = l; granules = seg_granules l;
+             tag = Arch.Tag.to_int free_tag });
   match inst.meter with
   | Some m ->
       m.seg_free <- m.seg_free + 1;
-      m.seg_free_granules <- m.seg_free_granules + seg_granules l
+      if arena then
+        m.arena_free_granules <- m.arena_free_granules + seg_granules l
+      else m.seg_free_granules <- m.seg_free_granules + seg_granules l
   | None -> ()
 
 let pointer_sign (inst : Instance.t) k =

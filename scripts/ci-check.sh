@@ -30,12 +30,24 @@ diff test/golden/lint.golden _build/lint.out
 echo "== check-elision differential (200 seeded programs)"
 dune exec bin/cage_chaos.exe -- elidediff --count 200
 
+echo "== full-elision differential (200 seeded programs, bounds + arena)"
+dune exec bin/cage_chaos.exe -- elidediff --count 200 --full
+
 echo "== engine differential (200 seeded programs, interp vs threaded)"
 dune exec bin/cage_chaos.exe -- enginediff --count 200
 
 echo "== detection matrix with elision (must match the golden byte-for-byte)"
 dune exec bin/cage_chaos.exe -- matrix --seed 7 --elide > _build/detection_matrix_elide.out
 diff test/golden/detection_matrix.golden _build/detection_matrix_elide.out
+
+echo "== detection matrix with full elision (bounds + arena, still byte-identical)"
+dune exec bin/cage_chaos.exe -- matrix --seed 7 --elide --elide-bounds \
+  > _build/detection_matrix_full.out
+diff test/golden/detection_matrix.golden _build/detection_matrix_full.out
+
+echo "== cage-lint --json (golden diff, quickstart)"
+dune exec bin/cage_lint.exe -- examples/quickstart.c --json > _build/lint_json.out
+diff test/golden/lint.json.golden _build/lint_json.out
 
 echo "== metrics snapshot (golden diff, quickstart seed 7)"
 dune exec bin/cage_run.exe -- examples/quickstart.c --config CAGE --seed 7 \
@@ -45,6 +57,11 @@ diff test/golden/metrics.golden _build/metrics.out
 echo "== serving-path detection matrix (golden diff, seed 7)"
 dune exec bin/cage_chaos.exe -- served --seed 7 > _build/served_matrix.out
 diff test/golden/served_matrix.golden _build/served_matrix.out
+
+echo "== serving-path matrix with full elision (still byte-identical)"
+dune exec bin/cage_chaos.exe -- served --seed 7 --elide-bounds \
+  > _build/served_matrix_full.out
+diff test/golden/served_matrix.golden _build/served_matrix_full.out
 
 echo "== serving smoke (zero escapes, all tenants >= 80% chaos-on goodput)"
 dune exec bin/cage_serve.exe -- --smoke --slo-report \
@@ -87,6 +104,24 @@ scripts/bench-diff.sh BENCH_obsoverhead.json \
   bench/baselines/BENCH_obsoverhead.json \
   ops:eq checks_per_run:eq disabled_overhead_pct:abs:2.0 \
   serve_spans_overhead_pct:abs:15.0
+
+echo "== interprocedural analysis gate (tag writes elided > 0, full beats PR 5's 2.2%)"
+dune exec bench/main.exe -- analysis > /dev/null
+tw_total=$(sed -n 's/.*"tag_writes_elided_total": \([0-9]*\).*/\1/p' BENCH_analysis.json)
+full_pct=$(sed -n 's/.*"mean_speedup_full_pct": \([0-9.]*\).*/\1/p' BENCH_analysis.json)
+echo "   tag_writes_elided_total = ${tw_total}, mean_speedup_full_pct = ${full_pct}"
+awk "BEGIN { exit !($tw_total > 0) }" || {
+  echo "FAIL: no tag-plane writes elided on PolyBench"; exit 1; }
+awk "BEGIN { exit !($full_pct > 2.2) }" || {
+  echo "FAIL: full-elision speedup ${full_pct}% does not beat the 2.2% baseline"
+  exit 1; }
+
+echo "== analysis bench drift vs committed baseline"
+scripts/bench-diff.sh BENCH_analysis.json \
+  bench/baselines/BENCH_analysis.json \
+  mean_tag_elided_frac:abs:0.02 mean_bounds_elided_frac:abs:0.02 \
+  mean_tag_writes_elided_frac:abs:0.05 tag_writes_elided_total:rel:0.2 \
+  mean_speedup_tag_pct:abs:1.0 mean_speedup_full_pct:abs:2.0
 
 echo "== execution-engine smoke gate (threaded >= 2x interp)"
 dune exec bench/main.exe -- exec > /dev/null

@@ -23,6 +23,10 @@ echo "== test/golden/lint.golden"
   dune exec bin/cage_lint.exe -- --cve-suite
 } > test/golden/lint.golden
 
+echo "== test/golden/lint.json.golden"
+dune exec bin/cage_lint.exe -- examples/quickstart.c --json \
+  > test/golden/lint.json.golden
+
 echo "== test/golden/metrics.golden"
 dune exec bin/cage_run.exe -- examples/quickstart.c --config CAGE --seed 7 \
   --metrics > test/golden/metrics.golden 2>/dev/null || true

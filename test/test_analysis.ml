@@ -41,6 +41,34 @@ let test_interval_overflow_safe () =
   Alcotest.(check (option int64)) "exact add detects overflow" None
     (I.add_exact Int64.max_int 1L)
 
+let test_interval_saturation () =
+  (* the overflow-boundary regressions: bound steps at the Int64
+     extremes must saturate to infinity, never wrap *)
+  Alcotest.(check (option int64)) "succ_sat saturates" None
+    (I.succ_sat Int64.max_int);
+  Alcotest.(check (option int64)) "succ_sat steps" (Some 6L) (I.succ_sat 5L);
+  Alcotest.(check (option int64)) "pred_sat saturates" None
+    (I.pred_sat Int64.min_int);
+  Alcotest.(check (option int64)) "pred_sat steps" (Some 4L) (I.pred_sat 5L);
+  (* add near max_int: hi blows to +oo, lo stays exact *)
+  let r = I.add (I.range 1L Int64.max_int) (I.const 1L) in
+  Alcotest.(check iv) "add saturates hi only" (I.of_bounds (Some 2L) None) r;
+  (* mul near max_int: a wrapped product must not appear as a bound *)
+  let r = I.mul (I.range 2L Int64.max_int) (I.const 2L) in
+  Alcotest.(check iv) "mul saturates hi only" (I.of_bounds (Some 4L) None) r;
+  (* widening of [k, max_int]-shaped intervals: a stable extreme bound
+     is kept, a moving one goes to infinity — no wraparound either way *)
+  let w =
+    I.widen ~prev:(I.range 0L Int64.max_int) ~next:(I.range 0L Int64.max_int)
+  in
+  Alcotest.(check iv) "stable [0,max_int] stays" (I.range 0L Int64.max_int) w;
+  let w = I.widen ~prev:(I.range 0L 4L) ~next:(I.range 0L Int64.max_int) in
+  Alcotest.(check iv) "bound moving to max_int widens" (I.of_bounds (Some 0L) None) w;
+  let w =
+    I.widen ~prev:(I.range Int64.min_int 4L) ~next:(I.range Int64.min_int 4L)
+  in
+  Alcotest.(check iv) "stable [min_int,4] stays" (I.range Int64.min_int 4L) w
+
 let test_interval_bitops () =
   (* logand with a nonneg constant mask is bounded by the mask *)
   let m = I.logand I.top (I.const 0xffL) in
@@ -166,6 +194,193 @@ let test_elide_preserves_trap () =
   Alcotest.(check bool) "baseline tag-faults" true (is_tag_fault plain);
   Alcotest.(check bool) "elided run tag-faults too" true (is_tag_fault elided)
 
+(* ------------------------------------------------------------------ *)
+(* Interprocedural: call graph, summaries, escape, speculation         *)
+(* ------------------------------------------------------------------ *)
+
+let fidx_of m name =
+  let n = Wasm.Ast.num_imports m in
+  let rec go i = function
+    | [] -> Alcotest.failf "no function %S in module" name
+    | (f : Wasm.Ast.func) :: rest ->
+        if f.Wasm.Ast.fname = Some name then n + i else go (i + 1) rest
+  in
+  go 0 m.Wasm.Ast.funcs
+
+let test_mutual_recursion_scc () =
+  (* even/odd call each other; the base case frees. The call graph must
+     put both in one SCC and the summary fixpoint must propagate the
+     free around the cycle, so the caller's liveness is havocked. *)
+  let m =
+    compile
+      {|
+        void odd(long *p, int n);
+        void even(long *p, int n) { if (n == 0) { free(p); return; } odd(p, n - 1); }
+        void odd(long *p, int n) { if (n == 0) { return; } even(p, n - 1); }
+        int main() {
+          long *p = (long *)malloc(16);
+          even(p, 4);
+          return 0;
+        }
+      |}
+  in
+  let cg = Analysis.Callgraph.build m in
+  let e = fidx_of m "even" and o = fidx_of m "odd" in
+  Alcotest.(check bool) "even and odd share an SCC" true
+    (List.exists
+       (fun c -> List.mem e c && List.mem o c)
+       (Analysis.Callgraph.sccs cg));
+  let summaries = Analysis.Summary.compute cg in
+  Alcotest.(check bool) "even's summary frees" true
+    summaries.(e).Analysis.Summary.sm_mutates;
+  Alcotest.(check bool) "odd frees transitively (cycle fixpoint)" true
+    summaries.(o).Analysis.Summary.sm_mutates
+
+let test_call_indirect_conservative () =
+  (* an indirect call joins the summaries of every type-matching table
+     member: with a freeing function in the table, accesses after the
+     call must not be elided; with only a benign one, they may be *)
+  let prog callee =
+    Printf.sprintf
+      {|
+        void killer(long *p) { free(p); }
+        void keeper(long *p) { p[0] = p[0] + 1; }
+        int main() {
+          long *p = (long *)malloc(16);
+          p[0] = 1;
+          void (*f)(long *) = &%s;
+          f(p);
+          p[0] = 2;
+          return 0;
+        }
+      |}
+      callee
+  in
+  let killed = lint (prog "killer") and kept = lint (prog "keeper") in
+  Alcotest.(check bool) "freeing table member blocks post-call elision" true
+    (killed.Analysis.Lint.elide_proven < kept.Analysis.Lint.elide_proven)
+
+let test_summary_invalidated_by_free () =
+  (* the recursive self-call is summarized, not inlined: a callee that
+     frees its aliased argument must invalidate the caller's liveness,
+     withholding elision of the post-call access *)
+  let prog base_case =
+    Printf.sprintf
+      {|
+        void drop(long *p, int n) {
+          if (n > 0) { drop(p, n - 1); return; }
+          %s
+        }
+        int main() {
+          long *p = (long *)malloc(16);
+          p[0] = 1;
+          drop(p, 3);
+          long v = p[0];
+          %s
+          return (int)v;
+        }
+      |}
+      base_case
+      (if base_case = "free(p);" then "" else "free(p);")
+  in
+  let freeing = lint (prog "free(p);") and benign = lint (prog "p[0] = 9;") in
+  Alcotest.(check bool) "summarized free invalidates elision" true
+    (freeing.Analysis.Lint.elide_proven < benign.Analysis.Lint.elide_proven)
+
+let arena_source =
+  {|
+    int main() {
+      long *p = (long *)malloc(64);
+      for (int i = 0; i < 8; i++) { p[i] = (long)i; }
+      long s = 0;
+      for (int i = 0; i < 8; i++) { s = s + p[i]; }
+      free(p);
+      return (int)s;
+    }
+  |}
+
+let test_arena_lowering_runtime () =
+  (* a non-escaping malloc/free pair: the plan lowers it to the arena,
+     the run skips its tag-plane writes, and the result is unchanged *)
+  let t = lint arena_source in
+  Alcotest.(check int) "one arena-lowerable site" 1
+    t.Analysis.Lint.arena_sites;
+  let run cfg =
+    let meter = Wasm.Meter.create () in
+    let v = Libc.Run.ret_i32 (Libc.Run.run ~cfg ~meter arena_source) in
+    (v, meter)
+  in
+  let v0, m0 = run Cage.Config.mem_safety in
+  let v1, m1 =
+    run
+      (Cage.Config.with_arena
+         (Cage.Config.with_bounds_elision Cage.Config.mem_safety))
+  in
+  Alcotest.(check int32) "checksum unchanged" v0 v1;
+  Alcotest.(check int) "baseline writes every granule tag" 0
+    (m0.Wasm.Meter.arena_new_granules + m0.Wasm.Meter.arena_free_granules);
+  Alcotest.(check int) "arena skips segment.new tag writes" 4
+    m1.Wasm.Meter.arena_new_granules;
+  Alcotest.(check int) "arena skips segment.free retags" 4
+    m1.Wasm.Meter.arena_free_granules;
+  Alcotest.(check bool) "span checks elided too" true
+    (m1.Wasm.Meter.elided_bounds > 0)
+
+let bits_subset ~sub ~super =
+  let ok = ref true in
+  Array.iteri
+    (fun i (b : Bytes.t) ->
+      let fb = if i < Array.length super then super.(i) else Bytes.empty in
+      Bytes.iteri
+        (fun j c ->
+          let s = Char.code c in
+          let f =
+            if j < Bytes.length fb then Char.code (Bytes.get fb j) else 0
+          in
+          if s land lnot f <> 0 then ok := false)
+        b)
+    sub;
+  !ok
+
+let test_spec_safe_plan_subset () =
+  (* --no-spec-elide: the speculation-safe plan may only elide a subset
+     of what the architectural plan elides, and on a CVE-suite program
+     with branch-refinement-dependent proofs it must withhold some *)
+  let e =
+    List.find
+      (fun (e : Workloads.Cve_suite.entry) -> e.cve = "CVE-2023-4863")
+      Workloads.Cve_suite.entries
+  in
+  let m = compile e.Workloads.Cve_suite.source in
+  let full = Analysis.Elide.plan m in
+  let spec = Analysis.Elide.plan ~spec_safe:true m in
+  Alcotest.(check bool) "some elisions are speculation-unsafe" true
+    (spec.Analysis.Elide.spec_unsafe >= 1);
+  Alcotest.(check bool) "spec-safe plan keeps those checks" true
+    (spec.Analysis.Elide.proven < full.Analysis.Elide.proven);
+  Alcotest.(check bool) "spec-safe bitsets are a subset" true
+    (bits_subset ~sub:spec.Analysis.Elide.bitsets
+       ~super:full.Analysis.Elide.bitsets)
+
+let test_no_spec_elide_runtime () =
+  (* the loop proofs in [arena_source] lean on branch refinement, so
+     under --no-spec-elide the runtime must keep (and count) those
+     checks — with an unchanged result *)
+  let run cfg =
+    let meter = Wasm.Meter.create () in
+    let v = Libc.Run.ret_i32 (Libc.Run.run ~cfg ~meter arena_source) in
+    (v, meter)
+  in
+  let v_full, m_full = run (Cage.Config.with_elision Cage.Config.mem_safety) in
+  let v_spec, m_spec =
+    run
+      (Cage.Config.with_spec_safe_only
+         (Cage.Config.with_elision Cage.Config.mem_safety))
+  in
+  Alcotest.(check int32) "result unchanged" v_full v_spec;
+  Alcotest.(check bool) "spec-safe mode retains checks" true
+    (m_spec.Wasm.Meter.elided_checks < m_full.Wasm.Meter.elided_checks)
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -176,7 +391,17 @@ let () =
           tc "basics" test_interval_basics;
           tc "widening" test_interval_widen;
           tc "overflow safe" test_interval_overflow_safe;
+          tc "saturation at extremes" test_interval_saturation;
           tc "bit operations" test_interval_bitops;
+        ] );
+      ( "interprocedural",
+        [
+          tc "mutual recursion SCC" test_mutual_recursion_scc;
+          tc "call_indirect conservative" test_call_indirect_conservative;
+          tc "summary invalidated by free" test_summary_invalidated_by_free;
+          tc "arena lowering runtime" test_arena_lowering_runtime;
+          tc "spec-safe plan subset" test_spec_safe_plan_subset;
+          tc "no-spec-elide runtime" test_no_spec_elide_runtime;
         ] );
       ( "lint",
         [

@@ -668,7 +668,7 @@ let test_served_sites_recover () =
      a pristine snapshot, succeed *)
   let cell =
     Harness.Serve_bench.served_cell ~engine:Wasm.Instance.Threaded
-      ~seed:7 ~index:1
+      ~full:false ~seed:7 ~index:1
       Arch.Fault_inject.Tag_flip Arch.Mte.Sync
   in
   Alcotest.(check string) "tag-flip x sync recovers through serving"
